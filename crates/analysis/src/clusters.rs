@@ -1,0 +1,165 @@
+//! Vacancy cluster identification.
+//!
+//! Two vacancies belong to the same cluster when they are within a
+//! linking radius (conventionally between the 2NN distance and the 3NN
+//! distance for BCC). Clusters are found with a cell-binned union-find
+//! sweep, `O(N)` for bounded density.
+
+use serde::{Deserialize, Serialize};
+
+use crate::union_find::UnionFind;
+
+/// Cluster census of a vacancy point cloud.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Vacancies analysed.
+    pub n_points: usize,
+    /// Number of clusters (monovacancies count as size-1 clusters).
+    pub n_clusters: usize,
+    /// Cluster sizes, descending.
+    pub sizes: Vec<usize>,
+    /// Largest cluster size.
+    pub largest: usize,
+    /// Mean cluster size.
+    pub mean_size: f64,
+    /// Fraction of vacancies in clusters of ≥ 2.
+    pub clustered_fraction: f64,
+}
+
+/// Histogram of cluster sizes: `histogram[k]` = number of clusters of
+/// size `k+1` (sizes above `max_bin` are folded into the last bin).
+pub fn size_histogram(sizes: &[usize], max_bin: usize) -> Vec<usize> {
+    let mut h = vec![0usize; max_bin];
+    for &s in sizes {
+        let bin = s.clamp(1, max_bin) - 1;
+        h[bin] += 1;
+    }
+    h
+}
+
+/// Clusters `points` (periodic box `box_len`) with linking radius
+/// `r_link`.
+pub fn cluster_sizes(points: &[[f64; 3]], box_len: [f64; 3], r_link: f64) -> ClusterReport {
+    let n = points.len();
+    if n == 0 {
+        return ClusterReport::default();
+    }
+    let mut uf = UnionFind::new(n);
+    // Cell binning with periodic wrap.
+    let mut dims = [1usize; 3];
+    for ax in 0..3 {
+        dims[ax] = ((box_len[ax] / r_link).floor() as usize).max(1);
+    }
+    let cell_of = |p: &[f64; 3]| -> [usize; 3] {
+        let mut c = [0usize; 3];
+        for ax in 0..3 {
+            let u = (p[ax].rem_euclid(box_len[ax])) / box_len[ax];
+            c[ax] = ((u * dims[ax] as f64) as usize).min(dims[ax] - 1);
+        }
+        c
+    };
+    let flat = |c: [usize; 3]| (c[2] * dims[1] + c[1]) * dims[0] + c[0];
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+    for (i, p) in points.iter().enumerate() {
+        bins[flat(cell_of(p))].push(i as u32);
+    }
+    let r2 = r_link * r_link;
+    let min_image = |a: &[f64; 3], b: &[f64; 3]| -> f64 {
+        let mut d2 = 0.0;
+        for ax in 0..3 {
+            let mut d = a[ax] - b[ax];
+            d -= (d / box_len[ax]).round() * box_len[ax];
+            d2 += d * d;
+        }
+        d2
+    };
+    for (i, p) in points.iter().enumerate() {
+        let c = cell_of(p);
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let q = [
+                        (c[0] as i64 + dx).rem_euclid(dims[0] as i64) as usize,
+                        (c[1] as i64 + dy).rem_euclid(dims[1] as i64) as usize,
+                        (c[2] as i64 + dz).rem_euclid(dims[2] as i64) as usize,
+                    ];
+                    for &j in &bins[flat(q)] {
+                        if (j as usize) > i && min_image(p, &points[j as usize]) <= r2 {
+                            uf.union(i, j as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let sizes = uf.component_sizes();
+    let clustered: usize = sizes.iter().filter(|&&s| s >= 2).sum();
+    ClusterReport {
+        n_points: n,
+        n_clusters: sizes.len(),
+        largest: sizes.first().copied().unwrap_or(0),
+        mean_size: n as f64 / sizes.len() as f64,
+        clustered_fraction: clustered as f64 / n as f64,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: [f64; 3] = [50.0, 50.0, 50.0];
+
+    #[test]
+    fn empty_cloud() {
+        let r = cluster_sizes(&[], L, 3.0);
+        assert_eq!(r.n_points, 0);
+        assert_eq!(r.n_clusters, 0);
+    }
+
+    #[test]
+    fn isolated_points_are_monovacancies() {
+        let pts = vec![[1.0, 1.0, 1.0], [20.0, 20.0, 20.0], [40.0, 5.0, 30.0]];
+        let r = cluster_sizes(&pts, L, 3.0);
+        assert_eq!(r.n_clusters, 3);
+        assert_eq!(r.largest, 1);
+        assert_eq!(r.clustered_fraction, 0.0);
+    }
+
+    #[test]
+    fn close_points_cluster() {
+        let pts = vec![
+            [10.0, 10.0, 10.0],
+            [12.0, 10.0, 10.0],
+            [12.0, 12.0, 10.0],
+            [40.0, 40.0, 40.0],
+        ];
+        let r = cluster_sizes(&pts, L, 3.0);
+        assert_eq!(r.n_clusters, 2);
+        assert_eq!(r.sizes, vec![3, 1]);
+        assert_eq!(r.largest, 3);
+        assert!((r.clustered_fraction - 0.75).abs() < 1e-12);
+        assert!((r.mean_size - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_wrap_links_across_boundary() {
+        let pts = vec![[0.5, 10.0, 10.0], [49.5, 10.0, 10.0]];
+        let r = cluster_sizes(&pts, L, 2.0);
+        assert_eq!(r.n_clusters, 1, "1.0 Å apart across the boundary");
+    }
+
+    #[test]
+    fn chain_percolates_into_one_cluster() {
+        let pts: Vec<[f64; 3]> = (0..20).map(|i| [2.0 * i as f64 + 1.0, 5.0, 5.0]).collect();
+        let r = cluster_sizes(&pts, L, 2.5);
+        assert_eq!(r.n_clusters, 1);
+        assert_eq!(r.largest, 20);
+    }
+
+    #[test]
+    fn histogram_folds_overflow() {
+        let h = size_histogram(&[1, 1, 2, 3, 9], 4);
+        assert_eq!(h, vec![2, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Dispersion metrics: how spread-out a vacancy cloud is.
+//!
+//! After MD the vacancies are "very dispersive"; after KMC they
+//! aggregate (paper Fig. 17). The mean nearest-neighbour distance
+//! captures this: it *drops* as clusters form, and its ratio to the
+//! random-gas expectation `0.554·ρ^(−1/3)` (Hertz) distinguishes the
+//! two regimes quantitatively.
+
+use serde::{Deserialize, Serialize};
+
+/// Dispersion summary of a point cloud.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DispersionReport {
+    /// Points analysed.
+    pub n_points: usize,
+    /// Mean distance to the nearest neighbour (Å).
+    pub mean_nn: f64,
+    /// Expected mean NN distance for an ideal random gas of the same
+    /// density (Hertz distribution mean).
+    pub random_nn: f64,
+    /// `mean_nn / random_nn`: ≈1 for dispersed, ≪1 for clustered.
+    pub ratio: f64,
+}
+
+/// Minimum-image distance squared.
+fn d2(a: &[f64; 3], b: &[f64; 3], l: &[f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for ax in 0..3 {
+        let mut d = a[ax] - b[ax];
+        d -= (d / l[ax]).round() * l[ax];
+        s += d * d;
+    }
+    s
+}
+
+/// Mean nearest-neighbour distance of `points` in a periodic box.
+pub fn mean_nn_distance(points: &[[f64; 3]], box_len: [f64; 3]) -> DispersionReport {
+    let n = points.len();
+    if n < 2 {
+        return DispersionReport {
+            n_points: n,
+            ..Default::default()
+        };
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                best = best.min(d2(p, q, &box_len));
+            }
+        }
+        total += best.sqrt();
+    }
+    let mean_nn = total / n as f64;
+    let volume = box_len[0] * box_len[1] * box_len[2];
+    let rho = n as f64 / volume;
+    // Hertz: <r> = Γ(4/3)·(4πρ/3)^(−1/3) ≈ 0.55396·ρ^(−1/3).
+    let random_nn = 0.553_96 * rho.powf(-1.0 / 3.0);
+    DispersionReport {
+        n_points: n,
+        mean_nn,
+        random_nn,
+        ratio: mean_nn / random_nn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_few_points() {
+        let r = mean_nn_distance(&[[0.0; 3]], [10.0; 3]);
+        assert_eq!(r.mean_nn, 0.0);
+        assert_eq!(r.n_points, 1);
+    }
+
+    #[test]
+    fn grid_points_have_exact_nn() {
+        // 8 points on a 5 Å grid in a 10 Å box: every NN distance is 5.
+        let mut pts = Vec::new();
+        for x in 0..2 {
+            for y in 0..2 {
+                for z in 0..2 {
+                    pts.push([5.0 * x as f64, 5.0 * y as f64, 5.0 * z as f64]);
+                }
+            }
+        }
+        let r = mean_nn_distance(&pts, [10.0; 3]);
+        assert!((r.mean_nn - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustered_cloud_has_small_ratio() {
+        // Two tight clumps far apart.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push([10.0 + 0.3 * i as f64, 10.0, 10.0]);
+            pts.push([40.0 + 0.3 * i as f64, 40.0, 40.0]);
+        }
+        let r = mean_nn_distance(&pts, [50.0; 3]);
+        assert!(r.ratio < 0.2, "ratio = {}", r.ratio);
+    }
+
+    #[test]
+    fn dispersed_cloud_has_ratio_near_one() {
+        // Quasi-random low-discrepancy points.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 60.0
+        };
+        let pts: Vec<[f64; 3]> = (0..300).map(|_| [next(), next(), next()]).collect();
+        let r = mean_nn_distance(&pts, [60.0; 3]);
+        assert!((0.7..1.3).contains(&r.ratio), "ratio = {}", r.ratio);
+    }
+
+    #[test]
+    fn periodic_wrap_counts() {
+        let pts = vec![[0.2, 5.0, 5.0], [9.8, 5.0, 5.0]];
+        let r = mean_nn_distance(&pts, [10.0; 3]);
+        assert!((r.mean_nn - 0.4).abs() < 1e-12);
+    }
+}

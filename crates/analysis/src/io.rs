@@ -1,0 +1,135 @@
+//! Output writers for experiment artefacts.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Writes a point cloud as CSV (`x,y,z` per line) — the Fig. 17
+/// artefact.
+pub fn write_points_csv(path: &Path, points: &[[f64; 3]]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "x,y,z")?;
+    for p in points {
+        writeln!(f, "{},{},{}", p[0], p[1], p[2])?;
+    }
+    Ok(())
+}
+
+/// Writes an extended-XYZ frame (`species x y z` per line) — readable
+/// by OVITO/VMD/ASE for visualising cascades and vacancy clouds.
+pub fn write_xyz(
+    path: &Path,
+    comment: &str,
+    atoms: &[(&str, [f64; 3])],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", atoms.len())?;
+    writeln!(f, "{}", comment.replace('\n', " "))?;
+    for (species, p) in atoms {
+        writeln!(f, "{species} {} {} {}", p[0], p[1], p[2])?;
+    }
+    Ok(())
+}
+
+/// Writes any serialisable result as pretty JSON — every figure binary
+/// emits one of these so results are machine-checkable.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let s = serde_json::to_string_pretty(value).expect("serialisable result");
+    std::fs::write(path, s)
+}
+
+/// Renders a simple aligned text table (the "rows the paper reports").
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("mmds_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("pts.csv");
+        write_points_csv(&p, &[[1.0, 2.0, 3.0], [4.5, 5.5, 6.5]]).unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert!(s.starts_with("x,y,z\n"));
+        assert!(s.contains("4.5,5.5,6.5"));
+    }
+
+    #[test]
+    fn xyz_writer() {
+        let dir = std::env::temp_dir().join("mmds_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("frame.xyz");
+        write_xyz(
+            &p,
+            "cascade frame t=1ps",
+            &[("Fe", [0.0, 0.0, 0.0]), ("V", [1.4, 1.4, 1.4])],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "2");
+        assert!(lines[2].starts_with("Fe "));
+        assert!(lines[3].starts_with("V "));
+    }
+
+    #[test]
+    fn json_writer() {
+        let dir = std::env::temp_dir().join("mmds_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("r.json");
+        write_json(&p, &vec![1, 2, 3]).unwrap();
+        let v: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["cores", "time"],
+            &[
+                vec!["65".into(), "320.5".into()],
+                vec!["1040".into(), "21.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("cores"));
+        assert!(lines[3].trim_start().starts_with("1040"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mmds-analysis — defect post-processing
+//!
+//! The paper's Fig. 17 compares the vacancy distribution after MD
+//! ("very dispersive") with the distribution after KMC ("relatively
+//! more aggregative and several vacancy clusters are forming"). This
+//! crate quantifies that: union-find clustering of vacancy point
+//! clouds, cluster-size histograms, and nearest-neighbour dispersion
+//! metrics, plus CSV/JSON writers for the figure binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clusters;
+pub mod dispersion;
+pub mod io;
+pub mod union_find;
+
+pub use clusters::{cluster_sizes, ClusterReport};
+pub use dispersion::{mean_nn_distance, DispersionReport};
+pub use union_find::UnionFind;

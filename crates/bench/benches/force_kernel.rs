@@ -1,0 +1,47 @@
+//! Microbench: the EAM force kernel — serial MPE path vs the four
+//! Fig. 9 offload variants (host wall time, complementing the virtual
+//! CPE time the fig09 binary reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmds_md::domain::{exchange_ghosts, GhostPhase, Loopback};
+use mmds_md::offload::{offload_compute_forces, OffloadConfig};
+use mmds_md::{MdConfig, MdSimulation};
+use mmds_sunway::{CpeCluster, SwModel};
+
+fn sim() -> MdSimulation {
+    let cfg = MdConfig {
+        table_knots: 2000,
+        temperature: 600.0,
+        ..Default::default()
+    };
+    let mut s = MdSimulation::single_box(cfg, 8);
+    s.init_velocities();
+    s
+}
+
+fn bench_force(c: &mut Criterion) {
+    let mut g = c.benchmark_group("force_8cube");
+    g.sample_size(20);
+    g.bench_function("serial_two_pass", |b| {
+        let mut s = sim();
+        b.iter(|| s.compute_forces(&mut Loopback))
+    });
+    for (name, ocfg) in OffloadConfig::fig9_variants() {
+        g.bench_function(format!("offload_{name}"), |b| {
+            let mut s = sim();
+            let cluster = CpeCluster::new(SwModel::sw26010());
+            b.iter(|| {
+                exchange_ghosts(&mut s.lnl, &mut Loopback, GhostPhase::Positions);
+                let interior = s.interior.clone();
+                let pot = s.pot.clone();
+                offload_compute_forces(&mut s.lnl, &pot, &cluster, &ocfg, &interior, |l| {
+                    exchange_ghosts(l, &mut Loopback, GhostPhase::Fp)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_force);
+criterion_main!(benches);

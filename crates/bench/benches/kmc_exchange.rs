@@ -1,0 +1,48 @@
+//! Microbench: the three KMC ghost-exchange strategies over one
+//! synchronisation cycle (host wall time; the modelled communication
+//! times are the fig12/fig13 binaries' business).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmds_kmc::comm::LoopbackK;
+use mmds_kmc::lattice::required_ghost;
+use mmds_kmc::{ExchangeStrategy, KmcConfig, KmcSimulation, OnDemandMode};
+use mmds_lattice::{BccGeometry, LocalGrid};
+
+fn sim() -> KmcSimulation {
+    let cfg = KmcConfig {
+        table_knots: 1200,
+        events_per_cycle: 1.0,
+        ..Default::default()
+    };
+    let ghost = required_ghost(cfg.a0, cfg.rate_cutoff);
+    let grid = LocalGrid::whole(BccGeometry::fe_cube(12), ghost);
+    let mut s = KmcSimulation::new(cfg, grid);
+    s.lat.seed_vacancies_global(12, 42);
+    s.initialize(&mut LoopbackK);
+    s
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmc_cycle_12cube");
+    g.sample_size(20);
+    for (name, strategy) in [
+        ("traditional", ExchangeStrategy::Traditional),
+        (
+            "on_demand_two_sided",
+            ExchangeStrategy::OnDemand(OnDemandMode::TwoSided),
+        ),
+        (
+            "on_demand_one_sided",
+            ExchangeStrategy::OnDemand(OnDemandMode::OneSided),
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let mut s = sim();
+            b.iter(|| s.cycle(strategy, &mut LoopbackK))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

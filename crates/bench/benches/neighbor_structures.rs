@@ -1,0 +1,58 @@
+//! Microbench: the paper's lattice neighbor list against the Verlet
+//! and linked-cell baselines (§2.1.1) — neighbour discovery cost and
+//! build/rebuild cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmds_lattice::{BccGeometry, LatticeNeighborList, LinkedCellList, LocalGrid, VerletList};
+
+fn positions(l: &LatticeNeighborList) -> Vec<[f64; 3]> {
+    l.grid.interior_ids().map(|s| l.pos[s]).collect()
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let grid = LocalGrid::whole(BccGeometry::fe_cube(10), 2);
+    let lnl = LatticeNeighborList::perfect(grid, 5.0);
+    let pos = positions(&lnl);
+    let interior: Vec<usize> = lnl.grid.interior_ids().collect();
+
+    let mut g = c.benchmark_group("neighbor_sweep_2000_atoms");
+    g.bench_function("lattice_neighbor_list", |b| {
+        // Static-offset arithmetic: no build step at all.
+        b.iter(|| {
+            let mut n = 0usize;
+            for &s in &interior {
+                for nid in lnl.neighbor_ids(s) {
+                    n += usize::from(lnl.id[black_box(nid)] >= 0);
+                }
+            }
+            black_box(n)
+        })
+    });
+    let verlet = VerletList::build(&pos, 5.0, 0.6);
+    g.bench_function("verlet_list_sweep", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for i in 0..pos.len() {
+                n += verlet.neighbors_of(black_box(i)).len();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("build_or_rebuild");
+    g.sample_size(20);
+    g.bench_function("verlet_build", |b| {
+        b.iter(|| VerletList::build(black_box(&pos), 5.0, 0.6))
+    });
+    g.bench_function("linked_cell_rebuild", |b| {
+        let lo = [0.0; 3];
+        let hi = [10.0 * 2.855; 3];
+        let mut lc = LinkedCellList::new(lo, hi, 5.0);
+        b.iter(|| lc.rebuild(black_box(&pos)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbench: traditional vs compacted table evaluation.
+//!
+//! The compacted table trades ~3× the arithmetic per access for a 7×
+//! smaller footprint (paper §2.1.2). This bench quantifies the
+//! host-CPU arithmetic cost of the on-the-fly reconstruction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mmds_eam::analytic::AnalyticEam;
+use mmds_eam::compact::CompactTable;
+use mmds_eam::spline::{TraditionalTable, PAPER_TABLE_N};
+
+fn bench_tables(c: &mut Criterion) {
+    let p = AnalyticEam::fe();
+    let trad = TraditionalTable::build(|r| p.phi(r), 1.0, 5.0, PAPER_TABLE_N);
+    let comp = CompactTable::build(|r| p.phi(r), 1.0, 5.0, PAPER_TABLE_N);
+    let xs: Vec<f64> = (0..1024).map(|i| 1.1 + 3.8 * (i as f64) / 1024.0).collect();
+
+    let mut g = c.benchmark_group("table_eval_1024");
+    g.bench_function("traditional", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                let (v, d) = trad.eval_both(black_box(x));
+                acc += v + d;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("compacted_reconstruct", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &xs {
+                let (v, d) = comp.eval_both(black_box(x));
+                acc += v + d;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("table_build");
+    g.sample_size(10);
+    g.bench_function("traditional_5000", |b| {
+        b.iter(|| TraditionalTable::build(|r| p.phi(black_box(r)), 1.0, 5.0, PAPER_TABLE_N))
+    });
+    g.bench_function("compacted_5000", |b| {
+        b.iter(|| CompactTable::build(|r| p.phi(black_box(r)), 1.0, 5.0, PAPER_TABLE_N))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Figure 17 — "The simulation results for 3.2·10¹⁰ atoms in 19.2 days
+//! temporal scale"
+//!
+//! Paper: after MD the vacancies are "very dispersive"; after KMC "the
+//! vacancies are relatively more aggregative and several vacancy
+//! clusters are forming". The §3 arithmetic gives t_real = 19.2 days
+//! for t_threshold = 2·10⁻⁴, C_v^MC = 2·10⁻⁶, T = 600 K.
+//!
+//! Here: the full coupled pipeline on a scaled-down box; the deliverables
+//! are the quantitative counterparts of the two panels — cluster-size
+//! census and nearest-neighbour dispersion before/after KMC — plus the
+//! vacancy point clouds as CSV and the exact 19.2-day arithmetic.
+
+use mmds_analysis::clusters::size_histogram;
+use mmds_analysis::io::write_points_csv;
+use mmds_bench::{emit_json, fmt_pct, header, paper, results_dir, scaled_cells};
+use mmds_coupled::timescale::{paper_configuration_days, real_time_seconds};
+use mmds_coupled::{CoupledConfig, CoupledSimulation};
+use mmds_eam::units::E_VAC_FORMATION;
+use mmds_kmc::KmcConfig;
+use mmds_md::MdConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig17Result {
+    cells: usize,
+    md_vacancies: usize,
+    md_interstitials: usize,
+    kmc_events: u64,
+    after_md_clusters: mmds_analysis::clusters::ClusterReport,
+    after_kmc_clusters: mmds_analysis::clusters::ClusterReport,
+    after_md_dispersion: mmds_analysis::dispersion::DispersionReport,
+    after_kmc_dispersion: mmds_analysis::dispersion::DispersionReport,
+    t_real_days_this_run: f64,
+    t_real_days_paper_configuration: f64,
+    paper_days: f64,
+}
+
+fn main() {
+    header("Figure 17: vacancy clustering through the coupled MD-KMC pipeline");
+    let cells = scaled_cells(14, 10);
+    let cfg = CoupledConfig {
+        md: MdConfig {
+            temperature: 600.0,
+            thermostat_tau: Some(0.03),
+            table_knots: 2000,
+            ..Default::default()
+        },
+        kmc: KmcConfig {
+            table_knots: 2000,
+            events_per_cycle: 2.0,
+            t_threshold: 1.0e-5,
+            ..Default::default()
+        },
+        cells,
+        md_steps: 40,
+        pka_energy: 600.0,
+        max_kmc_cycles: 300,
+        extra_vacancy_concentration: 6.0e-3,
+        strategy: mmds_kmc::ExchangeStrategy::OnDemand(mmds_kmc::OnDemandMode::TwoSided),
+    };
+    println!(
+        "box {cells}^3 cells ({} atoms), PKA {} eV, {} MD steps",
+        2 * cells.pow(3),
+        cfg.pka_energy,
+        cfg.md_steps
+    );
+    let rep = CoupledSimulation::new(cfg).run();
+
+    println!("\nMD phase: {} vacancies, {} interstitials (Frenkel pairs from the cascade)",
+        rep.md_vacancies, rep.md_interstitials);
+    println!("KMC phase: {} events over t = {:.3e} KMC seconds", rep.kmc_events, rep.kmc_time);
+
+    println!("\n{:>28} {:>12} {:>12}", "", "after MD", "after KMC");
+    println!(
+        "{:>28} {:>12} {:>12}",
+        "clusters", rep.after_md_clusters.n_clusters, rep.after_kmc_clusters.n_clusters
+    );
+    println!(
+        "{:>28} {:>12} {:>12}",
+        "largest cluster", rep.after_md_clusters.largest, rep.after_kmc_clusters.largest
+    );
+    println!(
+        "{:>28} {:>12.2} {:>12.2}",
+        "mean cluster size", rep.after_md_clusters.mean_size, rep.after_kmc_clusters.mean_size
+    );
+    println!(
+        "{:>28} {:>12} {:>12}",
+        "clustered fraction",
+        fmt_pct(rep.after_md_clusters.clustered_fraction),
+        fmt_pct(rep.after_kmc_clusters.clustered_fraction)
+    );
+    println!(
+        "{:>28} {:>12.3} {:>12.3}",
+        "NN-dispersion ratio", rep.after_md_dispersion.ratio, rep.after_kmc_dispersion.ratio
+    );
+    println!(
+        "\ncluster-size histogram after MD:  {:?}",
+        size_histogram(&rep.after_md_clusters.sizes, 8)
+    );
+    println!(
+        "cluster-size histogram after KMC: {:?}",
+        size_histogram(&rep.after_kmc_clusters.sizes, 8)
+    );
+    let aggregated = rep.after_kmc_clusters.clustered_fraction
+        >= rep.after_md_clusters.clustered_fraction
+        && rep.after_kmc_clusters.largest >= rep.after_md_clusters.largest;
+    println!(
+        "\nvacancies more aggregative after KMC: {aggregated}   [paper: yes — \"several vacancy clusters are forming\"]"
+    );
+
+    // Point clouds (the two panels of Fig. 17).
+    let dir = results_dir();
+    write_points_csv(&dir.join("fig17_after_md.csv"), &rep.md_vacancy_points)
+        .expect("write after-MD cloud");
+    write_points_csv(&dir.join("fig17_after_kmc.csv"), &rep.kmc_vacancy_points)
+        .expect("write after-KMC cloud");
+    println!(
+        "point clouds: {} and {}",
+        dir.join("fig17_after_md.csv").display(),
+        dir.join("fig17_after_kmc.csv").display()
+    );
+
+    // The §3 time-rescaling arithmetic, both for this run and for the
+    // paper's exact configuration.
+    let this_run_days = rep.t_real_seconds / 86_400.0;
+    let paper_days = paper_configuration_days();
+    println!(
+        "\nt_real for this run's concentration: {this_run_days:.3} days \
+         (C_v^MC = {:.2e}, t_threshold = {:.1e})",
+        rep.after_kmc_clusters.n_points as f64 / (2.0 * cells.pow(3) as f64),
+        1.0e-5
+    );
+    println!(
+        "t_real with the paper's exact configuration (t_thr = 2e-4, C_v^MC = 2e-6, 600 K): \
+         {paper_days:.2} days   [paper: {} days]",
+        paper::HEADLINE_DAYS
+    );
+    let check = real_time_seconds(2.0e-4, 2.0e-6, E_VAC_FORMATION, 600.0) / 86_400.0;
+    assert!((check - paper_days).abs() < 1e-9);
+
+    emit_json(
+        "fig17.json",
+        &Fig17Result {
+            cells,
+            md_vacancies: rep.md_vacancies,
+            md_interstitials: rep.md_interstitials,
+            kmc_events: rep.kmc_events,
+            after_md_clusters: rep.after_md_clusters,
+            after_kmc_clusters: rep.after_kmc_clusters,
+            after_md_dispersion: rep.after_md_dispersion,
+            after_kmc_dispersion: rep.after_kmc_dispersion,
+            t_real_days_this_run: this_run_days,
+            t_real_days_paper_configuration: paper_days,
+            paper_days: paper::HEADLINE_DAYS,
+        },
+    );
+}

@@ -1,0 +1,167 @@
+//! Fluent builder over the coupled pipeline.
+
+use mmds_coupled::{CoupledConfig, CoupledReport, CoupledSimulation};
+use mmds_kmc::{ExchangeStrategy, OnDemandMode};
+
+/// A configured coupled damage simulation.
+pub struct DamageSimulation {
+    cfg: CoupledConfig,
+}
+
+/// Builder for [`DamageSimulation`].
+#[derive(Debug, Clone)]
+pub struct DamageSimulationBuilder {
+    cfg: CoupledConfig,
+}
+
+impl DamageSimulation {
+    /// Starts a builder with sensible (laptop-scale) defaults.
+    pub fn builder() -> DamageSimulationBuilder {
+        DamageSimulationBuilder {
+            cfg: CoupledConfig::default(),
+        }
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &CoupledConfig {
+        &self.cfg
+    }
+
+    /// Runs the full MD → KMC pipeline.
+    pub fn run(&self) -> CoupledReport {
+        CoupledSimulation::new(self.cfg).run()
+    }
+}
+
+impl DamageSimulationBuilder {
+    /// Box size in BCC cells per axis (atoms = 2·cells³).
+    pub fn cells(mut self, n: usize) -> Self {
+        self.cfg.cells = n;
+        self
+    }
+
+    /// Temperature (K) for both phases.
+    pub fn temperature(mut self, t: f64) -> Self {
+        self.cfg.md.temperature = t;
+        self.cfg.kmc.temperature = t;
+        self
+    }
+
+    /// Primary knock-on atom energy (eV).
+    pub fn pka_energy_ev(mut self, e: f64) -> Self {
+        self.cfg.pka_energy = e;
+        self
+    }
+
+    /// MD steps to run (Δt = 1 fs each by default).
+    pub fn md_steps(mut self, n: usize) -> Self {
+        self.cfg.md_steps = n;
+        self
+    }
+
+    /// KMC time threshold (the paper's t_threshold).
+    pub fn kmc_threshold(mut self, t: f64) -> Self {
+        self.cfg.kmc.t_threshold = t;
+        self
+    }
+
+    /// Caps KMC synchronisation cycles.
+    pub fn max_kmc_cycles(mut self, n: usize) -> Self {
+        self.cfg.max_kmc_cycles = n;
+        self
+    }
+
+    /// Seeds additional dispersed vacancies at the MD→KMC handoff,
+    /// standing in for the debris of the many other cascades a
+    /// full-scale irradiation run accumulates.
+    pub fn seeded_vacancy_concentration(mut self, c: f64) -> Self {
+        self.cfg.extra_vacancy_concentration = c;
+        self
+    }
+
+    /// Uses the traditional full-ghost exchange instead of on-demand.
+    pub fn traditional_exchange(mut self) -> Self {
+        self.cfg.strategy = ExchangeStrategy::Traditional;
+        self
+    }
+
+    /// Uses on-demand exchange (default; `one_sided` picks the variant).
+    pub fn on_demand_exchange(mut self, one_sided: bool) -> Self {
+        self.cfg.strategy = ExchangeStrategy::OnDemand(if one_sided {
+            OnDemandMode::OneSided
+        } else {
+            OnDemandMode::TwoSided
+        });
+        self
+    }
+
+    /// Interpolation-table knots for both phases (paper: 5000).
+    pub fn table_knots(mut self, n: usize) -> Self {
+        self.cfg.md.table_knots = n;
+        self.cfg.kmc.table_knots = n;
+        self
+    }
+
+    /// RNG seed for both phases.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.md.seed = s;
+        self.cfg.kmc.seed = s ^ 0xDA4A;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> DamageSimulation {
+        assert!(self.cfg.cells >= 6, "box must be at least 6 cells");
+        DamageSimulation { cfg: self.cfg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let sim = DamageSimulation::builder()
+            .cells(8)
+            .temperature(450.0)
+            .pka_energy_ev(123.0)
+            .md_steps(7)
+            .kmc_threshold(1e-6)
+            .table_knots(900)
+            .seed(42)
+            .traditional_exchange()
+            .build();
+        let c = sim.config();
+        assert_eq!(c.cells, 8);
+        assert_eq!(c.md.temperature, 450.0);
+        assert_eq!(c.kmc.temperature, 450.0);
+        assert_eq!(c.pka_energy, 123.0);
+        assert_eq!(c.md_steps, 7);
+        assert_eq!(c.kmc.t_threshold, 1e-6);
+        assert_eq!(c.md.table_knots, 900);
+        assert_eq!(c.strategy, ExchangeStrategy::Traditional);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 6 cells")]
+    fn tiny_box_rejected() {
+        DamageSimulation::builder().cells(2).build();
+    }
+
+    #[test]
+    fn end_to_end_smoke() {
+        let report = DamageSimulation::builder()
+            .cells(8)
+            .temperature(150.0)
+            .pka_energy_ev(200.0)
+            .md_steps(20)
+            .kmc_threshold(2.0e-7)
+            .max_kmc_cycles(40)
+            .table_knots(800)
+            .build()
+            .run();
+        assert!(report.md_vacancies > 0);
+        assert_eq!(report.after_kmc_clusters.n_points, report.md_vacancies);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mmds-core — metal microscopic damage simulation
+//!
+//! The top-level public API of the MMDS reproduction of *Massively
+//! Scaling the Metal Microscopic Damage Simulation on Sunway TaihuLight
+//! Supercomputer* (Li et al., ICPP 2018): a coupled MD-KMC pipeline for
+//! irradiation damage in BCC iron, together with every substrate the
+//! paper depends on (re-exported as modules).
+//!
+//! ```
+//! use mmds_core::DamageSimulation;
+//!
+//! let report = DamageSimulation::builder()
+//!     .cells(8)
+//!     .temperature(300.0)
+//!     .pka_energy_ev(200.0)
+//!     .md_steps(25)
+//!     .kmc_threshold(2.0e-7)
+//!     .build()
+//!     .run();
+//! assert!(report.md_vacancies > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+
+pub use builder::{DamageSimulation, DamageSimulationBuilder};
+
+/// Post-processing (clusters, dispersion, writers).
+pub use mmds_analysis as analysis;
+/// Coupled MD-KMC workflow internals.
+pub use mmds_coupled as coupled;
+/// EAM potentials and interpolation tables.
+pub use mmds_eam as eam;
+/// Kinetic Monte Carlo engine.
+pub use mmds_kmc as kmc;
+/// BCC lattice and the lattice neighbor list.
+pub use mmds_lattice as lattice;
+/// Molecular dynamics engine.
+pub use mmds_md as md;
+/// Paper-scale performance projection.
+pub use mmds_perfmodel as perfmodel;
+/// Sunway SW26010 core-group simulator.
+pub use mmds_sunway as sunway;
+/// Message-passing substrate.
+pub use mmds_swmpi as swmpi;
+
+pub use mmds_coupled::{CoupledConfig, CoupledReport};

@@ -1,0 +1,85 @@
+//! MD → KMC handoff.
+//!
+//! "MD outputs the coordinates of vacancy and the information of atoms,
+//! which are used as the input of KMC" (§2.2). The two engines share
+//! the global BCC lattice but use different ghost widths, so vacancies
+//! are carried across by *global cell coordinates*. Interstitials
+//! (run-away atoms) are dropped at the handoff: the AKMC model evolves
+//! vacancy transitions only (paper Fig. 1 discussion), the physical
+//! reading being that mobile interstitials escape or recombine during
+//! the MD thermal-relaxation phase.
+
+use mmds_kmc::lattice::KmcLattice;
+use mmds_kmc::SiteState;
+use mmds_lattice::LatticeNeighborList;
+
+/// Extracts the global (cell, basis) coordinates of every owned vacancy
+/// in an MD lattice.
+pub fn md_vacancy_cells(lnl: &LatticeNeighborList) -> Vec<([usize; 3], usize)> {
+    lnl.grid
+        .interior_ids()
+        .filter(|&s| lnl.is_vacancy(s))
+        .map(|s| {
+            let (i, j, k, b) = lnl.grid.decode(s);
+            (lnl.grid.global_cell(i, j, k), b)
+        })
+        .collect()
+}
+
+/// Stamps MD vacancies into a KMC lattice (which may have a different
+/// ghost width and even a different subdomain, as long as the global
+/// geometry matches). Returns how many were placed; vacancies outside
+/// this KMC rank's owned region are skipped (their owner places them).
+pub fn place_vacancies(kmc: &mut KmcLattice, cells: &[([usize; 3], usize)]) -> usize {
+    let mut placed = 0;
+    for &(g, b) in cells {
+        if let Some(s) = kmc.global_to_local(g, b) {
+            if kmc.is_owned(s) {
+                kmc.set_state(s, SiteState::Vacancy);
+                placed += 1;
+            }
+        }
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmds_lattice::{BccGeometry, LocalGrid};
+
+    #[test]
+    fn vacancies_carry_over_by_global_coordinates() {
+        let geom = BccGeometry::fe_cube(8);
+        let md_grid = LocalGrid::whole(geom, 2);
+        let mut lnl = LatticeNeighborList::perfect(md_grid, 5.0);
+        // Vacancies at known global cells.
+        for (i, j, k, b) in [(2usize, 3usize, 4usize, 0usize), (5, 5, 5, 1), (2, 2, 2, 0)] {
+            let s = lnl.grid.site_id(i, j, k, b);
+            lnl.make_vacancy(s);
+        }
+        let cells = md_vacancy_cells(&lnl);
+        assert_eq!(cells.len(), 3);
+        // KMC lattice with a *different* ghost width.
+        let kmc_grid = LocalGrid::whole(geom, 3);
+        let mut kmc = KmcLattice::all_fe(kmc_grid, 3.0);
+        let placed = place_vacancies(&mut kmc, &cells);
+        assert_eq!(placed, 3);
+        assert_eq!(kmc.n_vacancies(), 3);
+        // Spot-check one: MD storage (2,3,4) with ghost 2 is global
+        // (0,1,2) → KMC storage (3,4,5) with ghost 3.
+        let s = kmc.grid.site_id(3, 4, 5, 0);
+        assert_eq!(kmc.state[s], SiteState::Vacancy);
+    }
+
+    #[test]
+    fn out_of_domain_vacancies_are_skipped() {
+        let geom = BccGeometry::new(2.855, 8, 8, 8);
+        // KMC rank owning only the low-x half.
+        let kmc_grid = LocalGrid::new(geom, [0, 0, 0], [4, 8, 8], 3);
+        let mut kmc = KmcLattice::all_fe(kmc_grid, 3.0);
+        let cells = vec![([1usize, 1, 1], 0usize), ([6, 1, 1], 0)];
+        let placed = place_vacancies(&mut kmc, &cells);
+        assert_eq!(placed, 1, "only the owned-half vacancy is placed");
+    }
+}

@@ -1,0 +1,187 @@
+//! Domain-decomposed coupled MD-KMC (the Fig. 16 weak scaling study).
+
+use mmds_kmc::comm::CommK;
+use mmds_kmc::parallel::kmc_rank_grid;
+use mmds_kmc::{ExchangeStrategy, KmcConfig, KmcSimulation};
+use mmds_md::offload::OffloadConfig;
+use mmds_md::parallel::{offload_step, rank_grid};
+use mmds_md::{MdConfig, MdSimulation};
+use mmds_sunway::{CpeCluster, SwModel};
+use mmds_swmpi::topology::CartGrid;
+use mmds_swmpi::world::RankOutput;
+use mmds_swmpi::World;
+use serde::{Deserialize, Serialize};
+
+use crate::handoff::{md_vacancy_cells, place_vacancies};
+
+/// Parameters of a parallel coupled run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ParallelCoupledParams {
+    /// MD configuration.
+    pub md: MdConfig,
+    /// KMC configuration.
+    pub kmc: KmcConfig,
+    /// CPE offload configuration for the MD phase.
+    pub offload: OffloadConfig,
+    /// Global box (BCC cells per axis).
+    pub global_cells: [usize; 3],
+    /// MD steps.
+    pub md_steps: usize,
+    /// KMC synchronisation cycles.
+    pub kmc_cycles: usize,
+    /// PKA energy on rank 0 (eV); `None` seeds vacancies instead.
+    pub pka_energy: Option<f64>,
+    /// Seeded vacancy concentration when no PKA is used.
+    pub seed_concentration: f64,
+    /// KMC exchange strategy.
+    pub strategy: ExchangeStrategy,
+}
+
+/// Per-rank outcome of a coupled parallel run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CoupledRankSummary {
+    /// Vacancies after the MD phase.
+    pub md_vacancies: usize,
+    /// KMC events executed.
+    pub kmc_events: u64,
+    /// Final vacancies.
+    pub final_vacancies: usize,
+    /// Virtual seconds spent in the MD phase (compute + comm).
+    pub md_time: f64,
+    /// Virtual seconds spent in the KMC phase.
+    pub kmc_time: f64,
+}
+
+/// Runs the coupled pipeline over `ranks` ranks: parallel MD cascade,
+/// in-place handoff, parallel KMC.
+pub fn run_coupled_parallel(
+    world: &World,
+    ranks: usize,
+    params: &ParallelCoupledParams,
+) -> Vec<RankOutput<CoupledRankSummary>> {
+    let grid3 = CartGrid::for_ranks(ranks);
+    world.run(ranks, |comm| {
+        // ---- MD phase ------------------------------------------------
+        let mut md_cfg = params.md;
+        md_cfg.seed = params.md.rank_seed(comm.rank());
+        let grid = rank_grid(&md_cfg, params.global_cells, grid3, comm.rank());
+        let mut sim = MdSimulation::from_grid(md_cfg, grid);
+        sim.table_form = params.offload.form;
+        sim.init_velocities();
+        if let (Some(e), 0) = (params.pka_energy, comm.rank()) {
+            let g = sim.lnl.grid.ghost;
+            let c = [
+                g + sim.lnl.grid.len[0] / 2,
+                g + sim.lnl.grid.len[1] / 2,
+                g + sim.lnl.grid.len[2] / 2,
+            ];
+            let pka = sim.lnl.grid.site_id(c[0], c[1], c[2], 0);
+            mmds_md::cascade::launch_pka(
+                &mut sim.lnl,
+                pka,
+                e,
+                mmds_md::cascade::PKA_DIRECTION,
+                sim.mass,
+            );
+        }
+        let cluster = CpeCluster::new(SwModel::sw26010());
+        comm.reset_accounting();
+        {
+            let mut transport =
+                mmds_md::domain::CommTransport::new(comm, grid3);
+            for _ in 0..params.md_steps {
+                offload_step(&mut sim, comm, &mut transport, &cluster, &params.offload);
+            }
+        }
+        comm.barrier();
+        let md_time = comm.clock();
+        let vac_cells = md_vacancy_cells(&sim.lnl);
+        let md_vacancies = vac_cells.len();
+
+        // ---- Handoff + KMC phase --------------------------------------
+        let mut kmc_cfg = params.kmc;
+        kmc_cfg.seed = params.kmc.rank_seed(comm.rank());
+        let kgrid = kmc_rank_grid(&kmc_cfg, params.global_cells, grid3, comm.rank());
+        let mut kmc = KmcSimulation::new(kmc_cfg, kgrid);
+        place_vacancies(&mut kmc.lat, &vac_cells);
+        if params.pka_energy.is_none() {
+            let n = (params.seed_concentration * kmc.lat.n_owned() as f64).round() as usize;
+            kmc.lat.seed_vacancies(n, kmc_cfg.seed ^ 0xACE1);
+        }
+        let mut t = CommK::new(comm, grid3);
+        kmc.initialize(&mut t);
+        let kmc_events = kmc.run_cycles(params.strategy, &mut t, params.kmc_cycles);
+        comm.barrier();
+        let kmc_time = comm.clock() - md_time;
+
+        CoupledRankSummary {
+            md_vacancies,
+            kmc_events,
+            final_vacancies: kmc.lat.n_vacancies(),
+            md_time,
+            kmc_time,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmds_swmpi::{MachineModel, WorldConfig};
+
+    fn params() -> ParallelCoupledParams {
+        ParallelCoupledParams {
+            md: MdConfig {
+                temperature: 300.0,
+                thermostat_tau: Some(0.05),
+                table_knots: 1000,
+                ..Default::default()
+            },
+            kmc: KmcConfig {
+                table_knots: 800,
+                events_per_cycle: 1.0,
+                ..Default::default()
+            },
+            offload: OffloadConfig::optimized(),
+            global_cells: [12; 3],
+            md_steps: 2,
+            kmc_cycles: 4,
+            pka_energy: None,
+            seed_concentration: 0.003,
+            strategy: ExchangeStrategy::Traditional,
+        }
+    }
+
+    #[test]
+    fn coupled_pipeline_runs_on_two_ranks() {
+        let world = World::new(WorldConfig {
+            model: MachineModel::free(),
+            ..Default::default()
+        });
+        let out = run_coupled_parallel(&world, 2, &params());
+        let total_final: usize = out.iter().map(|r| r.result.final_vacancies).sum();
+        let events: u64 = out.iter().map(|r| r.result.kmc_events).sum();
+        assert!(total_final > 0, "seeded vacancies survive");
+        assert!(events > 0, "KMC hopped");
+        for r in &out {
+            assert!(r.result.md_time > 0.0);
+            assert!(r.result.kmc_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_accounting_grows_with_comm() {
+        let world = World::default_world();
+        let p = params();
+        let one = run_coupled_parallel(&world, 1, &p);
+        let mut p8 = p;
+        p8.global_cells = [24; 3]; // same cells per rank over 8 ranks
+        let eight = run_coupled_parallel(&world, 8, &p8);
+        let t1 = one[0].clock;
+        let t8 = eight.iter().map(|r| r.clock).fold(0.0, f64::max);
+        assert!(t8 > 0.0 && t1 > 0.0);
+        // Weak scaling: more ranks with the same per-rank work should
+        // not be faster.
+        assert!(t8 >= t1 * 0.8, "t1={t1}, t8={t8}");
+    }
+}

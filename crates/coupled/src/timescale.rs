@@ -1,0 +1,63 @@
+//! The MC → real time rescaling (paper §3, after Castin et al. \[2\]).
+
+use mmds_eam::units::{E_VAC_FORMATION, KB};
+
+/// Seconds per day.
+pub const DAY: f64 = 86_400.0;
+
+/// Equilibrium (real) vacancy concentration at temperature `t_kelvin`:
+/// `C_v^real = exp(−E_v⁺ / k_B T)`.
+pub fn real_vacancy_concentration(e_formation_ev: f64, t_kelvin: f64) -> f64 {
+    (-e_formation_ev / (KB * t_kelvin)).exp()
+}
+
+/// The paper's rescaling: `t_real = t_threshold · C_v^MC / C_v^real`.
+pub fn real_time_seconds(
+    t_threshold: f64,
+    c_v_mc: f64,
+    e_formation_ev: f64,
+    t_kelvin: f64,
+) -> f64 {
+    t_threshold * c_v_mc / real_vacancy_concentration(e_formation_ev, t_kelvin)
+}
+
+/// The paper's §3 configuration evaluated with the default Fe vacancy
+/// formation energy: returns days of physical time.
+pub fn paper_configuration_days() -> f64 {
+    real_time_seconds(2.0e-4, 2.0e-6, E_VAC_FORMATION, 600.0) / DAY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic_gives_19_2_days() {
+        // §3: "the temporal scale t_real is equal to 19.2 days."
+        let days = paper_configuration_days();
+        assert!(
+            (days - 19.2).abs() / 19.2 < 0.02,
+            "t_real = {days:.2} days (paper: 19.2)"
+        );
+    }
+
+    #[test]
+    fn hotter_means_shorter_equivalent_time() {
+        let cold = real_time_seconds(2.0e-4, 2.0e-6, E_VAC_FORMATION, 500.0);
+        let hot = real_time_seconds(2.0e-4, 2.0e-6, E_VAC_FORMATION, 700.0);
+        assert!(cold > hot, "equilibrium C_v rises with T ⇒ t_real falls");
+    }
+
+    #[test]
+    fn proportional_to_mc_concentration() {
+        let a = real_time_seconds(2.0e-4, 2.0e-6, E_VAC_FORMATION, 600.0);
+        let b = real_time_seconds(2.0e-4, 4.0e-6, E_VAC_FORMATION, 600.0);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_is_tiny_at_600k() {
+        let c = real_vacancy_concentration(E_VAC_FORMATION, 600.0);
+        assert!(c > 0.0 && c < 1e-12, "C_v^real = {c:e}");
+    }
+}

@@ -1,0 +1,322 @@
+//! Analytic EAM functional forms.
+//!
+//! The paper uses a fitted Fe EAM potential (Daw & Baskes form \[4\]) that
+//! we do not have. These analytic substitutes — Morse pair term,
+//! exponential electron density, Finnis–Sinclair-style embedding with a
+//! quadratic correction — are smooth, short-ranged and attract atoms to
+//! the BCC lattice, which is all the paper's *scaling* machinery needs.
+//! All functions and their first derivatives are C¹ thanks to a quintic
+//! switching window `[r_switch, r_cut]`.
+
+use serde::{Deserialize, Serialize};
+
+/// Atomic species supported by the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Species {
+    /// Iron (the paper's main material).
+    Fe,
+    /// Copper (for the Fe–Cu alloy path of §2.1.2).
+    Cu,
+}
+
+impl Species {
+    /// Atomic mass in amu.
+    pub fn mass(&self) -> f64 {
+        match self {
+            Species::Fe => crate::units::MASS_FE,
+            Species::Cu => crate::units::MASS_CU,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Species::Fe => "Fe",
+            Species::Cu => "Cu",
+        }
+    }
+}
+
+/// Quintic switching function: 1 at `x=0`, 0 at `x=1`, with zero first
+/// and second derivatives at both ends.
+fn switch(x: f64) -> f64 {
+    if x <= 0.0 {
+        1.0
+    } else if x >= 1.0 {
+        0.0
+    } else {
+        1.0 - x * x * x * (10.0 - 15.0 * x + 6.0 * x * x)
+    }
+}
+
+/// Derivative of [`switch`] with respect to `x`.
+fn dswitch(x: f64) -> f64 {
+    if x <= 0.0 || x >= 1.0 {
+        0.0
+    } else {
+        -30.0 * x * x * (1.0 - x) * (1.0 - x)
+    }
+}
+
+/// One species' (or species pair's) analytic EAM parameter set.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AnalyticEam {
+    /// Morse well depth D (eV).
+    pub d: f64,
+    /// Morse width α (1/Å).
+    pub alpha: f64,
+    /// Morse equilibrium distance r₀ (Å).
+    pub r0: f64,
+    /// Density amplitude f_e.
+    pub fe: f64,
+    /// Density decay β (1/Å).
+    pub beta: f64,
+    /// Density reference radius (Å).
+    pub rd: f64,
+    /// Embedding √-term coefficient A (eV): F(ρ) = −A√ρ + B·ρ².
+    pub embed_a: f64,
+    /// Embedding quadratic coefficient B (eV).
+    pub embed_b: f64,
+    /// Switching window start (Å).
+    pub r_switch: f64,
+    /// Cutoff radius (Å).
+    pub r_cut: f64,
+}
+
+impl AnalyticEam {
+    /// Iron parameters (BCC, a₀ = 2.855 Å, 1NN = 2.472 Å).
+    pub fn fe() -> Self {
+        Self {
+            d: 0.42,
+            alpha: 1.42,
+            r0: 2.55,
+            fe: 1.0,
+            beta: 1.8,
+            rd: 2.4724,
+            embed_a: 1.85,
+            embed_b: 0.006,
+            r_switch: 4.1,
+            r_cut: 5.0,
+        }
+    }
+
+    /// Copper parameters (as a substitutional solute on the BCC grid).
+    ///
+    /// Density and embedding match iron's: in this simplified alloy
+    /// model the chemical difference is carried entirely by the pair
+    /// term (an Ising-on-EAM picture). This keeps vacancy–Cu binding
+    /// mildly *attractive* (~0.1 eV, as in real Fe–Cu, where vacancies
+    /// are the solute transport vehicle) while the scaled mixed pair
+    /// term provides the positive heat of mixing that drives
+    /// precipitation.
+    pub fn cu() -> Self {
+        let fe = Self::fe();
+        Self {
+            d: 0.36,
+            alpha: 1.35,
+            r0: 2.60,
+            fe: fe.fe,
+            beta: fe.beta,
+            rd: fe.rd,
+            embed_a: fe.embed_a,
+            embed_b: fe.embed_b,
+            r_switch: 4.1,
+            r_cut: 5.0,
+        }
+    }
+
+    /// Mixed Fe–Cu pair interaction: Lorentz–Berthelot mixing with the
+    /// well depth scaled by 0.85 to give the **positive heat of mixing**
+    /// that real Fe–Cu has — the thermodynamic driver of Cu
+    /// precipitation in α-Fe (Castin et al. \[2\], the paper's source for
+    /// the time-rescaling formula).
+    pub fn fe_cu() -> Self {
+        let fe = Self::fe();
+        let cu = Self::cu();
+        Self {
+            d: 0.85 * (fe.d * cu.d).sqrt(),
+            alpha: 0.5 * (fe.alpha + cu.alpha),
+            r0: 0.5 * (fe.r0 + cu.r0),
+            fe: (fe.fe * cu.fe).sqrt(),
+            beta: 0.5 * (fe.beta + cu.beta),
+            rd: 0.5 * (fe.rd + cu.rd),
+            embed_a: 0.5 * (fe.embed_a + cu.embed_a),
+            embed_b: 0.5 * (fe.embed_b + cu.embed_b),
+            r_switch: 4.1,
+            r_cut: 5.0,
+        }
+    }
+
+    /// Parameters for a species pair.
+    pub fn for_pair(a: Species, b: Species) -> Self {
+        match (a, b) {
+            (Species::Fe, Species::Fe) => Self::fe(),
+            (Species::Cu, Species::Cu) => Self::cu(),
+            _ => Self::fe_cu(),
+        }
+    }
+
+    fn sw(&self, r: f64) -> f64 {
+        switch((r - self.r_switch) / (self.r_cut - self.r_switch))
+    }
+
+    fn dsw(&self, r: f64) -> f64 {
+        dswitch((r - self.r_switch) / (self.r_cut - self.r_switch))
+            / (self.r_cut - self.r_switch)
+    }
+
+    /// Pair potential φ(r) (eV).
+    pub fn phi(&self, r: f64) -> f64 {
+        if r >= self.r_cut {
+            return 0.0;
+        }
+        let e = (-self.alpha * (r - self.r0)).exp();
+        self.d * (e * e - 2.0 * e) * self.sw(r)
+    }
+
+    /// dφ/dr (eV/Å).
+    pub fn dphi(&self, r: f64) -> f64 {
+        if r >= self.r_cut {
+            return 0.0;
+        }
+        let e = (-self.alpha * (r - self.r0)).exp();
+        let raw = self.d * (e * e - 2.0 * e);
+        let draw = self.d * (-2.0 * self.alpha) * (e * e - e);
+        draw * self.sw(r) + raw * self.dsw(r)
+    }
+
+    /// Electron density contribution f(r).
+    pub fn density(&self, r: f64) -> f64 {
+        if r >= self.r_cut {
+            return 0.0;
+        }
+        self.fe * (-self.beta * (r - self.rd)).exp() * self.sw(r)
+    }
+
+    /// df/dr.
+    pub fn ddensity(&self, r: f64) -> f64 {
+        if r >= self.r_cut {
+            return 0.0;
+        }
+        let raw = self.fe * (-self.beta * (r - self.rd)).exp();
+        -self.beta * raw * self.sw(r) + raw * self.dsw(r)
+    }
+
+    /// Embedding energy F(ρ) (eV).
+    pub fn embed(&self, rho: f64) -> f64 {
+        debug_assert!(rho >= 0.0, "negative electron density");
+        -self.embed_a * rho.sqrt() + self.embed_b * rho * rho
+    }
+
+    /// dF/dρ.
+    pub fn dembed(&self, rho: f64) -> f64 {
+        if rho <= 0.0 {
+            // F'(0⁺) diverges; clamp like production EAM codes do.
+            return 0.0;
+        }
+        -0.5 * self.embed_a / rho.sqrt() + 2.0 * self.embed_b * rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn switching_endpoints() {
+        assert_eq!(switch(-0.1), 1.0);
+        assert_eq!(switch(0.0), 1.0);
+        assert_eq!(switch(1.0), 0.0);
+        assert_eq!(switch(1.1), 0.0);
+        assert!((switch(0.5) - 0.5).abs() < 1e-12);
+        assert!(dswitch(0.0).abs() < 1e-12);
+        assert!(dswitch(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_vanishes_at_cutoff() {
+        let p = AnalyticEam::fe();
+        assert_eq!(p.phi(p.r_cut), 0.0);
+        assert_eq!(p.phi(p.r_cut + 1.0), 0.0);
+        assert!(p.phi(p.r_cut - 1e-4).abs() < 1e-6, "C¹ approach to zero");
+    }
+
+    #[test]
+    fn phi_has_attractive_well() {
+        let p = AnalyticEam::fe();
+        // Minimum near r0, negative there, strongly repulsive at short r.
+        assert!(p.phi(p.r0) < 0.0);
+        assert!(p.phi(1.6) > 0.0);
+        assert!(p.phi(p.r0) < p.phi(p.r0 + 0.5));
+        assert!(p.phi(p.r0) < p.phi(p.r0 - 0.4));
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        let p = AnalyticEam::fe();
+        for &r in &[1.9, 2.2, 2.4724, 2.855, 3.5, 4.3, 4.8] {
+            let nd = numeric_derivative(|x| p.phi(x), r);
+            assert!(
+                (p.dphi(r) - nd).abs() < 1e-5,
+                "dphi at {r}: {} vs {nd}",
+                p.dphi(r)
+            );
+            let nf = numeric_derivative(|x| p.density(x), r);
+            assert!(
+                (p.ddensity(r) - nf).abs() < 1e-5,
+                "ddensity at {r}: {} vs {nf}",
+                p.ddensity(r)
+            );
+        }
+        for &rho in &[0.5, 1.0, 3.0, 8.0] {
+            let ne = numeric_derivative(|x| p.embed(x), rho);
+            assert!((p.dembed(rho) - ne).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn density_positive_and_decaying() {
+        let p = AnalyticEam::fe();
+        assert!(p.density(2.0) > p.density(3.0));
+        assert!(p.density(3.0) > p.density(4.5));
+        assert!(p.density(4.5) > 0.0);
+        assert_eq!(p.density(5.5), 0.0);
+    }
+
+    #[test]
+    fn embedding_has_minimum_at_positive_rho() {
+        let p = AnalyticEam::fe();
+        // F'(ρ*) = 0 at ρ* = (A/4B)^{2/3}; F decreasing before, increasing after.
+        let rho_star = (p.embed_a / (4.0 * p.embed_b)).powf(2.0 / 3.0);
+        assert!(p.dembed(rho_star * 0.5) < 0.0);
+        assert!(p.dembed(rho_star * 2.0) > 0.0);
+        assert!(p.dembed(rho_star).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixing_has_positive_heat_of_mixing() {
+        // Fe–Cu demixes: the mixed bond is weaker than both pure bonds,
+        // so 2·E(FeCu) > E(FeFe) + E(CuCu) (pair energies are negative).
+        let fe = AnalyticEam::fe();
+        let cu = AnalyticEam::cu();
+        let mix = AnalyticEam::fe_cu();
+        assert!(mix.d < cu.d.min(fe.d), "mixed well must be the shallowest");
+        let r = 2.5;
+        assert!(2.0 * mix.phi(r) > fe.phi(r) + cu.phi(r));
+        assert_eq!(
+            AnalyticEam::for_pair(Species::Fe, Species::Cu).d,
+            AnalyticEam::for_pair(Species::Cu, Species::Fe).d
+        );
+    }
+
+    #[test]
+    fn species_metadata() {
+        assert_eq!(Species::Fe.name(), "Fe");
+        assert!(Species::Cu.mass() > Species::Fe.mass());
+    }
+}

@@ -1,0 +1,215 @@
+//! Compacted interpolation tables (the paper's contribution #2).
+//!
+//! §2.1.2: *"we use a compacted interpolation table, of which size is
+//! only 39 KB (1/7 of the traditional table). The compacted interpolation
+//! table contains the values of 5000 sampling points ... all the values
+//! in the traditional table can be calculated on the fly using the
+//! compacted table and a specific interpolation formula"* (Fig. 5):
+//!
+//! ```text
+//! L[5,2] = ( S[0] − S[4] + 8·(S[3] − S[1]) ) / 12
+//! ```
+//!
+//! which is the classic 5-point central difference for the first
+//! derivative at a knot. We reconstruct knot derivatives with that
+//! stencil and evaluate the segment with a cubic Hermite polynomial —
+//! trading ~3× more flops per access for a table that *fits in the 64 KB
+//! local store*, the trade the paper shows wins decisively (Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Extra scalar flops per table access paid for on-the-fly coefficient
+/// reconstruction (5-point stencil ×2 knots + Hermite combination),
+/// compared with [`crate::spline::TraditionalTable`] direct evaluation.
+/// Used by the CPE cost accounting.
+pub const RECON_EXTRA_FLOPS: u64 = 28;
+
+/// A compacted table: sample values only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompactTable {
+    /// First knot abscissa.
+    pub x0: f64,
+    /// Knot spacing.
+    pub dx: f64,
+    /// The `n` sample values `S[i] = f(x0 + i·dx)`.
+    pub values: Vec<f64>,
+}
+
+impl CompactTable {
+    /// Samples `f` at `n` equally spaced knots over `[x0, x1]`.
+    pub fn build(f: impl Fn(f64) -> f64, x0: f64, x1: f64, n: usize) -> Self {
+        assert!(n >= 6, "5-point stencil needs at least 6 knots");
+        assert!(x1 > x0);
+        let dx = (x1 - x0) / (n - 1) as f64;
+        let values = (0..n).map(|i| f(x0 + i as f64 * dx)).collect();
+        Self { x0, dx, values }
+    }
+
+    /// Number of knots.
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Last covered abscissa.
+    pub fn x_max(&self) -> f64 {
+        self.x0 + (self.n() - 1) as f64 * self.dx
+    }
+
+    /// Size in bytes — `n × 8`; 39.1 KiB for the paper's n = 5000,
+    /// small enough to sit resident in a CPE local store.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+
+    /// Knot derivative via the paper's 5-point formula (one-sided stencils
+    /// of the same order near the boundaries).
+    #[inline]
+    fn knot_deriv(values: &[f64], i: usize, dx: f64) -> f64 {
+        let n = values.len();
+        if i >= 2 && i + 2 < n {
+            // (S[i-2] − S[i+2] + 8·(S[i+1] − S[i-1])) / 12  — Fig. 5.
+            (values[i - 2] - values[i + 2] + 8.0 * (values[i + 1] - values[i - 1]))
+                / (12.0 * dx)
+        } else if i == 0 {
+            (-3.0 * values[0] + 4.0 * values[1] - values[2]) / (2.0 * dx)
+        } else if i == 1 {
+            (values[2] - values[0]) / (2.0 * dx)
+        } else if i + 2 == n {
+            (values[n - 1] - values[n - 3]) / (2.0 * dx)
+        } else {
+            (3.0 * values[n - 1] - 4.0 * values[n - 2] + values[n - 3]) / (2.0 * dx)
+        }
+    }
+
+    /// Segment index and local coordinate for `x` (clamped to range).
+    #[inline]
+    pub fn locate(&self, x: f64) -> (usize, f64) {
+        let u = ((x - self.x0) / self.dx).max(0.0);
+        let max_seg = self.values.len() - 2;
+        let i = (u as usize).min(max_seg);
+        let t = (u - i as f64).clamp(0.0, 1.0);
+        (i, t)
+    }
+
+    /// Value and derivative at `x`, reconstructed on the fly. This is
+    /// the method CPE kernels call against a **slice** so the table can
+    /// live either in local store or main memory.
+    #[inline]
+    pub fn eval_slice(values: &[f64], x0: f64, dx: f64, x: f64) -> (f64, f64) {
+        let u = ((x - x0) / dx).max(0.0);
+        let max_seg = values.len() - 2;
+        let i = (u as usize).min(max_seg);
+        let t = (u - i as f64).clamp(0.0, 1.0);
+        let y0 = values[i];
+        let y1 = values[i + 1];
+        let d0 = Self::knot_deriv(values, i, dx) * dx;
+        let d1 = Self::knot_deriv(values, i + 1, dx) * dx;
+        // Cubic Hermite on [0,1].
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        let value = h00 * y0 + h10 * d0 + h01 * y1 + h11 * d1;
+        let dh00 = 6.0 * t2 - 6.0 * t;
+        let dh10 = 3.0 * t2 - 4.0 * t + 1.0;
+        let dh01 = -6.0 * t2 + 6.0 * t;
+        let dh11 = 3.0 * t2 - 2.0 * t;
+        let deriv = (dh00 * y0 + dh10 * d0 + dh01 * y1 + dh11 * d1) / dx;
+        (value, deriv)
+    }
+
+    /// Value and derivative at `x` from this owned table.
+    #[inline]
+    pub fn eval_both(&self, x: f64) -> (f64, f64) {
+        Self::eval_slice(&self.values, self.x0, self.dx, x)
+    }
+
+    /// Value at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.eval_both(x).0
+    }
+
+    /// Derivative at `x`.
+    #[inline]
+    pub fn eval_deriv(&self, x: f64) -> f64 {
+        self.eval_both(x).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spline::{TraditionalTable, PAPER_TABLE_N};
+
+    #[test]
+    fn paper_table_is_39kb() {
+        let t = CompactTable::build(|x| x, 0.0, 1.0, PAPER_TABLE_N);
+        assert_eq!(t.memory_bytes(), 40_000);
+        assert!((t.memory_bytes() as f64 / 1024.0 - 39.06).abs() < 0.1);
+        // And it fits where the traditional table does not.
+        assert!(t.memory_bytes() < 64 * 1024);
+        let trad = TraditionalTable::build(|x| x, 0.0, 1.0, PAPER_TABLE_N);
+        assert!(trad.memory_bytes() > 64 * 1024);
+        assert_eq!(trad.memory_bytes(), 7 * t.memory_bytes());
+    }
+
+    #[test]
+    fn exact_on_cubic() {
+        // Hermite with 4th-order-accurate knot slopes is exact on cubics.
+        let f = |x: f64| 2.0 * x * x * x - x * x + 3.0;
+        let t = CompactTable::build(f, 0.0, 2.0, 40);
+        for i in 0..50 {
+            let x = 0.15 + i as f64 * 0.035;
+            let (v, d) = t.eval_both(x);
+            assert!((v - f(x)).abs() < 1e-9, "value at {x}: {v}");
+            let df = 6.0 * x * x - 2.0 * x;
+            assert!((d - df).abs() < 1e-7, "deriv at {x}: {d} vs {df}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_traditional_table() {
+        let f = |x: f64| (1.3 * x).sin() * (-0.4 * x).exp() + 0.1 * x;
+        let trad = TraditionalTable::build(f, 0.5, 5.0, PAPER_TABLE_N);
+        let comp = CompactTable::build(f, 0.5, 5.0, PAPER_TABLE_N);
+        for i in 0..500 {
+            let x = 0.5 + 4.5 * (i as f64 + 0.37) / 500.0;
+            let (tv, td) = trad.eval_both(x);
+            let (cv, cd) = comp.eval_both(x);
+            assert!((tv - cv).abs() < 1e-9, "value mismatch at {x}");
+            assert!((td - cd).abs() < 1e-5, "deriv mismatch at {x}");
+        }
+    }
+
+    #[test]
+    fn boundary_stencils_reasonable() {
+        let f = |x: f64| x.exp();
+        let t = CompactTable::build(f, 0.0, 1.0, 100);
+        // First and last segments still approximate well.
+        let (v, d) = t.eval_both(0.003);
+        assert!((v - f(0.003)).abs() < 1e-6);
+        assert!((d - f(0.003)).abs() < 1e-3);
+        let (v, d) = t.eval_both(0.997);
+        assert!((v - f(0.997)).abs() < 1e-6);
+        assert!((d - f(0.997)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = CompactTable::build(|x| x, 1.0, 2.0, 64);
+        assert!((t.eval(0.5) - 1.0).abs() < 1e-9);
+        assert!((t.eval(3.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_slice_matches_owned() {
+        let t = CompactTable::build(|x| x * x, 0.0, 3.0, 128);
+        let (v1, d1) = t.eval_both(1.718);
+        let (v2, d2) = CompactTable::eval_slice(&t.values, t.x0, t.dx, 1.718);
+        assert_eq!(v1, v2);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # mmds-eam — Embedded-Atom Method potential substrate
+//!
+//! The paper's core computation (for both MD and KMC) is EAM potential
+//! evaluation, Eq. (1)–(3):
+//!
+//! ```text
+//! E_total = Σ e_i + Σ F(ρ_i)
+//! e_i     = ½ Σ_{j≠i} φ_ij(r_ij)       (pair potential)
+//! ρ_i     = Σ_{j≠i} f_ij(r_ij)         (electron cloud density)
+//! ```
+//!
+//! evaluated through **cubic-spline interpolation tables** (§2.1.2). We
+//! do not have the authors' fitted Fe potential file, so [`analytic`]
+//! provides smooth analytic forms with physically reasonable Fe and Cu
+//! constants; the *table machinery* — the part the paper optimises — is
+//! reproduced exactly:
+//!
+//! * [`spline::TraditionalTable`]: the 5000×7 coefficient layout used by
+//!   LAMMPS/CoMD (columns 0–2 derivative coefficients, 3–6 cubic
+//!   coefficients) — 273 KiB, exceeding the 64 KB CPE local store.
+//! * [`compact::CompactTable`]: the paper's compacted layout — the 5000
+//!   sample values only (39 KiB), with coefficients reconstructed on the
+//!   fly via the 5-point formula of Fig. 5:
+//!   `L[5,2] = (S[0] − S[4] + 8·(S[3] − S[1]))/12`.
+//! * [`alloy`]: Fe–Cu alloy table sets (φ for Fe-Fe/Cu-Cu/Fe-Cu, etc.)
+//!   and the local-store placement policy of §2.1.2 (the most abundant
+//!   species' tables go resident; the rest stay in main memory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloy;
+pub mod analytic;
+pub mod compact;
+pub mod potential;
+pub mod spline;
+pub mod units;
+
+pub use alloy::{AlloyEam, LdmPlacement};
+pub use analytic::{AnalyticEam, Species};
+pub use compact::CompactTable;
+pub use potential::{EamPotential, TableForm};
+pub use spline::TraditionalTable;

@@ -1,0 +1,198 @@
+//! A complete single-species EAM potential with all three table forms.
+//!
+//! Both MD and KMC access the potential exclusively through the three
+//! interpolation tables (pair, density, embedding — §2.1.2); the
+//! analytic functions exist only to *generate* the tables and for
+//! accuracy tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analytic::{AnalyticEam, Species};
+use crate::compact::CompactTable;
+use crate::spline::{TraditionalTable, PAPER_TABLE_N};
+
+/// Which table machinery evaluates the potential — the Fig. 9 ablation
+/// axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableForm {
+    /// 5000×7 coefficient rows; too large for the CPE local store, so a
+    /// CPE pays one DMA row-fetch per neighbour per table.
+    Traditional,
+    /// 5000 sample values; local-store resident, coefficients
+    /// reconstructed on the fly.
+    Compacted,
+}
+
+/// The three tables of one species (or species pair): pair potential
+/// φ(r), electron density f(r), and embedding F(ρ).
+#[derive(Debug, Clone)]
+pub struct EamPotential {
+    /// Which species this parameterisation describes.
+    pub species: Species,
+    /// Analytic source functions.
+    pub analytic: AnalyticEam,
+    /// Traditional tables: `[pair, density, embedding]`.
+    pub trad_pair: TraditionalTable,
+    /// Traditional electron-density table.
+    pub trad_density: TraditionalTable,
+    /// Traditional embedding table (domain is ρ, not r).
+    pub trad_embed: TraditionalTable,
+    /// Compacted pair table.
+    pub comp_pair: CompactTable,
+    /// Compacted density table.
+    pub comp_density: CompactTable,
+    /// Compacted embedding table.
+    pub comp_embed: CompactTable,
+}
+
+/// Inner edge of the tabulated r-domain (Å); below this the potential is
+/// clamped (standard practice — cascades rarely probe r < 1 Å at the
+/// energies we scale to).
+pub const R_MIN: f64 = 1.0;
+
+/// Upper edge of the tabulated ρ-domain; generous multiple of the
+/// equilibrium BCC density.
+pub const RHO_MAX: f64 = 60.0;
+
+impl EamPotential {
+    /// Builds the full table set for `species` with `n` knots per table.
+    pub fn new(species: Species, n: usize) -> Self {
+        let analytic = match species {
+            Species::Fe => AnalyticEam::fe(),
+            Species::Cu => AnalyticEam::cu(),
+        };
+        Self::from_analytic(species, analytic, n)
+    }
+
+    /// Builds the paper-sized (5000-knot) Fe potential.
+    pub fn fe() -> Self {
+        Self::new(Species::Fe, PAPER_TABLE_N)
+    }
+
+    /// Builds tables from an explicit analytic parameter set (used for
+    /// mixed Fe–Cu pair tables too).
+    pub fn from_analytic(species: Species, analytic: AnalyticEam, n: usize) -> Self {
+        let rc = analytic.r_cut;
+        Self {
+            species,
+            analytic,
+            trad_pair: TraditionalTable::build(|r| analytic.phi(r), R_MIN, rc, n),
+            trad_density: TraditionalTable::build(|r| analytic.density(r), R_MIN, rc, n),
+            trad_embed: TraditionalTable::build(|rho| analytic.embed(rho), 0.0, RHO_MAX, n),
+            comp_pair: CompactTable::build(|r| analytic.phi(r), R_MIN, rc, n),
+            comp_density: CompactTable::build(|r| analytic.density(r), R_MIN, rc, n),
+            comp_embed: CompactTable::build(|rho| analytic.embed(rho), 0.0, RHO_MAX, n),
+        }
+    }
+
+    /// Cutoff radius (Å).
+    pub fn cutoff(&self) -> f64 {
+        self.analytic.r_cut
+    }
+
+    /// φ(r) and φ'(r) via the chosen table form.
+    #[inline]
+    pub fn pair(&self, form: TableForm, r: f64) -> (f64, f64) {
+        match form {
+            TableForm::Traditional => self.trad_pair.eval_both(r),
+            TableForm::Compacted => self.comp_pair.eval_both(r),
+        }
+    }
+
+    /// f(r) and f'(r) via the chosen table form.
+    #[inline]
+    pub fn density(&self, form: TableForm, r: f64) -> (f64, f64) {
+        match form {
+            TableForm::Traditional => self.trad_density.eval_both(r),
+            TableForm::Compacted => self.comp_density.eval_both(r),
+        }
+    }
+
+    /// F(ρ) and F'(ρ) via the chosen table form.
+    #[inline]
+    pub fn embed(&self, form: TableForm, rho: f64) -> (f64, f64) {
+        match form {
+            TableForm::Traditional => self.trad_embed.eval_both(rho),
+            TableForm::Compacted => self.comp_embed.eval_both(rho),
+        }
+    }
+
+    /// Total bytes of the three tables in the given form — what a CPE
+    /// would need to hold them resident.
+    pub fn table_bytes(&self, form: TableForm) -> usize {
+        match form {
+            TableForm::Traditional => {
+                self.trad_pair.memory_bytes()
+                    + self.trad_density.memory_bytes()
+                    + self.trad_embed.memory_bytes()
+            }
+            TableForm::Compacted => {
+                self.comp_pair.memory_bytes()
+                    + self.comp_density.memory_bytes()
+                    + self.comp_embed.memory_bytes()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe_small() -> EamPotential {
+        EamPotential::new(Species::Fe, 1200)
+    }
+
+    #[test]
+    fn tables_match_analytic() {
+        let p = fe_small();
+        for i in 0..60 {
+            let r = 1.2 + i as f64 * 0.06;
+            let (phi_t, dphi_t) = p.pair(TableForm::Traditional, r);
+            let (phi_c, dphi_c) = p.pair(TableForm::Compacted, r);
+            assert!((phi_t - p.analytic.phi(r)).abs() < 1e-6, "trad phi at {r}");
+            assert!((phi_c - p.analytic.phi(r)).abs() < 1e-6, "comp phi at {r}");
+            assert!((dphi_t - p.analytic.dphi(r)).abs() < 1e-3);
+            assert!((dphi_c - p.analytic.dphi(r)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn forms_agree_with_each_other_tightly() {
+        let p = fe_small();
+        for i in 0..200 {
+            let r = 1.05 + i as f64 * 0.019;
+            let (vt, dt) = p.density(TableForm::Traditional, r);
+            let (vc, dc) = p.density(TableForm::Compacted, r);
+            assert!((vt - vc).abs() < 1e-7, "density value at {r}");
+            assert!((dt - dc).abs() < 1e-4, "density deriv at {r}");
+        }
+    }
+
+    #[test]
+    fn embedding_domain_covers_bcc_density() {
+        let p = fe_small();
+        // Equilibrium BCC Fe: 8 1NN + 6 2NN contributions.
+        let a = p.analytic;
+        let rho_eq = 8.0 * a.density(2.4724) + 6.0 * a.density(2.855);
+        assert!(rho_eq < RHO_MAX / 2.0, "rho_eq = {rho_eq}");
+        let (f_val, _) = p.embed(TableForm::Compacted, rho_eq);
+        assert!((f_val - a.embed(rho_eq)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_sized_table_budget() {
+        let p = EamPotential::fe();
+        // Traditional: 3 × 273 KiB ≫ 64 KB; compacted: 3 × 39 KiB ≈ 117 KiB
+        // (only the r-indexed pair+density tables plus embedding — the
+        // paper loads the compacted tables of ONE element, 39 KB each, and
+        // our MD kernel stages them one at a time or merged; see md::offload).
+        assert!(p.table_bytes(TableForm::Traditional) > 3 * 64 * 1024);
+        assert_eq!(p.table_bytes(TableForm::Compacted), 3 * 40_000);
+    }
+
+    #[test]
+    fn cutoff_reported() {
+        assert_eq!(EamPotential::fe().cutoff(), 5.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Traditional cubic-spline interpolation tables (LAMMPS/CoMD layout).
+//!
+//! The paper, §2.1.2: *"Each traditional interpolation table is a 5000×7
+//! 2D array ... the columns 3–6 are the coefficients of a cubic function
+//! and the columns 0–2 are the coefficients of its derivative function
+//! ... The size of each traditional interpolation table is about 273 KB,
+//! which exceeds the size of local store (64 KB)."*
+//!
+//! With `N = 5000` knots of `f64` rows this layout is `5000·7·8 B =
+//! 273.4 KiB` — exactly the paper's number — while the compacted form
+//! ([`crate::compact::CompactTable`]) is `5000·8 B = 39.1 KiB`.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of knots used by the paper's tables.
+pub const PAPER_TABLE_N: usize = 5000;
+
+/// A natural cubic spline in the traditional 7-column coefficient form.
+///
+/// Row `i` covers `x ∈ [x0 + i·dx, x0 + (i+1)·dx)` with local coordinate
+/// `t ∈ [0,1)`:
+///
+/// * value:      `((c3·t + c4)·t + c5)·t + c6`
+/// * derivative: `((c0·t + c1)·t + c2) ` (already divided by `dx`)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraditionalTable {
+    /// First knot abscissa.
+    pub x0: f64,
+    /// Knot spacing.
+    pub dx: f64,
+    /// `n` rows of `[c0..c6]` (row `n-1` duplicates `n-2` as padding, so
+    /// the array is exactly n×7 like the paper's).
+    pub coeff: Vec<[f64; 7]>,
+}
+
+impl TraditionalTable {
+    /// Builds a table by sampling `f` at `n` equally spaced knots over
+    /// `[x0, x1]` and fitting a natural cubic spline.
+    pub fn build(f: impl Fn(f64) -> f64, x0: f64, x1: f64, n: usize) -> Self {
+        assert!(n >= 4, "need at least 4 knots");
+        assert!(x1 > x0);
+        let dx = (x1 - x0) / (n - 1) as f64;
+        let ys: Vec<f64> = (0..n).map(|i| f(x0 + i as f64 * dx)).collect();
+        Self::from_samples(x0, dx, &ys)
+    }
+
+    /// Builds the spline from pre-computed samples.
+    pub fn from_samples(x0: f64, dx: f64, ys: &[f64]) -> Self {
+        let n = ys.len();
+        assert!(n >= 4);
+        let m = natural_spline_second_derivatives(ys, dx);
+        let mut coeff = Vec::with_capacity(n);
+        for i in 0..n - 1 {
+            let h2 = dx * dx;
+            let a = (m[i + 1] - m[i]) * h2 / 6.0;
+            let b = m[i] * h2 / 2.0;
+            let c = ys[i + 1] - ys[i] - h2 / 6.0 * (2.0 * m[i] + m[i + 1]);
+            let d = ys[i];
+            coeff.push([
+                3.0 * a / dx,
+                2.0 * b / dx,
+                c / dx,
+                a,
+                b,
+                c,
+                d,
+            ]);
+        }
+        // Padding row so the array is n×7 exactly like the paper's.
+        let last = *coeff.last().expect("at least one segment");
+        coeff.push(last);
+        Self { x0, dx, coeff }
+    }
+
+    /// Number of knots (rows).
+    pub fn n(&self) -> usize {
+        self.coeff.len()
+    }
+
+    /// Last covered abscissa.
+    pub fn x_max(&self) -> f64 {
+        self.x0 + (self.n() - 1) as f64 * self.dx
+    }
+
+    /// Size in bytes (what a resident copy would occupy in local store).
+    pub fn memory_bytes(&self) -> usize {
+        self.coeff.len() * 7 * 8
+    }
+
+    /// Segment index and local coordinate for `x` (clamped to range).
+    #[inline]
+    pub fn locate(&self, x: f64) -> (usize, f64) {
+        let u = ((x - self.x0) / self.dx).max(0.0);
+        let max_seg = self.coeff.len() - 2;
+        let i = (u as usize).min(max_seg);
+        let t = (u - i as f64).clamp(0.0, 1.0);
+        (i, t)
+    }
+
+    /// Interpolated value at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        let (i, t) = self.locate(x);
+        let c = &self.coeff[i];
+        ((c[3] * t + c[4]) * t + c[5]) * t + c[6]
+    }
+
+    /// Interpolated derivative at `x`.
+    #[inline]
+    pub fn eval_deriv(&self, x: f64) -> f64 {
+        let (i, t) = self.locate(x);
+        let c = &self.coeff[i];
+        (c[0] * t + c[1]) * t + c[2]
+    }
+
+    /// Value and derivative together (one row fetch — what the CPE
+    /// kernel DMA-streams per neighbour in the traditional scheme).
+    #[inline]
+    pub fn eval_both(&self, x: f64) -> (f64, f64) {
+        let (i, t) = self.locate(x);
+        let c = &self.coeff[i];
+        (
+            ((c[3] * t + c[4]) * t + c[5]) * t + c[6],
+            (c[0] * t + c[1]) * t + c[2],
+        )
+    }
+
+    /// Bytes of one coefficient row — the per-access DMA payload when the
+    /// table cannot be resident (7 × f64).
+    pub const ROW_BYTES: usize = 7 * 8;
+}
+
+/// Solves the natural-spline tridiagonal system for second derivatives.
+fn natural_spline_second_derivatives(ys: &[f64], dx: f64) -> Vec<f64> {
+    let n = ys.len();
+    let mut m = vec![0.0; n];
+    if n < 3 {
+        return m;
+    }
+    // Thomas algorithm on the interior unknowns M[1..n-1]:
+    //   M[i-1] + 4 M[i] + M[i+1] = 6 (y[i-1] - 2 y[i] + y[i+1]) / dx²
+    let k = n - 2;
+    let mut cp = vec![0.0; k]; // modified upper diagonal
+    let mut dp = vec![0.0; k]; // modified rhs
+    for i in 0..k {
+        let rhs = 6.0 * (ys[i] - 2.0 * ys[i + 1] + ys[i + 2]) / (dx * dx);
+        if i == 0 {
+            cp[i] = 1.0 / 4.0;
+            dp[i] = rhs / 4.0;
+        } else {
+            let denom = 4.0 - cp[i - 1];
+            cp[i] = 1.0 / denom;
+            dp[i] = (rhs - dp[i - 1]) / denom;
+        }
+    }
+    for i in (0..k).rev() {
+        m[i + 1] = dp[i] - cp[i] * if i + 2 < n - 1 { m[i + 2] } else { 0.0 };
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_is_273kb() {
+        let t = TraditionalTable::build(|x| x, 0.0, 1.0, PAPER_TABLE_N);
+        assert_eq!(t.memory_bytes(), 280_000);
+        assert!((t.memory_bytes() as f64 / 1024.0 - 273.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn exact_on_linear_function() {
+        let t = TraditionalTable::build(|x| 3.0 * x - 1.0, 0.0, 2.0, 50);
+        for &x in &[0.0, 0.3, 0.77, 1.5, 2.0] {
+            assert!((t.eval(x) - (3.0 * x - 1.0)).abs() < 1e-12);
+            assert!((t.eval_deriv(x) - 3.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn accurate_on_smooth_function() {
+        let f = |x: f64| (x * 1.7).sin() * (-0.3 * x).exp();
+        let df = |x: f64| {
+            1.7 * (x * 1.7).cos() * (-0.3 * x).exp() - 0.3 * (x * 1.7).sin() * (-0.3 * x).exp()
+        };
+        let t = TraditionalTable::build(f, 0.5, 5.0, 2000);
+        for i in 0..100 {
+            let x = 0.5 + 4.5 * (i as f64 + 0.5) / 100.0;
+            assert!((t.eval(x) - f(x)).abs() < 1e-8, "value at {x}");
+            assert!((t.eval_deriv(x) - df(x)).abs() < 1e-4, "deriv at {x}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = TraditionalTable::build(|x| x * x, 1.0, 2.0, 100);
+        // Below range: clamped to x0.
+        assert!((t.eval(0.0) - 1.0).abs() < 1e-9);
+        // Above range: clamped to x_max.
+        assert!((t.eval(10.0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let f = |x: f64| x.exp();
+        let t = TraditionalTable::build(f, 0.0, 1.0, 64);
+        for i in 0..64 {
+            let x = t.x0 + i as f64 * t.dx;
+            assert!((t.eval(x) - f(x)).abs() < 1e-10, "knot {i}");
+        }
+    }
+
+    #[test]
+    fn eval_both_consistent() {
+        let t = TraditionalTable::build(|x| x * x * x, 0.0, 2.0, 300);
+        let (v, d) = t.eval_both(1.234);
+        assert_eq!(v, t.eval(1.234));
+        assert_eq!(d, t.eval_deriv(1.234));
+    }
+
+    #[test]
+    fn row_bytes_is_56() {
+        assert_eq!(TraditionalTable::ROW_BYTES, 56);
+    }
+}

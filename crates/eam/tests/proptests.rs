@@ -1,0 +1,50 @@
+//! Property tests on the table machinery.
+
+use mmds_eam::analytic::AnalyticEam;
+use mmds_eam::compact::CompactTable;
+use mmds_eam::spline::TraditionalTable;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both table forms clamp identically outside their domain.
+    #[test]
+    fn clamping_agrees(x in -10.0f64..20.0) {
+        let f = |r: f64| (0.7 * r).cos();
+        let t = TraditionalTable::build(f, 1.0, 5.0, 800);
+        let c = CompactTable::build(f, 1.0, 5.0, 800);
+        prop_assert!((t.eval(x) - c.eval(x)).abs() < 1e-6);
+    }
+
+    /// The Fe potential's force (−dφ/dr) is continuous: adjacent table
+    /// segments agree at their shared knot.
+    #[test]
+    fn derivative_continuity_at_knots(i in 1usize..798) {
+        let p = AnalyticEam::fe();
+        let t = TraditionalTable::build(|r| p.phi(r), 1.0, 5.0, 800);
+        let x = t.x0 + i as f64 * t.dx;
+        let left = t.eval_deriv(x - 1e-9);
+        let right = t.eval_deriv(x + 1e-9);
+        prop_assert!((left - right).abs() < 1e-5, "{left} vs {right} at {x}");
+    }
+
+    /// Compacted reconstruction error stays bounded for arbitrary
+    /// smooth (exp-damped oscillator) functions.
+    #[test]
+    fn compact_error_bounded(amp in 0.1f64..2.0, freq in 0.2f64..2.0, x in 1.2f64..4.8) {
+        let f = move |r: f64| amp * (freq * r).sin() * (-0.3 * r).exp();
+        let c = CompactTable::build(f, 1.0, 5.0, 2000);
+        prop_assert!((c.eval(x) - f(x)).abs() < 1e-6 * amp.max(1.0));
+    }
+
+    /// Switching window: φ and f vanish at and beyond the cutoff for
+    /// any radius past r_cut.
+    #[test]
+    fn potentials_vanish_beyond_cutoff(r in 5.0f64..100.0) {
+        let p = AnalyticEam::fe();
+        prop_assert_eq!(p.phi(r), 0.0);
+        prop_assert_eq!(p.density(r), 0.0);
+        prop_assert_eq!(p.dphi(r), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Checkpoint/restart for KMC runs.
+//!
+//! A [`KmcCheckpoint`] captures the site states, clock and statistics.
+//! The RNG is reseeded from `(seed, cycles)` on restore, so a restarted
+//! run is *statistically* a valid continuation (every trajectory drawn
+//! is a legal KMC trajectory of the restored state) but not bitwise
+//! identical to the uninterrupted one — the standard contract for
+//! stochastic-simulation restarts.
+
+use mmds_lattice::LocalGrid;
+use serde::{Deserialize, Serialize};
+
+use crate::config::KmcConfig;
+use crate::lattice::SiteState;
+use crate::sublattice::{KmcSimulation, RunStats};
+
+/// Serializable snapshot of one rank's KMC state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmcCheckpoint {
+    /// Configuration (energy tables rebuilt on restore).
+    pub cfg: KmcConfig,
+    /// The local grid.
+    pub grid: LocalGrid,
+    /// Site states, wire-encoded.
+    pub states: Vec<u8>,
+    /// Simulated KMC time (s).
+    pub time: f64,
+    /// Statistics.
+    pub stats: RunStats,
+}
+
+impl KmcSimulation {
+    /// Captures a restartable snapshot.
+    pub fn checkpoint(&self) -> KmcCheckpoint {
+        KmcCheckpoint {
+            cfg: self.cfg,
+            grid: self.lat.grid,
+            states: self.lat.state.iter().map(|s| s.to_u8()).collect(),
+            time: self.time,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a simulation from a snapshot (RNG reseeded from the
+    /// seed and completed cycle count).
+    pub fn restore(ck: KmcCheckpoint) -> Self {
+        let mut cfg = ck.cfg;
+        cfg.seed = ck.cfg.seed.wrapping_add(ck.stats.cycles);
+        let mut sim = KmcSimulation::new(cfg, ck.grid);
+        sim.cfg = ck.cfg;
+        assert_eq!(
+            sim.lat.state.len(),
+            ck.states.len(),
+            "checkpoint grid mismatch"
+        );
+        for (s, &v) in ck.states.iter().enumerate() {
+            sim.lat.set_state(s, SiteState::from_u8(v));
+        }
+        sim.time = ck.time;
+        sim.stats = ck.stats;
+        sim
+    }
+
+    /// Writes a checkpoint as JSON.
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let s = serde_json::to_string(&self.checkpoint()).expect("state is serializable");
+        std::fs::write(path, s)
+    }
+
+    /// Reads a checkpoint written by [`Self::save_checkpoint`].
+    pub fn load_checkpoint(path: &std::path::Path) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        let ck: KmcCheckpoint =
+            serde_json::from_str(&s).map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(Self::restore(ck))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::LoopbackK;
+    use crate::exchange::ExchangeStrategy;
+    use crate::lattice::required_ghost;
+    use mmds_lattice::BccGeometry;
+
+    fn sim() -> KmcSimulation {
+        let cfg = KmcConfig {
+            table_knots: 600,
+            events_per_cycle: 1.0,
+            ..Default::default()
+        };
+        let ghost = required_ghost(cfg.a0, cfg.rate_cutoff);
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(8), ghost);
+        let mut s = KmcSimulation::new(cfg, grid);
+        s.lat.seed_vacancies_global(6, 3);
+        s.initialize(&mut LoopbackK);
+        s
+    }
+
+    #[test]
+    fn restore_preserves_state_and_clock() {
+        let mut s = sim();
+        s.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 5);
+        let r = KmcSimulation::restore(s.checkpoint());
+        assert_eq!(r.lat.state, s.lat.state);
+        assert_eq!(r.time, s.time);
+        assert_eq!(r.stats.events, s.stats.events);
+        assert_eq!(r.lat.n_vacancies(), s.lat.n_vacancies());
+    }
+
+    #[test]
+    fn restored_run_continues_validly() {
+        let mut s = sim();
+        s.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 4);
+        let n_vac = s.lat.n_vacancies();
+        let mut r = KmcSimulation::restore(s.checkpoint());
+        let events = r.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 6);
+        assert!(events > 0, "dynamics must continue");
+        assert_eq!(r.lat.n_vacancies(), n_vac, "conservation across restart");
+        assert!(r.time > s.time);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = sim();
+        s.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 2);
+        let dir = std::env::temp_dir().join("mmds_kmc_ck");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kmc.ckpt.json");
+        s.save_checkpoint(&path).unwrap();
+        let r = KmcSimulation::load_checkpoint(&path).unwrap();
+        assert_eq!(r.lat.state, s.lat.state);
+        assert_eq!(r.stats.cycles, s.stats.cycles);
+    }
+}

@@ -1,0 +1,472 @@
+//! Ghost-site exchange strategies (paper §2.2.1, Fig. 8).
+//!
+//! **Traditional** (SPPARKS \[23\], KMCLib \[14\]): before a sector, *get*
+//! the full ghost slabs adjacent to it (Fig. 8 b); after the sector,
+//! *put* those full slabs back (Fig. 8 c). "All the sites in the ghost
+//! region have to be transferred regardless of whether all the sites
+//! are updated or not."
+//!
+//! **On-demand** (the paper's contribution #3, Fig. 8 d): a single
+//! after-sector transfer of only the *affected* sites, addressed by
+//! global lattice coordinates, to each neighbour that stores them.
+//! Implemented over two-sided messaging (probe + receive, zero-size
+//! messages included) and over one-sided puts + fence (which eliminates
+//! the zero-size messages).
+
+use serde::{Deserialize, Serialize};
+
+use mmds_swmpi::{Packer, Unpacker};
+
+use crate::comm::KmcTransport;
+use crate::lattice::{KmcLattice, SiteState};
+
+/// Which transport primitive carries on-demand updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OnDemandMode {
+    /// `MPI_Probe` + `MPI_Recv`, with zero-size messages for matching.
+    TwoSided,
+    /// Window put + fence; no zero-size messages.
+    OneSided,
+}
+
+/// The exchange strategy under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExchangeStrategy {
+    /// Full ghost slabs, get before + put after each sector.
+    Traditional,
+    /// Only affected sites, once after each sector.
+    OnDemand(OnDemandMode),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Low,
+    High,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    OwnedEdge,
+    Ghost,
+}
+
+/// Slab ranges along each axis for one (axis, side, role) combination.
+/// `done_axes_full` marks axes whose staging has already completed and
+/// therefore span the full storage extent.
+fn ranges(
+    lat: &KmcLattice,
+    axis: usize,
+    side: Side,
+    role: Role,
+    width: usize,
+    full: impl Fn(usize) -> bool,
+) -> [std::ops::Range<usize>; 3] {
+    let g = lat.grid.ghost;
+    let len = lat.grid.len;
+    let dims = lat.grid.dims();
+    assert!(width <= g);
+    let mut r: [std::ops::Range<usize>; 3] = [0..0, 0..0, 0..0];
+    for b in 0..3 {
+        r[b] = if b == axis {
+            // Slabs hug the owned/ghost boundary `width` cells deep.
+            match (role, side) {
+                (Role::OwnedEdge, Side::Low) => g..g + width,
+                (Role::OwnedEdge, Side::High) => g + len[b] - width..g + len[b],
+                (Role::Ghost, Side::Low) => g - width..g,
+                (Role::Ghost, Side::High) => g + len[b]..g + len[b] + width,
+            }
+        } else if full(b) {
+            0..dims[b]
+        } else {
+            g..g + len[b]
+        };
+    }
+    r
+}
+
+/// How far (in cells) one event can write beyond the sector: the cell
+/// reach of a 1NN hop.
+fn event_reach(lat: &KmcLattice) -> usize {
+    lat.offsets
+        .first_shell(0)
+        .iter()
+        .chain(lat.offsets.first_shell(1).iter())
+        .flat_map(|o| [o.di.unsigned_abs(), o.dj.unsigned_abs(), o.dk.unsigned_abs()])
+        .max()
+        .unwrap_or(1) as usize
+}
+
+/// Canonical global id of a stored site (used as the SPPARKS-style
+/// record key and as an alignment check on unpack).
+fn global_id(lat: &KmcLattice, s: usize) -> u64 {
+    let (g, b) = lat.local_to_global(s);
+    let nx = lat.grid.global.nx as u64;
+    let ny = lat.grid.global.ny as u64;
+    (((g[2] as u64 * ny + g[1] as u64) * nx + g[0] as u64) * 2) + b as u64
+}
+
+/// Traditional slabs carry SPPARKS-style site records — integer site id
+/// plus a double-width value (16 B/site) — matching the baseline codes
+/// the paper compares against ("used in the KMC software, such as
+/// SPPARKS and KMCLib"). The id doubles as a hard check that sender and
+/// receiver slabs are globally aligned.
+fn pack_states(lat: &KmcLattice, r: &[std::ops::Range<usize>; 3]) -> Vec<u8> {
+    let mut p = Packer::new();
+    for k in r[2].clone() {
+        for j in r[1].clone() {
+            for i in r[0].clone() {
+                for b in 0..2 {
+                    let s = lat.grid.site_id(i, j, k, b);
+                    p.put_u64(global_id(lat, s));
+                    p.put_f64(lat.state[s].to_u8() as f64);
+                }
+            }
+        }
+    }
+    p.finish()
+}
+
+fn unpack_states(lat: &mut KmcLattice, r: &[std::ops::Range<usize>; 3], bytes: &[u8]) {
+    let mut u = Unpacker::new(bytes);
+    for k in r[2].clone() {
+        for j in r[1].clone() {
+            for i in r[0].clone() {
+                for b in 0..2 {
+                    let s = lat.grid.site_id(i, j, k, b);
+                    let gid = u.get_u64();
+                    debug_assert_eq!(
+                        gid,
+                        global_id(lat, s),
+                        "slab misaligned at local ({i},{j},{k},{b})"
+                    );
+                    lat.set_state(s, SiteState::from_u8(u.get_f64() as u8));
+                }
+            }
+        }
+    }
+    assert!(u.is_exhausted(), "state slab size mismatch");
+}
+
+/// Full 6-direction ghost fill (initialisation; also used by tests).
+pub fn full_exchange(lat: &mut KmcLattice, t: &mut impl KmcTransport) {
+    for axis in 0..3 {
+        for (toward_high, recv_side) in [(true, Side::Low), (false, Side::High)] {
+            let send_side = match recv_side {
+                Side::Low => Side::High,
+                Side::High => Side::Low,
+            };
+            let g = lat.grid.ghost;
+            let send = ranges(lat, axis, send_side, Role::OwnedEdge, g, |b| b < axis);
+            let payload = pack_states(lat, &send);
+            let got = t.shift(axis, toward_high, payload);
+            let recv = ranges(lat, axis, recv_side, Role::Ghost, g, |b| b < axis);
+            unpack_states(lat, &recv, &got);
+        }
+    }
+}
+
+/// Traditional pre-sector *get* (Fig. 8 b): refresh the ghost slabs on
+/// the sector-adjacent sides.
+pub fn traditional_get(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTransport) {
+    for axis in 0..3 {
+        let recv_side = if sec[axis] == 0 { Side::Low } else { Side::High };
+        let toward_high = sec[axis] == 0;
+        let send_side = match recv_side {
+            Side::Low => Side::High,
+            Side::High => Side::Low,
+        };
+        let g = lat.grid.ghost;
+        let send = ranges(lat, axis, send_side, Role::OwnedEdge, g, |b| b < axis);
+        let payload = pack_states(lat, &send);
+        let got = t.shift(axis, toward_high, payload);
+        let recv = ranges(lat, axis, recv_side, Role::Ghost, g, |b| b < axis);
+        unpack_states(lat, &recv, &got);
+    }
+}
+
+/// Traditional post-sector *put* (Fig. 8 c): push the same slabs back
+/// to their owners. Staged in reverse axis order so corner updates are
+/// forwarded through intermediate ranks.
+pub fn traditional_put(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTransport) {
+    // Staged in *descending* axis order with full extent on the axes
+    // processed after the current one, so a corner update first rides a
+    // high-axis slab into an intermediate rank's ghost region and is
+    // then forwarded by that rank's lower-axis stage (the time reversal
+    // of the get staging).
+    // Only the inner ring of the ghost shell (one event reach deep) can
+    // have been modified by the sector's events, and correspondingly
+    // only that ring of the receiver's owned edge may be overwritten —
+    // the receiver's *own* boundary hops live just inside it.
+    let w = event_reach(lat);
+    for axis in (0..3).rev() {
+        let ghost_side = if sec[axis] == 0 { Side::Low } else { Side::High };
+        // My low ghost flows to the −axis owner.
+        let toward_high = sec[axis] != 0;
+        let send = ranges(lat, axis, ghost_side, Role::Ghost, w, |b| b < axis);
+        let payload = pack_states(lat, &send);
+        let got = t.shift(axis, toward_high, payload);
+        let recv_side = match ghost_side {
+            Side::Low => Side::High,
+            Side::High => Side::Low,
+        };
+        let recv = ranges(lat, axis, recv_side, Role::OwnedEdge, w, |b| b < axis);
+        unpack_states(lat, &recv, &got);
+    }
+}
+
+/// The 7 neighbour directions touched by a sector's corner.
+pub fn sector_dirs(sec: [usize; 3]) -> Vec<[i64; 3]> {
+    let sign = |ax: usize| if sec[ax] == 0 { -1i64 } else { 1 };
+    let mut dirs = Vec::with_capacity(7);
+    for mx in 0..2 {
+        for my in 0..2 {
+            for mz in 0..2 {
+                if mx + my + mz == 0 {
+                    continue;
+                }
+                dirs.push([
+                    mx as i64 * sign(0),
+                    my as i64 * sign(1),
+                    mz as i64 * sign(2),
+                ]);
+            }
+        }
+    }
+    dirs
+}
+
+/// True if stored-cell coords `c` fall inside the storage region of the
+/// neighbour at offset `d` (equal-size subdomains).
+fn relevant_to(lat: &KmcLattice, c: [usize; 3], d: [i64; 3]) -> bool {
+    let len = lat.grid.len;
+    let dims = lat.grid.dims();
+    (0..3).all(|ax| {
+        let shifted = c[ax] as i64 - d[ax] * len[ax] as i64;
+        shifted >= 0 && shifted < dims[ax] as i64
+    })
+}
+
+/// Applies one encoded site update to every stored image of the global
+/// site (a subdomain covering the whole box stores up to 3 images per
+/// axis).
+pub fn apply_global_update(lat: &mut KmcLattice, gcell: [usize; 3], basis: usize, st: SiteState) {
+    let dims = lat.grid.dims();
+    let global_dims = [lat.grid.global.nx, lat.grid.global.ny, lat.grid.global.nz];
+    let mut per_axis: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for ax in 0..3 {
+        let raw = gcell[ax] as i64 - lat.grid.start[ax] as i64 + lat.grid.ghost as i64;
+        for cand in [raw, raw + global_dims[ax] as i64, raw - global_dims[ax] as i64] {
+            if cand >= 0 && (cand as usize) < dims[ax] && !per_axis[ax].contains(&(cand as usize))
+            {
+                per_axis[ax].push(cand as usize);
+            }
+        }
+    }
+    for &i in &per_axis[0] {
+        for &j in &per_axis[1] {
+            for &k in &per_axis[2] {
+                let s = lat.grid.site_id(i, j, k, basis);
+                lat.set_state(s, st);
+            }
+        }
+    }
+}
+
+/// On-demand post-sector transfer (Fig. 8 d): sends each affected site
+/// to every neighbour that stores it; applies what arrives.
+pub fn on_demand_put(
+    lat: &mut KmcLattice,
+    sec: [usize; 3],
+    dirty: &[usize],
+    mode: OnDemandMode,
+    t: &mut impl KmcTransport,
+) {
+    let dirs = sector_dirs(sec);
+    let mut unique: Vec<usize> = dirty.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    let mut msgs: Vec<Packer> = (0..dirs.len()).map(|_| Packer::new()).collect();
+    for &s in &unique {
+        let (i, j, k, b) = lat.grid.decode(s);
+        let (g, _) = (lat.grid.global_cell(i, j, k), b);
+        for (di, d) in dirs.iter().enumerate() {
+            if relevant_to(lat, [i, j, k], *d) {
+                let p = &mut msgs[di];
+                p.put_u32(g[0] as u32);
+                p.put_u32(g[1] as u32);
+                p.put_u32(g[2] as u32);
+                p.put_u8(b as u8);
+                p.put_u8(lat.state[s].to_u8());
+            }
+        }
+    }
+    let payloads: Vec<Vec<u8>> = msgs.into_iter().map(|p| p.finish()).collect();
+    let received = match mode {
+        OnDemandMode::TwoSided => t.neighbor_exchange(&dirs, payloads),
+        OnDemandMode::OneSided => t.put_fence(&dirs, payloads),
+    };
+    let me = t.rank();
+    for bytes in received {
+        let mut u = Unpacker::new(&bytes);
+        while !u.is_exhausted() {
+            let g = [u.get_u32() as usize, u.get_u32() as usize, u.get_u32() as usize];
+            let b = u.get_u8() as usize;
+            let st = SiteState::from_u8(u.get_u8());
+            apply_global_update(lat, g, b, st);
+        }
+        let _ = me;
+    }
+    // In loopback mode the sent updates double as the received ones; in
+    // multi-rank mode the local images of *our own* dirty ghost writes
+    // are already stored locally (we wrote them), so nothing else to do.
+}
+
+/// Strategy dispatcher: pre-sector hook.
+pub fn pre_sector(
+    strategy: ExchangeStrategy,
+    lat: &mut KmcLattice,
+    sec: [usize; 3],
+    t: &mut impl KmcTransport,
+) {
+    if strategy == ExchangeStrategy::Traditional {
+        traditional_get(lat, sec, t);
+    }
+}
+
+/// Strategy dispatcher: post-sector hook.
+pub fn post_sector(
+    strategy: ExchangeStrategy,
+    lat: &mut KmcLattice,
+    sec: [usize; 3],
+    dirty: &[usize],
+    t: &mut impl KmcTransport,
+) {
+    match strategy {
+        ExchangeStrategy::Traditional => traditional_put(lat, sec, t),
+        ExchangeStrategy::OnDemand(mode) => on_demand_put(lat, sec, dirty, mode, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::LoopbackK;
+    use mmds_lattice::{BccGeometry, LocalGrid};
+
+    fn lat() -> KmcLattice {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(6), 2);
+        KmcLattice::all_fe(grid, 3.0)
+    }
+
+    #[test]
+    fn full_exchange_mirrors_periodically() {
+        let mut l = lat();
+        let s = l.grid.site_id(2, 4, 4, 0); // global (0,2,2)
+        l.set_state(s, SiteState::Vacancy);
+        full_exchange(&mut l, &mut LoopbackK);
+        let ghost = l.grid.site_id(8, 4, 4, 0); // global (6,2,2) ≡ (0,2,2)
+        assert_eq!(l.state[ghost], SiteState::Vacancy);
+        // Corner propagation too.
+        let c = l.grid.site_id(2, 2, 2, 1);
+        let mut l2 = lat();
+        l2.set_state(c, SiteState::Vacancy);
+        full_exchange(&mut l2, &mut LoopbackK);
+        assert_eq!(l2.state[l2.grid.site_id(8, 8, 8, 1)], SiteState::Vacancy);
+    }
+
+    #[test]
+    fn sector_dirs_are_seven() {
+        let d = sector_dirs([0, 0, 0]);
+        assert_eq!(d.len(), 7);
+        assert!(d.contains(&[-1, -1, -1]));
+        assert!(d.contains(&[-1, 0, 0]));
+        let d2 = sector_dirs([1, 0, 1]);
+        assert!(d2.contains(&[1, 0, 0]));
+        assert!(d2.contains(&[1, -1, 1]));
+    }
+
+    #[test]
+    fn traditional_get_refreshes_sector_ghosts() {
+        let mut l = lat();
+        // Owned site near the high-x edge; sector (1,0,0)'s get must
+        // bring its image into the high-x ghost.
+        let s = l.grid.site_id(7, 4, 4, 0); // global (5,2,2)
+        l.set_state(s, SiteState::Vacancy);
+        traditional_get(&mut l, [1, 0, 0], &mut LoopbackK);
+        // high ghost image of global (5,2,2): hmm — the high-x ghost
+        // covers global cells 0..2; cell 5 mirrors into the LOW ghost.
+        // The get for sector (1,0,0) fills the high ghost from the low
+        // owned edge instead:
+        let low_owned = l.grid.site_id(2, 4, 4, 0); // global (0,2,2)
+        l.set_state(low_owned, SiteState::Vacancy);
+        traditional_get(&mut l, [1, 0, 0], &mut LoopbackK);
+        let high_ghost = l.grid.site_id(8, 4, 4, 0); // global (6,2,2)≡(0,2,2)
+        assert_eq!(l.state[high_ghost], SiteState::Vacancy);
+    }
+
+    #[test]
+    fn traditional_put_returns_ghost_changes_to_owner() {
+        let mut l = lat();
+        full_exchange(&mut l, &mut LoopbackK);
+        // Simulate a sector event that moved a vacancy into the low-x
+        // ghost: global (5,2,2) seen at storage (1,4,4).
+        let ghost = l.grid.site_id(1, 4, 4, 0);
+        l.set_state(ghost, SiteState::Vacancy);
+        traditional_put(&mut l, [0, 0, 0], &mut LoopbackK);
+        let owner = l.grid.site_id(7, 4, 4, 0); // global (5,2,2)
+        assert_eq!(l.state[owner], SiteState::Vacancy);
+        assert_eq!(l.n_vacancies(), 1, "owned vacancy registered");
+    }
+
+    #[test]
+    fn on_demand_applies_updates_to_all_images() {
+        let mut l = lat();
+        full_exchange(&mut l, &mut LoopbackK);
+        // Dirty an owned site at the very low edge; on-demand must
+        // update its high-side ghost image through the message cycle.
+        let s = l.grid.site_id(2, 3, 3, 0); // global (0,1,1)
+        l.set_state(s, SiteState::Vacancy);
+        on_demand_put(
+            &mut l,
+            [0, 0, 0],
+            &[s],
+            OnDemandMode::TwoSided,
+            &mut LoopbackK,
+        );
+        let ghost = l.grid.site_id(8, 3, 3, 0); // global (6,1,1)≡(0,1,1)
+        assert_eq!(l.state[ghost], SiteState::Vacancy);
+    }
+
+    #[test]
+    fn on_demand_ghost_write_reaches_owner() {
+        let mut l = lat();
+        full_exchange(&mut l, &mut LoopbackK);
+        // Event moved a vacancy into the low-x ghost (global (5,3,3)).
+        let ghost = l.grid.site_id(1, 3, 3, 1);
+        l.set_state(ghost, SiteState::Vacancy);
+        on_demand_put(
+            &mut l,
+            [0, 0, 0],
+            &[ghost],
+            OnDemandMode::OneSided,
+            &mut LoopbackK,
+        );
+        let owner = l.grid.site_id(7, 3, 3, 1);
+        assert_eq!(l.state[owner], SiteState::Vacancy);
+        assert_eq!(l.n_vacancies(), 1);
+    }
+
+    #[test]
+    fn interior_dirty_site_far_from_edges_sends_nothing() {
+        let mut l = lat();
+        let s = l.grid.site_id(4, 4, 4, 0); // deep interior
+        l.set_state(s, SiteState::Vacancy);
+        let (i, j, k, _) = l.grid.decode(s);
+        for d in sector_dirs([0, 0, 0]) {
+            assert!(
+                !relevant_to(&l, [i, j, k], d),
+                "deep-interior site must not be shipped (dir {d:?})"
+            );
+        }
+    }
+}

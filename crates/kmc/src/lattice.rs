@@ -1,0 +1,364 @@
+//! On-lattice site states for AKMC.
+//!
+//! "AKMC uses an on-lattice approximation method to map each atom or
+//! vacancy to a lattice point, and the atoms and vacancies are
+//! uniformly named as 'sites'" (§2.2). We reuse the BCC grid machinery
+//! of `mmds-lattice`; states are one byte per site.
+
+use std::collections::BTreeSet;
+
+use mmds_lattice::neighbor_offsets::NeighborOffsets;
+use mmds_lattice::LocalGrid;
+use serde::{Deserialize, Serialize};
+
+/// What occupies a lattice site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum SiteState {
+    /// An iron atom.
+    Fe = 0,
+    /// A copper atom (alloy runs).
+    Cu = 1,
+    /// A vacancy.
+    Vacancy = 2,
+}
+
+impl SiteState {
+    /// True for any atom.
+    pub fn is_atom(&self) -> bool {
+        !matches!(self, SiteState::Vacancy)
+    }
+
+    /// Wire encoding.
+    pub fn to_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Wire decoding.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => SiteState::Fe,
+            1 => SiteState::Cu,
+            2 => SiteState::Vacancy,
+            _ => panic!("invalid site state {v}"),
+        }
+    }
+}
+
+/// Ghost width (in cells) a KMC lattice needs: rate evaluation swaps a
+/// vacancy with a (possibly ghost) 1NN partner and recomputes the
+/// energy of every site within the cutoff of either, each of which
+/// scans its own cutoff neighbourhood — three reaches deep in the worst
+/// case.
+pub fn required_ghost(a0: f64, rate_cutoff: f64) -> usize {
+    3 * NeighborOffsets::generate(a0, rate_cutoff).max_cell_reach()
+}
+
+/// A rank's KMC lattice: states + ghost shell + vacancy index.
+#[derive(Debug, Clone)]
+pub struct KmcLattice {
+    /// The local grid (owned cells + ghost shell).
+    pub grid: LocalGrid,
+    /// Neighbour offsets within the rate cutoff.
+    pub offsets: NeighborOffsets,
+    /// Flat-index deltas per basis (rate cutoff).
+    pub deltas: [Vec<isize>; 2],
+    /// Flat-index deltas per basis, 1NN only (the event directions).
+    pub nn1_deltas: [Vec<isize>; 2],
+    /// Per-site state (ghosts included).
+    pub state: Vec<SiteState>,
+    /// Owned vacancies (sorted for deterministic iteration).
+    vacancies: BTreeSet<usize>,
+}
+
+impl KmcLattice {
+    /// All-iron lattice.
+    pub fn all_fe(grid: LocalGrid, rate_cutoff: f64) -> Self {
+        let offsets = NeighborOffsets::generate(grid.global.a0, rate_cutoff);
+        grid.validate_ghost(&offsets);
+        let deltas = [
+            grid.flat_deltas(&offsets.basis0, 0),
+            grid.flat_deltas(&offsets.basis1, 1),
+        ];
+        let nn1_deltas = [
+            grid.flat_deltas(&offsets.first_shell(0), 0),
+            grid.flat_deltas(&offsets.first_shell(1), 1),
+        ];
+        let n = grid.n_sites();
+        Self {
+            grid,
+            offsets,
+            deltas,
+            nn1_deltas,
+            state: vec![SiteState::Fe; n],
+            vacancies: BTreeSet::new(),
+        }
+    }
+
+    /// Number of stored sites.
+    pub fn n_sites(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Owned sites.
+    pub fn n_owned(&self) -> usize {
+        self.grid.n_owned_sites()
+    }
+
+    /// Is this site's *local cell* interior (owned)?
+    #[inline]
+    pub fn is_owned(&self, s: usize) -> bool {
+        let (i, j, k, _) = self.grid.decode(s);
+        self.grid.is_interior(i, j, k)
+    }
+
+    /// Sets a site's state, maintaining the owned-vacancy index.
+    pub fn set_state(&mut self, s: usize, st: SiteState) {
+        self.state[s] = st;
+        if self.is_owned(s) {
+            if st == SiteState::Vacancy {
+                self.vacancies.insert(s);
+            } else {
+                self.vacancies.remove(&s);
+            }
+        }
+    }
+
+    /// Owned vacancies in deterministic (sorted) order.
+    pub fn vacancies(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vacancies.iter().copied()
+    }
+
+    /// Owned vacancy count.
+    pub fn n_vacancies(&self) -> usize {
+        self.vacancies.len()
+    }
+
+    /// Seeds `n` vacancies at deterministic pseudo-random owned sites.
+    pub fn seed_vacancies(&mut self, n: usize, seed: u64) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut owned: Vec<usize> = self.grid.interior_ids().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        owned.shuffle(&mut rng);
+        for &s in owned.iter().take(n) {
+            self.set_state(s, SiteState::Vacancy);
+        }
+    }
+
+    /// Seeds `n_total` vacancies at deterministic pseudo-random *global*
+    /// sites; every rank calls this with the same `seed` and places the
+    /// ones it owns, so the configuration is independent of the
+    /// decomposition (fixed-box strong scaling compares identical
+    /// systems at every rank count).
+    pub fn seed_vacancies_global(&mut self, n_total: usize, seed: u64) -> usize {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dims = [self.grid.global.nx, self.grid.global.ny, self.grid.global.nz];
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < n_total.min(self.grid.global.n_sites()) {
+            let g = [
+                rng.random_range(0..dims[0]),
+                rng.random_range(0..dims[1]),
+                rng.random_range(0..dims[2]),
+            ];
+            let b = rng.random_range(0..2usize);
+            chosen.insert((g, b));
+        }
+        let mut placed = 0;
+        for (g, b) in chosen {
+            if let Some(s) = self.global_to_local(g, b) {
+                if self.is_owned(s) {
+                    self.set_state(s, SiteState::Vacancy);
+                    placed += 1;
+                }
+            }
+        }
+        placed
+    }
+
+    /// Seeds `n_total` substitutional Cu solutes at deterministic
+    /// pseudo-random global sites (skipping non-Fe sites), same-seed
+    /// consistent across ranks like [`Self::seed_vacancies_global`].
+    pub fn seed_solutes_global(&mut self, n_total: usize, seed: u64) -> usize {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dims = [self.grid.global.nx, self.grid.global.ny, self.grid.global.nz];
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < n_total.min(self.grid.global.n_sites()) && guard < 100 * n_total + 100
+        {
+            guard += 1;
+            let g = [
+                rng.random_range(0..dims[0]),
+                rng.random_range(0..dims[1]),
+                rng.random_range(0..dims[2]),
+            ];
+            let b = rng.random_range(0..2usize);
+            chosen.insert((g, b));
+        }
+        let mut placed = 0;
+        for (g, b) in chosen {
+            if let Some(s) = self.global_to_local(g, b) {
+                if self.is_owned(s) && self.state[s] == SiteState::Fe {
+                    self.set_state(s, SiteState::Cu);
+                    placed += 1;
+                }
+            }
+        }
+        placed
+    }
+
+    /// Places vacancies at the given owned sites (e.g. from MD output).
+    pub fn set_vacancies(&mut self, sites: &[usize]) {
+        for &s in sites {
+            self.set_state(s, SiteState::Vacancy);
+        }
+    }
+
+    /// The 8 first-neighbour site ids of `s`.
+    #[inline]
+    pub fn nn1(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        self.nn1_deltas[s & 1]
+            .iter()
+            .map(move |&d| (s as isize + d) as usize)
+    }
+
+    /// All rate-cutoff neighbour site ids of `s`.
+    #[inline]
+    pub fn neighbors(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        self.deltas[s & 1]
+            .iter()
+            .map(move |&d| (s as isize + d) as usize)
+    }
+
+    /// Maps a *global* site (canonical cell + basis) to local storage
+    /// coordinates if it lies within the stored region (owned or ghost),
+    /// taking periodic wrap into account.
+    pub fn global_to_local(&self, gcell: [usize; 3], basis: usize) -> Option<usize> {
+        let dims = self.grid.dims();
+        let global_dims = [self.grid.global.nx, self.grid.global.ny, self.grid.global.nz];
+        let mut local = [0usize; 3];
+        for ax in 0..3 {
+            let raw = gcell[ax] as i64 - self.grid.start[ax] as i64 + self.grid.ghost as i64;
+            // Try the three periodic images; exactly one can be in range
+            // for subdomains larger than the ghost width.
+            let candidates = [
+                raw,
+                raw + global_dims[ax] as i64,
+                raw - global_dims[ax] as i64,
+            ];
+            let hit = candidates
+                .into_iter()
+                .find(|&c| c >= 0 && (c as usize) < dims[ax])?;
+            local[ax] = hit as usize;
+        }
+        Some(self.grid.site_id(local[0], local[1], local[2], basis))
+    }
+
+    /// Inverse of [`Self::global_to_local`]: the canonical global cell
+    /// and basis of a stored site.
+    pub fn local_to_global(&self, s: usize) -> ([usize; 3], usize) {
+        let (i, j, k, b) = self.grid.decode(s);
+        (self.grid.global_cell(i, j, k), b)
+    }
+
+    /// Position of a site (lattice point, Å; ghost images unwrapped).
+    pub fn position(&self, s: usize) -> [f64; 3] {
+        let (i, j, k, b) = self.grid.decode(s);
+        self.grid.site_position(i, j, k, b)
+    }
+
+    /// Vacancy concentration among owned sites.
+    pub fn vacancy_concentration(&self) -> f64 {
+        self.n_vacancies() as f64 / self.n_owned() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmds_lattice::BccGeometry;
+
+    fn lat() -> KmcLattice {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(6), 2);
+        KmcLattice::all_fe(grid, 3.0)
+    }
+
+    #[test]
+    fn starts_all_iron() {
+        let l = lat();
+        assert_eq!(l.n_vacancies(), 0);
+        assert!(l.state.iter().all(|s| *s == SiteState::Fe));
+    }
+
+    #[test]
+    fn state_round_trip() {
+        for v in [SiteState::Fe, SiteState::Cu, SiteState::Vacancy] {
+            assert_eq!(SiteState::from_u8(v.to_u8()), v);
+        }
+    }
+
+    #[test]
+    fn vacancy_index_tracks_set_state() {
+        let mut l = lat();
+        let s = l.grid.site_id(3, 3, 3, 0);
+        l.set_state(s, SiteState::Vacancy);
+        assert_eq!(l.n_vacancies(), 1);
+        assert_eq!(l.vacancies().next(), Some(s));
+        l.set_state(s, SiteState::Fe);
+        assert_eq!(l.n_vacancies(), 0);
+    }
+
+    #[test]
+    fn ghost_vacancies_not_indexed() {
+        let mut l = lat();
+        let ghost = l.grid.site_id(0, 3, 3, 0);
+        l.set_state(ghost, SiteState::Vacancy);
+        assert_eq!(l.n_vacancies(), 0);
+        assert_eq!(l.state[ghost], SiteState::Vacancy);
+    }
+
+    #[test]
+    fn nn1_has_8_entries() {
+        let l = lat();
+        let s = l.grid.site_id(3, 3, 3, 1);
+        assert_eq!(l.nn1(s).count(), 8);
+        // 1NN+2NN within 3.0 Å: 8 + 6 = 14.
+        assert_eq!(l.neighbors(s).count(), 14);
+    }
+
+    #[test]
+    fn seed_vacancies_deterministic() {
+        let mut a = lat();
+        let mut b = lat();
+        a.seed_vacancies(10, 42);
+        b.seed_vacancies(10, 42);
+        assert_eq!(
+            a.vacancies().collect::<Vec<_>>(),
+            b.vacancies().collect::<Vec<_>>()
+        );
+        assert_eq!(a.n_vacancies(), 10);
+        assert!((a.vacancy_concentration() - 10.0 / 432.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_local_round_trip() {
+        let l = lat();
+        for s in [
+            l.grid.site_id(2, 2, 2, 0),
+            l.grid.site_id(5, 3, 4, 1),
+            l.grid.site_id(0, 0, 0, 0), // ghost corner
+            l.grid.site_id(9, 9, 9, 1), // ghost corner
+        ] {
+            let (g, b) = l.local_to_global(s);
+            let back = l.global_to_local(g, b).unwrap();
+            // Ghost corners map to their canonical interior image, which
+            // for a whole-box grid is the interior site, not the ghost.
+            let (gi, gb) = l.local_to_global(back);
+            assert_eq!((gi, gb), (g, b));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The semirigorous synchronous sublattice driver (paper Fig. 7).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::comm::KmcTransport;
+use crate::config::KmcConfig;
+use crate::exchange::{full_exchange, post_sector, pre_sector, ExchangeStrategy};
+use crate::lattice::KmcLattice;
+use crate::model::{EnergyModel, RateStats};
+use crate::solver::{run_sector, sectors};
+
+/// Modelled MPE seconds per patch-site energy evaluation (the dominant
+/// KMC compute kernel: a 14-neighbour occupancy scan plus one embedding
+/// table interpolation).
+pub const SITE_EVAL_SECONDS: f64 = 6.0e-8;
+
+/// Cumulative run statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Events executed.
+    pub events: u64,
+    /// Synchronisation cycles completed.
+    pub cycles: u64,
+    /// Rate-evaluation counters.
+    pub rate: RateStats,
+}
+
+/// One rank's KMC simulation.
+pub struct KmcSimulation {
+    /// Configuration.
+    pub cfg: KmcConfig,
+    /// The site lattice.
+    pub lat: KmcLattice,
+    /// EAM energetics.
+    pub model: EnergyModel,
+    /// Simulated KMC time (s).
+    pub time: f64,
+    /// Statistics.
+    pub stats: RunStats,
+    rng: StdRng,
+}
+
+impl KmcSimulation {
+    /// Builds a simulation on a local grid.
+    pub fn new(cfg: KmcConfig, grid: mmds_lattice::LocalGrid) -> Self {
+        for ax in 0..3 {
+            assert!(
+                grid.len[ax] / 2 >= grid.ghost,
+                "sector half-width must cover the ghost shell (axis {ax})"
+            );
+        }
+        let lat = KmcLattice::all_fe(grid, cfg.rate_cutoff);
+        let model = EnergyModel::new(&cfg, &lat);
+        Self {
+            cfg,
+            lat,
+            model,
+            time: 0.0,
+            stats: RunStats::default(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Initial ghost fill; must run once after seeding vacancies.
+    pub fn initialize(&mut self, t: &mut impl KmcTransport) {
+        full_exchange(&mut self.lat, t);
+    }
+
+    /// Synchronisation quantum: the paper's box #1, "compute dt for the
+    /// subdomain", followed by the global reduction that keeps all ranks
+    /// on the same quantum. The quantum is *physics*-determined (about
+    /// `events_per_cycle` hops per vacancy per cycle at the reference
+    /// rate), so it is independent of the domain decomposition; the
+    /// reduction doubles as the per-cycle time synchronisation whose
+    /// cost Fig. 15 attributes the weak-scaling loss to. Returns 0 when
+    /// no vacancies exist anywhere.
+    pub fn compute_dt(&mut self, t: &mut impl KmcTransport) -> f64 {
+        let global_vacancies = t.allreduce_sum_u64(self.lat.n_vacancies() as u64);
+        if global_vacancies == 0 {
+            return 0.0;
+        }
+        let dt_local = self.cfg.events_per_cycle / self.cfg.reference_rate();
+        t.allreduce_max(dt_local)
+    }
+
+    /// One synchronisation cycle: the 8 sectors in order, with the
+    /// chosen exchange strategy around each. Returns events executed.
+    pub fn cycle(&mut self, strategy: ExchangeStrategy, t: &mut impl KmcTransport) -> u64 {
+        let dt = self.compute_dt(t);
+        if dt <= 0.0 {
+            // No vacancies anywhere: time still advances by a full
+            // threshold so callers terminate.
+            self.time = self.cfg.t_threshold;
+            return 0;
+        }
+        let evals_before = self.stats.rate.site_evals;
+        let mut events = 0;
+        for sec in sectors() {
+            pre_sector(strategy, &mut self.lat, sec, t);
+            let out = run_sector(
+                &mut self.lat,
+                &self.model,
+                sec,
+                dt,
+                &mut self.rng,
+                &mut self.stats.rate,
+            );
+            events += out.events;
+            post_sector(strategy, &mut self.lat, sec, &out.dirty, t);
+        }
+        self.stats.events += events;
+        self.stats.cycles += 1;
+        self.time += dt;
+        let evals = self.stats.rate.site_evals - evals_before;
+        t.tick_compute(evals as f64 * SITE_EVAL_SECONDS);
+        events
+    }
+
+    /// Runs `cycles` synchronisation cycles.
+    pub fn run_cycles(
+        &mut self,
+        strategy: ExchangeStrategy,
+        t: &mut impl KmcTransport,
+        cycles: usize,
+    ) -> u64 {
+        (0..cycles).map(|_| self.cycle(strategy, t)).sum()
+    }
+
+    /// Runs until the configured `t_threshold` (paper Fig. 7's loop).
+    pub fn run_until_threshold(
+        &mut self,
+        strategy: ExchangeStrategy,
+        t: &mut impl KmcTransport,
+        max_cycles: usize,
+    ) -> u64 {
+        let mut events = 0;
+        let mut n = 0;
+        while self.time < self.cfg.t_threshold && n < max_cycles {
+            events += self.cycle(strategy, t);
+            n += 1;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::LoopbackK;
+    use crate::exchange::OnDemandMode;
+    use crate::lattice::SiteState;
+    use mmds_lattice::{BccGeometry, LocalGrid};
+
+    fn sim(n_vac: usize) -> KmcSimulation {
+        let cfg = KmcConfig {
+            table_knots: 800,
+            events_per_cycle: 2.0,
+            ..Default::default()
+        };
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(8), 3);
+        let mut s = KmcSimulation::new(cfg, grid);
+        s.lat.seed_vacancies(n_vac, 7);
+        s.initialize(&mut LoopbackK);
+        s
+    }
+
+    #[test]
+    fn vacancy_count_is_conserved() {
+        let mut s = sim(6);
+        s.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 20);
+        assert_eq!(s.lat.n_vacancies(), 6);
+        assert!(s.stats.events > 0, "something should have hopped");
+        assert!(s.time > 0.0);
+    }
+
+    #[test]
+    fn strategies_produce_identical_evolution() {
+        // The on-demand strategy is an optimisation, not an
+        // approximation: with the same seed the trajectory of *owned*
+        // sites must be identical to the traditional exchange. (Ghost
+        // copies may differ transiently: traditional refreshes them
+        // lazily at the next relevant pre-sector get, on-demand keeps
+        // them eagerly fresh.)
+        let run = |strategy: ExchangeStrategy| {
+            let mut s = sim(8);
+            s.run_cycles(strategy, &mut LoopbackK, 15);
+            let owned: Vec<_> = s
+                .lat
+                .grid
+                .interior_ids()
+                .map(|i| s.lat.state[i])
+                .collect();
+            (s.stats.events, owned)
+        };
+        let trad = run(ExchangeStrategy::Traditional);
+        let od2 = run(ExchangeStrategy::OnDemand(OnDemandMode::TwoSided));
+        let od1 = run(ExchangeStrategy::OnDemand(OnDemandMode::OneSided));
+        assert_eq!(trad.0, od2.0, "event counts differ");
+        assert_eq!(trad.1, od2.1, "owned states differ (two-sided)");
+        assert_eq!(trad.1, od1.1, "owned states differ (one-sided)");
+    }
+
+    #[test]
+    fn time_advances_by_dt_per_cycle() {
+        let mut s = sim(4);
+        let dt = s.compute_dt(&mut LoopbackK);
+        assert!(dt > 0.0);
+        s.cycle(ExchangeStrategy::Traditional, &mut LoopbackK);
+        assert!((s.time - dt).abs() < 1e-18);
+    }
+
+    #[test]
+    fn no_vacancies_terminates_immediately() {
+        let mut s = sim(0);
+        let ev = s.run_until_threshold(ExchangeStrategy::Traditional, &mut LoopbackK, 100);
+        assert_eq!(ev, 0);
+        assert!(s.time >= s.cfg.t_threshold);
+        assert_eq!(s.stats.cycles, 0);
+    }
+
+    #[test]
+    fn ghost_images_stay_consistent() {
+        let mut s = sim(10);
+        s.run_cycles(ExchangeStrategy::OnDemand(OnDemandMode::TwoSided), &mut LoopbackK, 10);
+        // Every ghost site must equal its canonical interior image.
+        let dims = s.lat.grid.dims();
+        for k in 0..dims[2] {
+            for j in 0..dims[1] {
+                for i in 0..dims[0] {
+                    if s.lat.grid.is_interior(i, j, k) {
+                        continue;
+                    }
+                    for b in 0..2 {
+                        let ghost = s.lat.grid.site_id(i, j, k, b);
+                        let g = s.lat.grid.global_cell(i, j, k);
+                        let gh = s.lat.grid.ghost;
+                        let own =
+                            s.lat.grid.site_id(g[0] + gh, g[1] + gh, g[2] + gh, b);
+                        assert_eq!(
+                            s.lat.state[ghost], s.lat.state[own],
+                            "ghost ({i},{j},{k},{b}) diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_do_happen_across_the_periodic_boundary() {
+        let mut s = sim(0);
+        // Vacancy at the very edge of the box: some of its 8 partners
+        // are ghost sites.
+        let edge = s.lat.grid.site_id(3, 3, 3, 0);
+        s.lat.set_state(edge, SiteState::Vacancy);
+        s.initialize(&mut LoopbackK);
+        s.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 25);
+        assert_eq!(s.lat.n_vacancies(), 1, "vacancy neither lost nor copied");
+    }
+}

@@ -1,0 +1,253 @@
+//! Local (per-rank) grid: a subdomain of cells plus a ghost shell.
+//!
+//! Domain decomposition assigns each rank a box of BCC cells; around it
+//! lives a ghost shell wide enough that every *interior* site finds all
+//! its cutoff neighbours locally (§2). Sites are stored in one flat
+//! array ordered `(k, j, i, basis)` — the paper's "ranked in the order
+//! of their spatial distribution".
+
+use serde::{Deserialize, Serialize};
+
+use crate::bcc::BccGeometry;
+use crate::neighbor_offsets::{NeighborOffset, NeighborOffsets};
+
+/// A rank's local region of the global lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalGrid {
+    /// The global lattice geometry.
+    pub global: BccGeometry,
+    /// Global cell coordinates of this rank's first owned cell.
+    pub start: [usize; 3],
+    /// Owned cells per axis.
+    pub len: [usize; 3],
+    /// Ghost shell width in cells.
+    pub ghost: usize,
+}
+
+impl LocalGrid {
+    /// Creates a local grid; `ghost` must cover the neighbour reach.
+    pub fn new(global: BccGeometry, start: [usize; 3], len: [usize; 3], ghost: usize) -> Self {
+        assert!(len.iter().all(|&l| l > 0));
+        let dims = [global.nx, global.ny, global.nz];
+        for ax in 0..3 {
+            assert!(
+                start[ax] < dims[ax] && len[ax] <= dims[ax],
+                "subdomain outside global lattice"
+            );
+        }
+        Self {
+            global,
+            start,
+            len,
+            ghost,
+        }
+    }
+
+    /// A single-rank grid covering the whole box.
+    pub fn whole(global: BccGeometry, ghost: usize) -> Self {
+        Self::new(global, [0, 0, 0], [global.nx, global.ny, global.nz], ghost)
+    }
+
+    /// Storage dimensions (owned + ghosts) in cells.
+    pub fn dims(&self) -> [usize; 3] {
+        [
+            self.len[0] + 2 * self.ghost,
+            self.len[1] + 2 * self.ghost,
+            self.len[2] + 2 * self.ghost,
+        ]
+    }
+
+    /// Total stored sites (2 per cell, ghosts included).
+    pub fn n_sites(&self) -> usize {
+        let d = self.dims();
+        2 * d[0] * d[1] * d[2]
+    }
+
+    /// Owned (interior) sites.
+    pub fn n_owned_sites(&self) -> usize {
+        2 * self.len[0] * self.len[1] * self.len[2]
+    }
+
+    /// Flat site id from *local storage* cell coordinates (ghosts
+    /// included: `i ∈ 0..dims()[0]`, etc.) and basis.
+    #[inline]
+    pub fn site_id(&self, i: usize, j: usize, k: usize, b: usize) -> usize {
+        let d = self.dims();
+        debug_assert!(i < d[0] && j < d[1] && k < d[2] && b < 2);
+        ((k * d[1] + j) * d[0] + i) * 2 + b
+    }
+
+    /// Inverse of [`LocalGrid::site_id`].
+    #[inline]
+    pub fn decode(&self, id: usize) -> (usize, usize, usize, usize) {
+        let d = self.dims();
+        let b = id & 1;
+        let c = id >> 1;
+        let i = c % d[0];
+        let j = (c / d[0]) % d[1];
+        let k = c / (d[0] * d[1]);
+        (i, j, k, b)
+    }
+
+    /// True if local cell coords `(i, j, k)` are owned (not ghost).
+    #[inline]
+    pub fn is_interior(&self, i: usize, j: usize, k: usize) -> bool {
+        (self.ghost..self.ghost + self.len[0]).contains(&i)
+            && (self.ghost..self.ghost + self.len[1]).contains(&j)
+            && (self.ghost..self.ghost + self.len[2]).contains(&k)
+    }
+
+    /// Global cell coordinates (periodically wrapped) of local cell
+    /// `(i, j, k)`.
+    pub fn global_cell(&self, i: usize, j: usize, k: usize) -> [usize; 3] {
+        let dims = [self.global.nx, self.global.ny, self.global.nz];
+        let local = [i, j, k];
+        let mut g = [0usize; 3];
+        for ax in 0..3 {
+            let v = self.start[ax] as i64 + local[ax] as i64 - self.ghost as i64;
+            g[ax] = v.rem_euclid(dims[ax] as i64) as usize;
+        }
+        g
+    }
+
+    /// Ideal (lattice-point) position of a local site in *unwrapped*
+    /// coordinates: ghost images keep their periodic offset so that
+    /// distances to interior sites are directly correct.
+    pub fn site_position(&self, i: usize, j: usize, k: usize, b: usize) -> [f64; 3] {
+        let h = 0.5 * b as f64;
+        let a0 = self.global.a0;
+        [
+            (self.start[0] as f64 + i as f64 - self.ghost as f64 + h) * a0,
+            (self.start[1] as f64 + j as f64 - self.ghost as f64 + h) * a0,
+            (self.start[2] as f64 + k as f64 - self.ghost as f64 + h) * a0,
+        ]
+    }
+
+    /// Precomputes the flat-index deltas for one basis' neighbour
+    /// offsets. For any central site id `s` with that basis (and cell
+    /// coords at least `max_cell_reach` from the storage edge),
+    /// neighbour ids are `s + delta`.
+    pub fn flat_deltas(&self, offsets: &[NeighborOffset], central_basis: usize) -> Vec<isize> {
+        let d = self.dims();
+        offsets
+            .iter()
+            .map(|o| {
+                ((o.dk as isize * d[1] as isize + o.dj as isize) * d[0] as isize
+                    + o.di as isize)
+                    * 2
+                    + (o.b as isize - central_basis as isize)
+            })
+            .collect()
+    }
+
+    /// Iterator over the flat ids of all owned (interior) sites.
+    pub fn interior_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        let g = self.ghost;
+        let len = self.len;
+        (0..len[2]).flat_map(move |kk| {
+            (0..len[1]).flat_map(move |jj| {
+                (0..len[0]).flat_map(move |ii| {
+                    (0..2).map(move |b| self.site_id(ii + g, jj + g, kk + g, b))
+                })
+            })
+        })
+    }
+
+    /// Checks the ghost shell covers the offsets' reach.
+    pub fn validate_ghost(&self, offsets: &NeighborOffsets) {
+        assert!(
+            self.ghost >= offsets.max_cell_reach(),
+            "ghost width {} < neighbour reach {}",
+            self.ghost,
+            offsets.max_cell_reach()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> LocalGrid {
+        LocalGrid::new(BccGeometry::fe_cube(8), [2, 0, 4], [4, 4, 4], 2)
+    }
+
+    #[test]
+    fn site_id_round_trip() {
+        let g = grid();
+        for id in (0..g.n_sites()).step_by(7) {
+            let (i, j, k, b) = g.decode(id);
+            assert_eq!(g.site_id(i, j, k, b), id);
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let g = grid();
+        assert_eq!(g.dims(), [8, 8, 8]);
+        assert_eq!(g.n_sites(), 2 * 512);
+        assert_eq!(g.n_owned_sites(), 128);
+        assert_eq!(g.interior_ids().count(), 128);
+    }
+
+    #[test]
+    fn interior_flags() {
+        let g = grid();
+        assert!(!g.is_interior(0, 3, 3));
+        assert!(!g.is_interior(1, 3, 3));
+        assert!(g.is_interior(2, 3, 3));
+        assert!(g.is_interior(5, 3, 3));
+        assert!(!g.is_interior(6, 3, 3));
+    }
+
+    #[test]
+    fn global_cell_wraps() {
+        let g = grid();
+        // Local (0,0,0) is global start - ghost = (0, -2, 2) → wraps y to 6.
+        assert_eq!(g.global_cell(0, 0, 0), [0, 6, 2]);
+        assert_eq!(g.global_cell(2, 2, 2), [2, 0, 4]);
+    }
+
+    #[test]
+    fn flat_deltas_point_at_neighbors() {
+        let g = grid();
+        let offs = NeighborOffsets::generate(g.global.a0, 5.0);
+        g.validate_ghost(&offs);
+        let deltas = g.flat_deltas(&offs.basis0, 0);
+        let central = g.site_id(3, 3, 3, 0);
+        for (o, &dlt) in offs.basis0.iter().zip(&deltas) {
+            let nid = (central as isize + dlt) as usize;
+            let (i, j, k, b) = g.decode(nid);
+            assert_eq!(
+                (i as i32 - 3, j as i32 - 3, k as i32 - 3, b as u8),
+                (o.di, o.dj, o.dk, o.b)
+            );
+        }
+    }
+
+    #[test]
+    fn site_positions_have_consistent_spacing() {
+        let g = grid();
+        let offs = NeighborOffsets::generate(g.global.a0, 5.0);
+        let p0 = g.site_position(3, 3, 3, 0);
+        for o in offs.first_shell(0) {
+            let p = g.site_position(
+                (3 + o.di) as usize,
+                (3 + o.dj) as usize,
+                (3 + o.dk) as usize,
+                o.b as usize,
+            );
+            let d = ((p[0] - p0[0]).powi(2) + (p[1] - p0[1]).powi(2) + (p[2] - p0[2]).powi(2))
+                .sqrt();
+            assert!((d - g.global.nn1()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost width")]
+    fn ghost_too_small_rejected() {
+        let g = LocalGrid::new(BccGeometry::fe_cube(8), [0, 0, 0], [4, 4, 4], 1);
+        let offs = NeighborOffsets::generate(2.855, 5.0);
+        g.validate_ghost(&offs);
+    }
+}

@@ -1,0 +1,188 @@
+//! Linked-cell baseline (IMD/ls1-MarDyn/CoMD-style, §2.1.1).
+//!
+//! "Linked cell divides the simulation box into cubic cells, whose edge
+//! length is equal to the cutoff radius ... Compared with neighbor list,
+//! linked cell consumes less memory. However, it should update the atoms
+//! within each cell at each time step, which leads to high computational
+//! overhead."
+
+use serde::{Deserialize, Serialize};
+
+/// Classic linked-cell structure over an axis-aligned box.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkedCellList {
+    /// Cell edge length (≥ cutoff).
+    pub cell_size: f64,
+    /// Cells per axis.
+    pub dims: [usize; 3],
+    /// Box lower corner.
+    pub lo: [f64; 3],
+    /// Head atom index per cell (-1 = empty).
+    pub heads: Vec<i32>,
+    /// Next atom in the same cell (-1 terminates).
+    pub next: Vec<i32>,
+    /// Rebuild counter (the per-step cost the paper calls out).
+    pub rebuilds: u64,
+}
+
+impl LinkedCellList {
+    /// Creates an empty structure for a box `[lo, hi]` with cells at
+    /// least `cutoff` wide.
+    pub fn new(lo: [f64; 3], hi: [f64; 3], cutoff: f64) -> Self {
+        assert!(cutoff > 0.0);
+        let mut dims = [1usize; 3];
+        for ax in 0..3 {
+            assert!(hi[ax] > lo[ax]);
+            dims[ax] = (((hi[ax] - lo[ax]) / cutoff).floor() as usize).max(1);
+        }
+        let n_cells = dims[0] * dims[1] * dims[2];
+        Self {
+            cell_size: cutoff,
+            dims,
+            lo,
+            heads: vec![-1; n_cells],
+            next: Vec::new(),
+            rebuilds: 0,
+        }
+    }
+
+    fn cell_of(&self, p: &[f64; 3]) -> [usize; 3] {
+        let mut c = [0usize; 3];
+        for ax in 0..3 {
+            let span = self.dims[ax] as f64;
+            let u = ((p[ax] - self.lo[ax]) / self.cell_size).floor();
+            c[ax] = (u.clamp(0.0, span - 1.0)) as usize;
+        }
+        c
+    }
+
+    fn flat(&self, c: [usize; 3]) -> usize {
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// (Re)assigns every atom to its cell — the per-step update cost.
+    pub fn rebuild(&mut self, pos: &[[f64; 3]]) {
+        self.heads.iter_mut().for_each(|h| *h = -1);
+        self.next.clear();
+        self.next.resize(pos.len(), -1);
+        for (i, p) in pos.iter().enumerate() {
+            let cell = self.flat(self.cell_of(p));
+            self.next[i] = self.heads[cell];
+            self.heads[cell] = i as i32;
+        }
+        self.rebuilds += 1;
+    }
+
+    /// Calls `f(i, j)` for every ordered pair within `cutoff` (both
+    /// `(i,j)` and `(j,i)` are visited, matching the Verlet baseline).
+    pub fn for_each_pair(&self, pos: &[[f64; 3]], cutoff: f64, mut f: impl FnMut(usize, usize)) {
+        let r2 = cutoff * cutoff;
+        for (i, p) in pos.iter().enumerate() {
+            let c = self.cell_of(p);
+            for dz in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let q = [c[0] as i64 + dx, c[1] as i64 + dy, c[2] as i64 + dz];
+                        if q.iter()
+                            .zip(&self.dims)
+                            .any(|(&v, &d)| v < 0 || v >= d as i64)
+                        {
+                            continue;
+                        }
+                        let mut cur = self.heads[self.flat([
+                            q[0] as usize,
+                            q[1] as usize,
+                            q[2] as usize,
+                        ])];
+                        while cur >= 0 {
+                            let j = cur as usize;
+                            cur = self.next[j];
+                            if j == i {
+                                continue;
+                            }
+                            let d2 = (p[0] - pos[j][0]).powi(2)
+                                + (p[1] - pos[j][1]).powi(2)
+                                + (p[2] - pos[j][2]).powi(2);
+                            if d2 <= r2 {
+                                f(i, j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Memory consumed by the structure.
+    pub fn memory_bytes(&self) -> usize {
+        self.heads.len() * 4 + self.next.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_positions(n: usize, scale: f64, seed: u64) -> Vec<[f64; 3]> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * scale
+        };
+        (0..n).map(|_| [next(), next(), next()]).collect()
+    }
+
+    #[test]
+    fn pairs_match_verlet_baseline() {
+        let pos = pseudo_positions(150, 9.0, 11);
+        let cutoff = 2.3;
+        let mut lc = LinkedCellList::new([0.0; 3], [9.0; 3], cutoff);
+        lc.rebuild(&pos);
+        let mut pairs = Vec::new();
+        lc.for_each_pair(&pos, cutoff, |i, j| pairs.push((i, j)));
+        pairs.sort_unstable();
+        let vl = crate::verlet::VerletList::build(&pos, cutoff, 0.0);
+        let mut expected = Vec::new();
+        for i in 0..pos.len() {
+            for &j in vl.neighbors_of(i) {
+                expected.push((i, j as usize));
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn rebuild_counts() {
+        let pos = pseudo_positions(20, 5.0, 2);
+        let mut lc = LinkedCellList::new([0.0; 3], [5.0; 3], 2.0);
+        assert_eq!(lc.rebuilds, 0);
+        lc.rebuild(&pos);
+        lc.rebuild(&pos);
+        assert_eq!(lc.rebuilds, 2);
+    }
+
+    #[test]
+    fn memory_is_lean() {
+        let pos = pseudo_positions(1000, 20.0, 5);
+        let mut lc = LinkedCellList::new([0.0; 3], [20.0; 3], 2.5);
+        lc.rebuild(&pos);
+        // ~4 B/atom + 4 B/cell: far below a Verlet list of the same system.
+        let vl = crate::verlet::VerletList::build(&pos, 2.5, 0.5);
+        assert!(lc.memory_bytes() < vl.memory_bytes());
+    }
+
+    #[test]
+    fn atoms_outside_box_are_clamped() {
+        let mut lc = LinkedCellList::new([0.0; 3], [4.0; 3], 2.0);
+        let pos = vec![[-1.0, 2.0, 2.0], [5.0, 2.0, 2.0], [0.5, 2.0, 2.0]];
+        lc.rebuild(&pos);
+        let mut seen = Vec::new();
+        lc.for_each_pair(&pos, 2.0, |i, j| seen.push((i, j)));
+        // Atom 0 (clamped to cell 0) and atom 2 are 1.5 apart → a pair.
+        assert!(seen.contains(&(0, 2)));
+        assert!(seen.contains(&(2, 0)));
+    }
+}

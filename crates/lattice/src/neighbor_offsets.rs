@@ -1,0 +1,180 @@
+//! Static neighbour index offsets.
+//!
+//! "For each central atom, the offsets of the neighbor atoms relative to
+//! the central atom are the same. This means the indexes of the neighbor
+//! atoms for each central atom can be calculated in the same way"
+//! (§2.1.1, Fig. 2). In BCC the offset set depends only on the basis
+//! (corner vs centre) of the central site, so we precompute one offset
+//! list per basis covering every shell inside the cutoff.
+
+use serde::{Deserialize, Serialize};
+
+/// One neighbour's offset in (cell, basis) index space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborOffset {
+    /// Cell offset along x.
+    pub di: i32,
+    /// Cell offset along y.
+    pub dj: i32,
+    /// Cell offset along z.
+    pub dk: i32,
+    /// Target basis (0 = corner, 1 = centre).
+    pub b: u8,
+    /// Ideal (perfect-lattice) distance to this neighbour (Å).
+    pub r_ideal: f64,
+}
+
+/// The per-basis offset lists for a given lattice constant and cutoff.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeighborOffsets {
+    /// Offsets for a basis-0 (corner) central site.
+    pub basis0: Vec<NeighborOffset>,
+    /// Offsets for a basis-1 (centre) central site.
+    pub basis1: Vec<NeighborOffset>,
+    /// Cutoff used for generation (Å).
+    pub cutoff: f64,
+}
+
+impl NeighborOffsets {
+    /// Enumerates every lattice site within `cutoff` of a central site.
+    pub fn generate(a0: f64, cutoff: f64) -> Self {
+        let reach = (cutoff / a0).ceil() as i32 + 1;
+        let gen = |cb: u8| {
+            let ch = 0.5 * cb as f64;
+            let mut out = Vec::new();
+            for dk in -reach..=reach {
+                for dj in -reach..=reach {
+                    for di in -reach..=reach {
+                        for b in 0..2u8 {
+                            let h = 0.5 * b as f64;
+                            let dx = (di as f64 + h - ch) * a0;
+                            let dy = (dj as f64 + h - ch) * a0;
+                            let dz = (dk as f64 + h - ch) * a0;
+                            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                            if r > 1e-9 && r <= cutoff {
+                                out.push(NeighborOffset {
+                                    di,
+                                    dj,
+                                    dk,
+                                    b,
+                                    r_ideal: r,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Deterministic order: by distance, then lexicographic.
+            out.sort_by(|a, b| {
+                a.r_ideal
+                    .partial_cmp(&b.r_ideal)
+                    .unwrap()
+                    .then(a.di.cmp(&b.di))
+                    .then(a.dj.cmp(&b.dj))
+                    .then(a.dk.cmp(&b.dk))
+                    .then(a.b.cmp(&b.b))
+            });
+            out
+        };
+        Self {
+            basis0: gen(0),
+            basis1: gen(1),
+            cutoff,
+        }
+    }
+
+    /// The offsets for a central site of basis `b`.
+    pub fn for_basis(&self, b: usize) -> &[NeighborOffset] {
+        match b {
+            0 => &self.basis0,
+            1 => &self.basis1,
+            _ => panic!("BCC has 2 bases"),
+        }
+    }
+
+    /// Maximum |cell offset| along any axis — the ghost width in cells
+    /// required so that every interior site's neighbours exist locally.
+    pub fn max_cell_reach(&self) -> usize {
+        self.basis0
+            .iter()
+            .chain(&self.basis1)
+            .flat_map(|o| [o.di.abs(), o.dj.abs(), o.dk.abs()])
+            .max()
+            .unwrap_or(0) as usize
+    }
+
+    /// Offsets to the 8 first-nearest neighbours only (the KMC event
+    /// directions).
+    pub fn first_shell(&self, b: usize) -> Vec<NeighborOffset> {
+        let nn1 = self
+            .for_basis(b)
+            .first()
+            .expect("non-empty offset list")
+            .r_ideal;
+        self.for_basis(b)
+            .iter()
+            .filter(|o| (o.r_ideal - nn1).abs() < 1e-9)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A0: f64 = 2.855;
+
+    #[test]
+    fn first_shell_has_8_neighbors() {
+        let offs = NeighborOffsets::generate(A0, 5.0);
+        assert_eq!(offs.first_shell(0).len(), 8);
+        assert_eq!(offs.first_shell(1).len(), 8);
+        for o in offs.first_shell(0) {
+            assert!((o.r_ideal - 0.5 * 3.0f64.sqrt() * A0).abs() < 1e-9);
+            assert_eq!(o.b, 1, "1NN of a corner site is a centre site");
+        }
+    }
+
+    #[test]
+    fn shell_counts_match_bcc() {
+        // Shells within 5.0 Å at a0 = 2.855: 8 (1NN) + 6 (2NN) + 12 (3NN)
+        // + 24 (4NN) + 8 (5NN, √3·a0 = 4.945) = 58.
+        let offs = NeighborOffsets::generate(A0, 5.0);
+        assert_eq!(offs.basis0.len(), 58);
+        assert_eq!(offs.basis1.len(), 58);
+    }
+
+    #[test]
+    fn bases_are_mirror_symmetric() {
+        let offs = NeighborOffsets::generate(A0, 5.0);
+        // Same multiset of distances for both bases.
+        let d0: Vec<i64> = offs.basis0.iter().map(|o| (o.r_ideal * 1e6) as i64).collect();
+        let d1: Vec<i64> = offs.basis1.iter().map(|o| (o.r_ideal * 1e6) as i64).collect();
+        assert_eq!(d0, d1);
+    }
+
+    #[test]
+    fn reach_covers_cutoff() {
+        let offs = NeighborOffsets::generate(A0, 5.0);
+        // 4NN offsets reach 2 cells (centre site at (-2,..) + ½).
+        assert_eq!(offs.max_cell_reach(), 2);
+        let tight = NeighborOffsets::generate(A0, 2.9);
+        assert_eq!(tight.max_cell_reach(), 1);
+    }
+
+    #[test]
+    fn offsets_antisymmetric_between_bases() {
+        // If (di,dj,dk,b=1) is a neighbour of basis 0, then the reverse
+        // offset must appear in basis 1's list pointing at basis 0.
+        let offs = NeighborOffsets::generate(A0, 5.0);
+        for o in &offs.basis0 {
+            if o.b == 1 {
+                let found = offs.basis1.iter().any(|p| {
+                    p.b == 0 && p.di == -o.di && p.dj == -o.dj && p.dk == -o.dk
+                });
+                assert!(found, "missing reverse of {o:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests on the lattice substrate.
+
+use mmds_lattice::{BccGeometry, LatticeNeighborList, LocalGrid, NeighborOffsets};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// site_id/decode round-trips for arbitrary grids and indices.
+    #[test]
+    fn site_id_round_trip(
+        nx in 4usize..12, ny in 4usize..12, nz in 4usize..12,
+        ghost in 1usize..3, frac in 0.0f64..1.0,
+    ) {
+        let grid = LocalGrid::whole(BccGeometry::new(2.855, nx, ny, nz), ghost);
+        let id = (frac * (grid.n_sites() - 1) as f64) as usize;
+        let (i, j, k, b) = grid.decode(id);
+        prop_assert_eq!(grid.site_id(i, j, k, b), id);
+    }
+
+    /// Every interior id decodes to interior coordinates, and the
+    /// interior count matches the owned-site arithmetic.
+    #[test]
+    fn interior_ids_consistent(n in 4usize..10) {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(n), 2);
+        let mut count = 0;
+        for s in grid.interior_ids() {
+            let (i, j, k, _) = grid.decode(s);
+            prop_assert!(grid.is_interior(i, j, k));
+            count += 1;
+        }
+        prop_assert_eq!(count, grid.n_owned_sites());
+    }
+
+    /// nearest_local_site maps any point displaced < nn1/2 from a
+    /// lattice point back to that point.
+    #[test]
+    fn nearest_site_basin(
+        i in 2usize..6, j in 2usize..6, k in 2usize..6, b in 0usize..2,
+        dx in -0.4f64..0.4, dy in -0.4f64..0.4, dz in -0.4f64..0.4,
+    ) {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(6), 2);
+        let l = LatticeNeighborList::perfect(grid, 5.0);
+        let p = grid.site_position(i, j, k, b);
+        let q = [p[0] + dx, p[1] + dy, p[2] + dz];
+        // |(dx,dy,dz)| <= 0.69 < nn1/2 = 1.24.
+        prop_assert_eq!(l.nearest_local_site(q), Some(grid.site_id(i, j, k, b)));
+    }
+
+    /// Offset generation: both bases always see identical shell
+    /// structure, distances are within the cutoff and sorted.
+    #[test]
+    fn offsets_well_formed(cutoff in 2.5f64..6.0) {
+        let offs = NeighborOffsets::generate(2.855, cutoff);
+        prop_assert_eq!(offs.basis0.len(), offs.basis1.len());
+        for list in [&offs.basis0, &offs.basis1] {
+            prop_assert!(!list.is_empty());
+            for w in list.windows(2) {
+                prop_assert!(w[0].r_ideal <= w[1].r_ideal + 1e-12);
+            }
+            prop_assert!(list.iter().all(|o| o.r_ideal > 0.0 && o.r_ideal <= cutoff));
+        }
+    }
+
+    /// Run-away add/remove in arbitrary orders keeps counts consistent.
+    #[test]
+    fn runaway_pool_consistency(ops in prop::collection::vec(0u8..3, 1..40)) {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(5), 2);
+        let mut l = LatticeNeighborList::perfect(grid, 5.0);
+        let home = l.grid.site_id(3, 3, 3, 0);
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_id = 0i64;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    live.push(l.add_runaway(home, next_id, [1.0; 3], [0.0; 3]));
+                    next_id += 1;
+                }
+                _ => {
+                    if let Some(idx) = live.pop() {
+                        l.remove_runaway(idx);
+                    }
+                }
+            }
+            prop_assert_eq!(l.n_runaways(), live.len());
+            prop_assert_eq!(l.chain(home).count(), live.len());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! MD configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an MD run. Defaults follow the paper's §3 setup
+/// (Fe at 600 K, a₀ = 2.855 Å, Δt = 1 fs).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MdConfig {
+    /// Lattice constant (Å).
+    pub a0: f64,
+    /// Interaction cutoff (Å).
+    pub cutoff: f64,
+    /// Extra margin added to the *offset generation* cutoff so thermally
+    /// displaced atoms still find every partner (Å).
+    pub offset_margin: f64,
+    /// Time step (ps). The paper uses 1 fs.
+    pub dt: f64,
+    /// Target temperature (K).
+    pub temperature: f64,
+    /// Berendsen thermostat time constant (ps); `None` runs NVE.
+    pub thermostat_tau: Option<f64>,
+    /// Displacement (fraction of the 1NN distance) beyond which an atom
+    /// is promoted to a run-away.
+    pub runaway_threshold: f64,
+    /// Capture radius (fraction of 1NN) within which a run-away
+    /// re-occupies a vacancy.
+    pub capture_radius: f64,
+    /// Interpolation-table knots (the paper uses 5000).
+    pub table_knots: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        Self {
+            a0: 2.855,
+            cutoff: 5.0,
+            offset_margin: 0.6,
+            dt: 0.001,
+            temperature: 600.0,
+            thermostat_tau: Some(0.1),
+            runaway_threshold: 0.5,
+            capture_radius: 0.3,
+            table_knots: 5000,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl MdConfig {
+    /// The 1NN distance for this lattice constant.
+    pub fn nn1(&self) -> f64 {
+        0.5 * 3.0_f64.sqrt() * self.a0
+    }
+
+    /// Absolute run-away promotion threshold (Å).
+    pub fn runaway_distance(&self) -> f64 {
+        self.runaway_threshold * self.nn1()
+    }
+
+    /// Absolute vacancy capture radius (Å).
+    pub fn capture_distance(&self) -> f64 {
+        self.capture_radius * self.nn1()
+    }
+
+    /// Cutoff used when generating static neighbour offsets.
+    pub fn offsets_cutoff(&self) -> f64 {
+        self.cutoff + self.offset_margin
+    }
+
+    /// Per-rank RNG seed, decorrelated across ranks.
+    pub fn rank_seed(&self, rank: usize) -> u64 {
+        self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MdConfig::default();
+        assert_eq!(c.a0, 2.855);
+        assert_eq!(c.dt, 0.001); // 1 fs in ps
+        assert_eq!(c.temperature, 600.0);
+        assert_eq!(c.table_knots, 5000);
+    }
+
+    #[test]
+    fn derived_distances() {
+        let c = MdConfig::default();
+        assert!((c.nn1() - 2.472_42).abs() < 1e-3);
+        assert!(c.runaway_distance() > c.capture_distance());
+        assert!(c.offsets_cutoff() > c.cutoff);
+    }
+
+    #[test]
+    fn rank_seeds_differ() {
+        let c = MdConfig::default();
+        assert_ne!(c.rank_seed(0), c.rank_seed(1));
+        assert_eq!(c.rank_seed(3), c.rank_seed(3));
+    }
+}

@@ -1,0 +1,211 @@
+//! Velocity Verlet integration and velocity initialisation.
+
+use mmds_eam::units::{ACC_CONV, KB, KE_CONV};
+use mmds_lattice::lnl::LatticeNeighborList;
+use rand::Rng;
+
+/// Half-kick: `v += (dt/2) · f/m` for owned atoms and run-aways.
+pub fn kick(l: &mut LatticeNeighborList, interior: &[usize], dt_half: f64, mass: f64) {
+    let c = dt_half * ACC_CONV / mass;
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        for ax in 0..3 {
+            l.vel[s][ax] += c * l.force[s][ax];
+        }
+    }
+    for i in l.live_runaways() {
+        let r = l.runaway_mut(i);
+        for ax in 0..3 {
+            r.vel[ax] += c * r.force[ax];
+        }
+    }
+}
+
+/// Drift: `x += dt · v` for owned atoms and run-aways.
+pub fn drift(l: &mut LatticeNeighborList, interior: &[usize], dt: f64) {
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        for ax in 0..3 {
+            l.pos[s][ax] += dt * l.vel[s][ax];
+        }
+    }
+    for i in l.live_runaways() {
+        let r = l.runaway_mut(i);
+        for ax in 0..3 {
+            r.pos[ax] += dt * r.vel[ax];
+        }
+    }
+}
+
+/// Kinetic energy of owned atoms + run-aways (eV).
+pub fn kinetic_energy(l: &LatticeNeighborList, interior: &[usize], mass: f64) -> f64 {
+    let mut ke = 0.0;
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        let v = l.vel[s];
+        ke += 0.5 * mass * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * KE_CONV;
+    }
+    for i in l.live_runaways() {
+        let v = l.runaway(i).vel;
+        ke += 0.5 * mass * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]) * KE_CONV;
+    }
+    ke
+}
+
+/// Number of moving atoms (owned site atoms + owned run-aways).
+pub fn n_moving(l: &LatticeNeighborList, interior: &[usize]) -> usize {
+    interior.iter().filter(|&&s| l.id[s] >= 0).count() + l.n_runaways()
+}
+
+/// Instantaneous kinetic temperature (K).
+pub fn temperature(l: &LatticeNeighborList, interior: &[usize], mass: f64) -> f64 {
+    let n = n_moving(l, interior);
+    if n == 0 {
+        return 0.0;
+    }
+    2.0 * kinetic_energy(l, interior, mass) / (3.0 * n as f64 * KB)
+}
+
+/// Draws Maxwell–Boltzmann velocities at temperature `t_kelvin` and
+/// removes the centre-of-mass drift.
+pub fn maxwell_boltzmann(
+    l: &mut LatticeNeighborList,
+    interior: &[usize],
+    mass: f64,
+    t_kelvin: f64,
+    rng: &mut impl Rng,
+) {
+    let sigma = (KB * t_kelvin / (mass * KE_CONV)).sqrt();
+    let mut sum = [0.0; 3];
+    let mut n = 0usize;
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        for ax in 0..3 {
+            let v = sigma * gaussian(rng);
+            l.vel[s][ax] = v;
+            sum[ax] += v;
+        }
+        n += 1;
+    }
+    if n > 0 {
+        let mean = [sum[0] / n as f64, sum[1] / n as f64, sum[2] / n as f64];
+        for &s in interior {
+            if l.id[s] < 0 {
+                continue;
+            }
+            for ax in 0..3 {
+                l.vel[s][ax] -= mean[ax];
+            }
+        }
+    }
+}
+
+/// Standard normal deviate via Box–Muller (rand 0.9 keeps Gaussian
+/// sampling in `rand_distr`, which we avoid pulling in).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmds_lattice::{BccGeometry, LocalGrid};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lnl() -> (LatticeNeighborList, Vec<usize>) {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(6), 2);
+        let l = LatticeNeighborList::perfect(grid, 5.0);
+        let ids = l.grid.interior_ids().collect();
+        (l, ids)
+    }
+
+    #[test]
+    fn maxwell_boltzmann_hits_target_temperature() {
+        let (mut l, ids) = lnl();
+        let mut rng = StdRng::seed_from_u64(7);
+        maxwell_boltzmann(&mut l, &ids, 55.845, 600.0, &mut rng);
+        let t = temperature(&l, &ids, 55.845);
+        assert!((t - 600.0).abs() / 600.0 < 0.15, "T = {t}");
+    }
+
+    #[test]
+    fn com_momentum_removed() {
+        let (mut l, ids) = lnl();
+        let mut rng = StdRng::seed_from_u64(3);
+        maxwell_boltzmann(&mut l, &ids, 55.845, 300.0, &mut rng);
+        let mut p = [0.0; 3];
+        for &s in &ids {
+            for ax in 0..3 {
+                p[ax] += l.vel[s][ax];
+            }
+        }
+        for ax in 0..3 {
+            assert!(p[ax].abs() < 1e-9, "net momentum axis {ax}: {}", p[ax]);
+        }
+    }
+
+    #[test]
+    fn kick_and_drift_move_atoms() {
+        let (mut l, ids) = lnl();
+        let s = ids[10];
+        l.force[s] = [1.0, 0.0, 0.0];
+        kick(&mut l, &ids, 0.0005, 55.845);
+        assert!(l.vel[s][0] > 0.0);
+        let x0 = l.pos[s][0];
+        drift(&mut l, &ids, 0.001);
+        assert!(l.pos[s][0] > x0);
+    }
+
+    #[test]
+    fn vacancies_do_not_move() {
+        let (mut l, ids) = lnl();
+        let s = ids[0];
+        l.make_vacancy(s);
+        l.force[s] = [100.0, 0.0, 0.0];
+        let p0 = l.pos[s];
+        kick(&mut l, &ids, 0.0005, 55.845);
+        drift(&mut l, &ids, 0.001);
+        assert_eq!(l.pos[s], p0);
+        assert_eq!(l.vel[s], [0.0; 3]);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn runaways_integrate_too() {
+        let (mut l, ids) = lnl();
+        let s = ids[5];
+        let id = l.make_vacancy(s);
+        let idx = l.add_runaway(s, id, [1.0, 1.0, 1.0], [0.0; 3]);
+        l.runaway_mut(idx).force = [2.0, 0.0, 0.0];
+        kick(&mut l, &ids, 0.001, 55.845);
+        assert!(l.runaway(idx).vel[0] > 0.0);
+        drift(&mut l, &ids, 0.001);
+        assert!(l.runaway(idx).pos[0] > 1.0);
+        assert!(kinetic_energy(&l, &ids, 55.845) > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mmds-md — Molecular Dynamics engine
+//!
+//! MD "simulates the defect generation caused by cascade collision, and
+//! outputs the coordinates of vacancy and the information of atoms"
+//! (§1, §2.1). This crate implements the paper's MD side in full:
+//!
+//! * Two-pass EAM evaluation over the lattice neighbor list
+//!   ([`force`]): density pass → embedding derivative → force pass,
+//!   through the interpolation tables of `mmds-eam`.
+//! * Velocity Verlet integration, Maxwell–Boltzmann initialisation, and
+//!   a Berendsen thermostat ([`integrate`], [`thermostat`]).
+//! * Run-away atom transitions ([`runaway`]): an atom displaced past
+//!   half the 1NN distance leaves a vacancy behind (negative ID) and
+//!   becomes a linked-list run-away at its new nearest site; run-aways
+//!   landing on a vacancy re-occupy it.
+//! * Cascade setup ([`cascade`]): a primary knock-on atom (PKA).
+//! * Domain decomposition with staged 6-direction ghost exchange over
+//!   `mmds-swmpi` ([`domain`]).
+//! * The CPE offload path ([`offload`]) with the Fig. 9 ablation axes:
+//!   traditional vs compacted tables × ghost-data reuse × double
+//!   buffering, executed/charged through `mmds-sunway`.
+
+#![forbid(unsafe_code)]
+// Fixed-axis coordinate math reads clearest as `for ax in 0..3`.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod cascade;
+pub mod checkpoint;
+pub mod config;
+pub mod defects;
+pub mod domain;
+pub mod force;
+pub mod integrate;
+pub mod offload;
+pub mod parallel;
+pub mod runaway;
+pub mod sim;
+pub mod thermostat;
+
+pub use config::MdConfig;
+pub use offload::OffloadConfig;
+pub use parallel::{run_parallel_md, ParallelMdParams, RankMdSummary};
+pub use sim::{MdReport, MdSimulation};

@@ -1,0 +1,613 @@
+//! CPE offload of the EAM passes — the Fig. 9 machinery.
+//!
+//! "The subdomain of each process is further equally partitioned into
+//! slabs, and each thread \[CPE\] is responsible for one slab. ... each
+//! slab is further partitioned into blocks, and each slave core
+//! processes the blocks one by one" (§2.1.2). Per block the kernel
+//! stages atom data into the local store (stream DMA), computes the EAM
+//! pass — issuing latency-bound *gather* DMAs for anything not resident
+//! (traditional table rows, halo atoms outside the retained window) —
+//! and puts the results back. Each distinct halo site is fetched once
+//! per block (it stays in the local store for the rest of the block).
+//!
+//! In compacted mode the three tables "are accessed sequentially"
+//! (paper): the force computation runs as two one-table-resident sweeps
+//! (pair sweep, then density-gradient sweep), because two 39 KiB tables
+//! plus block buffers cannot coexist in the 64 KB local store.
+//!
+//! The three optimisation axes of Fig. 9:
+//! * [`mmds_eam::TableForm`]: `Traditional` gathers one 56 B coefficient
+//!   row per table access; `Compacted` holds the 39 KiB value table
+//!   resident (enforced by real allocation) and reconstructs
+//!   coefficients on the fly.
+//! * `data_reuse`: the previous block's edge atoms stay in the local
+//!   store, so backward halo references are free.
+//! * `double_buffer`: block staging DMA overlaps compute (Fig. 6).
+
+use std::collections::HashSet;
+
+use mmds_eam::compact::{CompactTable, RECON_EXTRA_FLOPS};
+use mmds_eam::spline::TraditionalTable;
+use mmds_eam::{EamPotential, TableForm};
+use mmds_lattice::lnl::LatticeNeighborList;
+use mmds_sunway::{ClusterReport, CpeCluster, CpeCtx};
+use serde::{Deserialize, Serialize};
+
+use crate::force::{for_each_partner, Central};
+
+/// Flops charged for computing one pair separation (r², √).
+const R_FLOPS: u64 = 18;
+/// Flops for evaluating one cubic segment (value + derivative).
+const EVAL_FLOPS: u64 = 12;
+/// Per-atom bookkeeping flops.
+const ATOM_FLOPS: u64 = 6;
+
+/// Offload configuration (the Fig. 9 ablation axes).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OffloadConfig {
+    /// Table machinery.
+    pub form: TableForm,
+    /// Keep the previous block's edge resident (ghost-data reuse).
+    pub data_reuse: bool,
+    /// Overlap staging DMA with compute.
+    pub double_buffer: bool,
+    /// Sites per block (sized so table + block buffers fit in 64 KB).
+    pub block_sites: usize,
+}
+
+impl OffloadConfig {
+    /// The paper's best configuration.
+    pub fn optimized() -> Self {
+        Self {
+            form: TableForm::Compacted,
+            data_reuse: true,
+            double_buffer: true,
+            block_sites: 448,
+        }
+    }
+
+    /// The baseline configuration (traditional tables, no reuse, single
+    /// buffer).
+    pub fn traditional() -> Self {
+        Self {
+            form: TableForm::Traditional,
+            data_reuse: false,
+            double_buffer: false,
+            block_sites: 448,
+        }
+    }
+
+    /// The four Fig. 9 variants in presentation order.
+    pub fn fig9_variants() -> [(&'static str, Self); 4] {
+        let t = Self::traditional();
+        [
+            ("TraditionalTable", t),
+            (
+                "CompactedTable",
+                Self {
+                    form: TableForm::Compacted,
+                    ..t
+                },
+            ),
+            (
+                "CompactedTable+DataReuse",
+                Self {
+                    form: TableForm::Compacted,
+                    data_reuse: true,
+                    ..t
+                },
+            ),
+            ("CompactedTable+DataReuse+DoubleBuffer", Self::optimized()),
+        ]
+    }
+}
+
+/// Which sweep a kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    /// ρ accumulation (density table).
+    Density,
+    /// Traditional single-sweep force (pair + density rows gathered).
+    ForceBoth,
+    /// Compacted sweep 1: pair term, pair table resident.
+    ForcePair,
+    /// Compacted sweep 2: embedding-gradient term, density table resident.
+    ForceDensity,
+}
+
+impl Pass {
+    fn writes_force(&self) -> bool {
+        !matches!(self, Pass::Density)
+    }
+}
+
+/// The retained-window width for data reuse: the farthest backward flat
+/// offset any neighbour can have.
+fn reach_flat(l: &LatticeNeighborList) -> usize {
+    l.neighbor_deltas(0)
+        .iter()
+        .chain(l.neighbor_deltas(1))
+        .map(|&d| d.unsigned_abs())
+        .max()
+        .unwrap_or(0)
+}
+
+struct SlabItem<'a> {
+    sites: &'a [usize],
+    out_rho: &'a mut [f64],
+    out_force: &'a mut [[f64; 3]],
+    out_pair: &'a mut f64,
+}
+
+/// Charges + computes one sweep over `sites`, writing per-site outputs.
+fn slab_kernel(
+    ctx: &mut CpeCtx,
+    l: &LatticeNeighborList,
+    pot: &EamPotential,
+    cfg: &OffloadConfig,
+    pass: Pass,
+    reach: usize,
+    item: SlabItem<'_>,
+) {
+    let cutoff = pot.cutoff();
+    // Resident table for this sweep (really allocated: capacity enforced).
+    let resident: Option<(mmds_sunway::LsVec<f64>, f64, f64)> = match (cfg.form, pass) {
+        (TableForm::Compacted, Pass::Density) | (TableForm::Compacted, Pass::ForceDensity) => {
+            let t = &pot.comp_density;
+            let buf = ctx
+                .load_resident_table(&t.values)
+                .expect("compacted density table fits in the local store");
+            Some((buf, t.x0, t.dx))
+        }
+        (TableForm::Compacted, Pass::ForcePair) => {
+            let t = &pot.comp_pair;
+            let buf = ctx
+                .load_resident_table(&t.values)
+                .expect("compacted pair table fits in the local store");
+            Some((buf, t.x0, t.dx))
+        }
+        (TableForm::Compacted, Pass::ForceBoth) => {
+            unreachable!("compacted mode uses the two-sweep force path")
+        }
+        (TableForm::Traditional, _) => {
+            // The 273 KiB table cannot be resident — prove it.
+            debug_assert!(ctx
+                .local_store()
+                .alloc_f64(pot.trad_pair.coeff.len() * 7)
+                .is_err());
+            None
+        }
+    };
+    // Block I/O buffers (positions in, results out) — real allocations.
+    let out_words = if pass.writes_force() {
+        cfg.block_sites * 3
+    } else {
+        cfg.block_sites
+    };
+    let _in_buf = ctx
+        .alloc_f64(cfg.block_sites * 3)
+        .expect("block input buffer fits in the local store");
+    let _out_buf = ctx
+        .alloc_f64(out_words)
+        .expect("block output buffer fits in the local store");
+
+    let mut halo_seen: HashSet<usize> = HashSet::new();
+    ctx.begin_blocks(cfg.double_buffer);
+    let nblocks = item.sites.len().div_ceil(cfg.block_sites).max(1);
+    for (bi, block) in item.sites.chunks(cfg.block_sites.max(1)).enumerate() {
+        halo_seen.clear();
+        let blk_lo = block[0];
+        let blk_hi = *block.last().expect("chunks are non-empty");
+        let window_lo = if cfg.data_reuse {
+            blk_lo.saturating_sub(reach)
+        } else {
+            blk_lo
+        };
+        // Stage the block in.
+        ctx.charge_dma_get(block.len() * 24);
+        let base = bi * cfg.block_sites;
+        for (oi, &s) in block.iter().enumerate() {
+            let o = base + oi;
+            if l.id[s] < 0 {
+                if pass.writes_force() {
+                    item.out_force[o] = [0.0; 3];
+                } else {
+                    item.out_rho[o] = 0.0;
+                }
+                continue;
+            }
+            ctx.charge_flops(ATOM_FLOPS);
+            let fp_c = l.fp[s];
+            let mut rho = 0.0;
+            let mut fv = [0.0; 3];
+            let mut pair_e = 0.0;
+            for_each_partner(l, Central::Site(s), cutoff, |p| {
+                ctx.charge_flops(R_FLOPS);
+                // Halo position fetch: once per distinct off-window site
+                // per block (it stays in the local store afterwards).
+                if (p.is_runaway || p.site < window_lo || p.site > blk_hi)
+                    && halo_seen.insert(p.site + if p.is_runaway { l.n_sites() } else { 0 })
+                {
+                    ctx.charge_dma_gather(24);
+                }
+                match pass {
+                    Pass::Density => {
+                        let f_r = match &resident {
+                            Some((buf, x0, dx)) => {
+                                ctx.charge_flops(EVAL_FLOPS + RECON_EXTRA_FLOPS);
+                                CompactTable::eval_slice(buf, *x0, *dx, p.r).0
+                            }
+                            None => {
+                                ctx.charge_dma_gather(TraditionalTable::ROW_BYTES);
+                                ctx.charge_flops(EVAL_FLOPS);
+                                pot.trad_density.eval(p.r)
+                            }
+                        };
+                        rho += f_r;
+                    }
+                    Pass::ForceBoth => {
+                        ctx.charge_dma_gather(2 * TraditionalTable::ROW_BYTES);
+                        ctx.charge_flops(2 * EVAL_FLOPS);
+                        let (phi, dphi) = pot.trad_pair.eval_both(p.r);
+                        let (_, df) = pot.trad_density.eval_both(p.r);
+                        pair_e += 0.5 * phi;
+                        let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
+                        for ax in 0..3 {
+                            fv[ax] += scale * p.dx[ax];
+                        }
+                    }
+                    Pass::ForcePair => {
+                        let (buf, x0, dx) = resident.as_ref().expect("pair table resident");
+                        ctx.charge_flops(EVAL_FLOPS + RECON_EXTRA_FLOPS);
+                        let (phi, dphi) = CompactTable::eval_slice(buf, *x0, *dx, p.r);
+                        pair_e += 0.5 * phi;
+                        let scale = -dphi / p.r;
+                        for ax in 0..3 {
+                            fv[ax] += scale * p.dx[ax];
+                        }
+                    }
+                    Pass::ForceDensity => {
+                        let (buf, x0, dx) = resident.as_ref().expect("density table resident");
+                        ctx.charge_flops(EVAL_FLOPS + RECON_EXTRA_FLOPS);
+                        let (_, df) = CompactTable::eval_slice(buf, *x0, *dx, p.r);
+                        let scale = -((fp_c + p.fp) * df) / p.r;
+                        for ax in 0..3 {
+                            fv[ax] += scale * p.dx[ax];
+                        }
+                    }
+                }
+            });
+            if pass.writes_force() {
+                item.out_force[o] = fv;
+                *item.out_pair += pair_e;
+            } else {
+                item.out_rho[o] = rho;
+            }
+        }
+        // Stage the block's results out.
+        ctx.charge_dma_put(if pass.writes_force() {
+            block.len() * 24
+        } else {
+            block.len() * 8
+        });
+        if bi + 1 < nblocks {
+            ctx.next_block();
+        }
+    }
+    ctx.finish_blocks();
+}
+
+/// Scatter policy for a sweep's force output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scatter {
+    Rho,
+    SetForce,
+    AddForce,
+}
+
+fn run_pass(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    cluster: &CpeCluster,
+    cfg: &OffloadConfig,
+    interior: &[usize],
+    pass: Pass,
+    scatter: Scatter,
+) -> (ClusterReport, f64) {
+    let n = interior.len();
+    let n_cpes = cluster.n_cpes();
+    let slab = n.div_ceil(n_cpes).max(1);
+    let reach = reach_flat(l);
+
+    let mut rho_out = vec![0.0f64; n];
+    let mut force_out = vec![[0.0f64; 3]; n];
+    let n_slabs = n.div_ceil(slab).max(1);
+    let mut pair_out = vec![0.0f64; n_slabs];
+
+    let items: Vec<SlabItem<'_>> = interior
+        .chunks(slab)
+        .zip(rho_out.chunks_mut(slab))
+        .zip(force_out.chunks_mut(slab))
+        .zip(pair_out.iter_mut())
+        .map(|(((sites, out_rho), out_force), out_pair)| SlabItem {
+            sites,
+            out_rho,
+            out_force,
+            out_pair,
+        })
+        .collect();
+
+    let report = cluster.run(items, |ctx, item| {
+        slab_kernel(ctx, l, pot, cfg, pass, reach, item);
+    });
+
+    // MPE scatters the results back into the structure.
+    match scatter {
+        Scatter::Rho => {
+            for (&s, rho) in interior.iter().zip(rho_out) {
+                l.rho[s] = rho;
+            }
+        }
+        Scatter::SetForce => {
+            for (&s, fv) in interior.iter().zip(force_out) {
+                l.force[s] = fv;
+            }
+        }
+        Scatter::AddForce => {
+            for (&s, fv) in interior.iter().zip(force_out) {
+                for ax in 0..3 {
+                    l.force[s][ax] += fv[ax];
+                }
+            }
+        }
+    }
+    (report, pair_out.iter().sum())
+}
+
+/// Outcome of an offloaded two-pass force computation.
+#[derive(Debug, Clone, Copy)]
+pub struct OffloadOutcome {
+    /// Density-pass cluster report.
+    pub density: ClusterReport,
+    /// Force-pass cluster report (both sweeps merged in compacted mode).
+    pub force: ClusterReport,
+    /// Pair energy (eV).
+    pub pair_energy: f64,
+    /// Embedding energy (eV).
+    pub embed_energy: f64,
+}
+
+impl OffloadOutcome {
+    /// Total CPE kernel time (virtual seconds).
+    pub fn kernel_time(&self) -> f64 {
+        self.density.time + self.force.time
+    }
+}
+
+fn merge_reports(a: ClusterReport, b: ClusterReport) -> ClusterReport {
+    ClusterReport {
+        time: a.time + b.time,
+        counters: a.counters.merge(&b.counters),
+        active_cpes: a.active_cpes.max(b.active_cpes),
+    }
+}
+
+/// Runs the density pass (CPE), the embedding pass (MPE), and — after
+/// the caller exchanges ghost F' — the force sweep(s) (CPE). Run-away
+/// centrals are handled on the MPE (they are a few millionths of the
+/// atoms). The caller supplies the ghost-exchange hook between the
+/// passes.
+pub fn offload_compute_forces(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    cluster: &CpeCluster,
+    cfg: &OffloadConfig,
+    interior: &[usize],
+    mut exchange_fp: impl FnMut(&mut LatticeNeighborList),
+) -> OffloadOutcome {
+    let (density_rep, _) = run_pass(l, pot, cluster, cfg, interior, Pass::Density, Scatter::Rho);
+    // Run-away densities on the MPE.
+    let runaways = l.live_runaways();
+    let cutoff = pot.cutoff();
+    let mut ra_rho = Vec::with_capacity(runaways.len());
+    for &i in &runaways {
+        let mut rho = 0.0;
+        for_each_partner(l, Central::Runaway(i), cutoff, |p| {
+            rho += pot.density(cfg.form, p.r).0;
+        });
+        ra_rho.push(rho);
+    }
+    for (&i, rho) in runaways.iter().zip(ra_rho) {
+        l.runaway_mut(i).rho = rho;
+    }
+    let embed_energy = crate::force::embedding_pass(l, pot, cfg.form, interior);
+    exchange_fp(l);
+    let (force_rep, mut pair_energy) = match cfg.form {
+        TableForm::Traditional => run_pass(
+            l,
+            pot,
+            cluster,
+            cfg,
+            interior,
+            Pass::ForceBoth,
+            Scatter::SetForce,
+        ),
+        TableForm::Compacted => {
+            let (rep_p, pair) = run_pass(
+                l,
+                pot,
+                cluster,
+                cfg,
+                interior,
+                Pass::ForcePair,
+                Scatter::SetForce,
+            );
+            let (rep_d, _) = run_pass(
+                l,
+                pot,
+                cluster,
+                cfg,
+                interior,
+                Pass::ForceDensity,
+                Scatter::AddForce,
+            );
+            (merge_reports(rep_p, rep_d), pair)
+        }
+    };
+    // Run-away forces on the MPE.
+    let mut ra_force = Vec::with_capacity(runaways.len());
+    for &i in &runaways {
+        let fp_c = l.runaway(i).fp;
+        let mut fv = [0.0; 3];
+        for_each_partner(l, Central::Runaway(i), cutoff, |p| {
+            let (phi, dphi) = pot.pair(cfg.form, p.r);
+            let (_, df) = pot.density(cfg.form, p.r);
+            pair_energy += 0.5 * phi;
+            let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
+            for ax in 0..3 {
+                fv[ax] += scale * p.dx[ax];
+            }
+        });
+        ra_force.push(fv);
+    }
+    for (&i, fv) in runaways.iter().zip(ra_force) {
+        l.runaway_mut(i).force = fv;
+    }
+    OffloadOutcome {
+        density: density_rep,
+        force: force_rep,
+        pair_energy,
+        embed_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MdConfig;
+    use crate::domain::{exchange_ghosts, GhostPhase, Loopback};
+    use crate::sim::MdSimulation;
+    use mmds_sunway::SwModel;
+
+    fn sim() -> MdSimulation {
+        let cfg = MdConfig {
+            table_knots: 5000,
+            ..Default::default()
+        };
+        let mut s = MdSimulation::single_box(cfg, 5);
+        // Perturb so forces are nontrivial.
+        let a = s.lnl.grid.site_id(4, 4, 4, 0);
+        s.lnl.pos[a][0] += 0.22;
+        let b = s.lnl.grid.site_id(3, 4, 5, 1);
+        s.lnl.pos[b][1] -= 0.17;
+        s
+    }
+
+    fn offload_forces_on(
+        s: &mut MdSimulation,
+        ocfg: &OffloadConfig,
+        model: SwModel,
+    ) -> OffloadOutcome {
+        let cluster = CpeCluster::new(model);
+        exchange_ghosts(&mut s.lnl, &mut Loopback, GhostPhase::Positions);
+        let interior = s.interior.clone();
+        let pot = s.pot.clone();
+        offload_compute_forces(&mut s.lnl, &pot, &cluster, ocfg, &interior, |l| {
+            exchange_ghosts(l, &mut Loopback, GhostPhase::Fp)
+        })
+    }
+
+    fn offload_forces(s: &mut MdSimulation, ocfg: &OffloadConfig) -> OffloadOutcome {
+        offload_forces_on(s, ocfg, SwModel::sw26010())
+    }
+
+    #[test]
+    fn offload_matches_serial_forces() {
+        let mut s1 = sim();
+        let mut t = Loopback;
+        let serial = s1.compute_forces(&mut t);
+        let mut s2 = sim();
+        let out = offload_forces(&mut s2, &OffloadConfig::optimized());
+        assert!((out.pair_energy - serial.pair).abs() < 1e-9, "pair energy");
+        assert!((out.embed_energy - serial.embed).abs() < 1e-9, "embed energy");
+        for &site in &s1.interior {
+            for ax in 0..3 {
+                assert!(
+                    (s1.lnl.force[site][ax] - s2.lnl.force[site][ax]).abs() < 1e-10,
+                    "force mismatch at {site}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traditional_mode_matches_too() {
+        let mut s1 = sim();
+        s1.table_form = TableForm::Traditional;
+        let serial = s1.compute_forces(&mut Loopback);
+        let mut s2 = sim();
+        let out = offload_forces(&mut s2, &OffloadConfig::traditional());
+        assert!((out.pair_energy - serial.pair).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig9_ordering_traditional_slowest() {
+        // Use 8 CPEs so each slab holds several realistic blocks.
+        let model = SwModel {
+            n_cpes: 8,
+            ..SwModel::sw26010()
+        };
+        let mut times = Vec::new();
+        for (name, mut ocfg) in OffloadConfig::fig9_variants() {
+            ocfg.block_sites = 64;
+            let mut s = sim();
+            let out = offload_forces_on(&mut s, &ocfg, model);
+            times.push((name, out.kernel_time()));
+        }
+        // Compaction should win big (paper: ≈2.2×); each added
+        // optimisation must not hurt.
+        let ratio = times[0].1 / times[1].1;
+        assert!(ratio > 1.5, "compaction ratio {ratio:.2}: {times:?}");
+        assert!(times[2].1 <= times[1].1 * 1.001, "{times:?}");
+        assert!(times[3].1 <= times[2].1 * 1.001, "{times:?}");
+    }
+
+    #[test]
+    fn traditional_table_never_resident() {
+        let mut s = sim();
+        let out = offload_forces(&mut s, &OffloadConfig::traditional());
+        // Every neighbour interaction paid table-row gathers.
+        assert!(out.density.counters.dma_gets > s.interior.len() as u64 * 10);
+    }
+
+    #[test]
+    fn data_reuse_reduces_gather_bytes() {
+        let model = SwModel {
+            n_cpes: 8,
+            ..SwModel::sw26010()
+        };
+        let base = OffloadConfig {
+            form: TableForm::Compacted,
+            data_reuse: false,
+            double_buffer: false,
+            block_sites: 64,
+        };
+        let mut s1 = sim();
+        let no_reuse = offload_forces_on(&mut s1, &base, model);
+        let mut s2 = sim();
+        let reuse = offload_forces_on(
+            &mut s2,
+            &OffloadConfig {
+                data_reuse: true,
+                ..base
+            },
+            model,
+        );
+        assert!(
+            reuse.density.counters.bytes_in < no_reuse.density.counters.bytes_in,
+            "reuse {} !< no-reuse {}",
+            reuse.density.counters.bytes_in,
+            no_reuse.density.counters.bytes_in
+        );
+    }
+}

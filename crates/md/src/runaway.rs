@@ -1,0 +1,275 @@
+//! Run-away transitions (paper §2.1.1, Fig. 3).
+//!
+//! After each drift:
+//! * an on-site atom displaced beyond the threshold leaves a **vacancy**
+//!   behind and becomes a run-away anchored at its nearest lattice point;
+//! * a run-away close enough to a **vacant** lattice point re-occupies
+//!   it ("the information of the vacancy in the array is overlapped by
+//!   the run-away atom");
+//! * a run-away that drifted nearer to a different lattice point is
+//!   re-anchored there ("linked to the entry of the nearest lattice
+//!   point").
+//!
+//! On a single-rank whole-box grid, positions and anchors are
+//! canonicalized into the primary periodic image; in multi-rank runs a
+//! run-away anchored in the ghost shell is an **emigrant** and is
+//! transferred to its owner by `domain::migrate_runaways`.
+
+use mmds_lattice::lnl::LatticeNeighborList;
+use serde::{Deserialize, Serialize};
+
+use crate::config::MdConfig;
+
+/// What one transition sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionStats {
+    /// Atoms promoted to run-aways (vacancies created).
+    pub promoted: usize,
+    /// Run-aways that re-occupied a vacancy.
+    pub recaptured: usize,
+    /// Run-aways re-anchored to a new nearest site.
+    pub rehomed: usize,
+}
+
+impl TransitionStats {
+    /// Sum of all transition events.
+    pub fn total(&self) -> usize {
+        self.promoted + self.recaptured + self.rehomed
+    }
+
+    /// Merges two sweeps.
+    pub fn merge(&self, o: &TransitionStats) -> TransitionStats {
+        TransitionStats {
+            promoted: self.promoted + o.promoted,
+            recaptured: self.recaptured + o.recaptured,
+            rehomed: self.rehomed + o.rehomed,
+        }
+    }
+}
+
+/// True if this grid covers the whole periodic box (single-rank mode).
+pub fn is_whole_box(l: &LatticeNeighborList) -> bool {
+    l.grid.len == [l.grid.global.nx, l.grid.global.ny, l.grid.global.nz]
+}
+
+/// Wraps a position into the primary box `[0, L)` per axis.
+fn wrap_point(l: &LatticeNeighborList, p: [f64; 3]) -> [f64; 3] {
+    let lens = l.grid.global.box_lengths();
+    [
+        p[0].rem_euclid(lens[0]),
+        p[1].rem_euclid(lens[1]),
+        p[2].rem_euclid(lens[2]),
+    ]
+}
+
+/// Maps a (possibly ghost) site to its interior image on a whole-box
+/// grid, returning the interior site id and the positional offset that
+/// must be *added* to a position near the ghost site to move it next to
+/// the interior image.
+fn interior_image(l: &LatticeNeighborList, site: usize) -> (usize, [f64; 3]) {
+    let (i, j, k, b) = l.grid.decode(site);
+    if l.grid.is_interior(i, j, k) {
+        return (site, [0.0; 3]);
+    }
+    let g = l.grid.global_cell(i, j, k);
+    let gh = l.grid.ghost;
+    let (ii, jj, kk) = (g[0] + gh, g[1] + gh, g[2] + gh);
+    let img = l.grid.site_id(ii, jj, kk, b);
+    let a = l.grid.site_position(ii, jj, kk, b);
+    let c = l.grid.site_position(i, j, k, b);
+    (img, [a[0] - c[0], a[1] - c[1], a[2] - c[2]])
+}
+
+/// One transition sweep over owned sites and run-aways.
+pub fn apply_transitions(
+    l: &mut LatticeNeighborList,
+    cfg: &MdConfig,
+    interior: &[usize],
+) -> TransitionStats {
+    let mut stats = TransitionStats::default();
+    let promote2 = cfg.runaway_distance() * cfg.runaway_distance();
+    let capture2 = cfg.capture_distance() * cfg.capture_distance();
+    let single = is_whole_box(l);
+
+    // Promotion: on-site atoms that strayed too far.
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        let (i, j, k, b) = l.grid.decode(s);
+        let lp = l.grid.site_position(i, j, k, b);
+        let p = l.pos[s];
+        let d2 =
+            (p[0] - lp[0]).powi(2) + (p[1] - lp[1]).powi(2) + (p[2] - lp[2]).powi(2);
+        if d2 > promote2 {
+            let id = l.make_vacancy(s);
+            let vel = l.vel[s];
+            let mut pos = p;
+            let mut home = l.nearest_local_site(pos).unwrap_or(s);
+            if single {
+                let (img, off) = interior_image(l, home);
+                home = img;
+                pos = [pos[0] + off[0], pos[1] + off[1], pos[2] + off[2]];
+            }
+            l.add_runaway(home, id, pos, vel);
+            stats.promoted += 1;
+        }
+    }
+
+    // Recapture / rehome for existing run-aways.
+    for idx in l.live_runaways() {
+        let rec = *l.runaway(idx);
+        let mut pos = rec.pos;
+        if single {
+            pos = wrap_point(l, pos);
+        }
+        let Some(mut nearest) = l.nearest_local_site(pos) else {
+            continue; // outside stored region; migration handles it
+        };
+        if single {
+            let (img, off) = interior_image(l, nearest);
+            nearest = img;
+            pos = [pos[0] + off[0], pos[1] + off[1], pos[2] + off[2]];
+        }
+        if pos != rec.pos {
+            l.runaway_mut(idx).pos = pos;
+        }
+        let (i, j, k, b) = l.grid.decode(nearest);
+        if l.is_vacancy(nearest) && l.grid.is_interior(i, j, k) {
+            let lp = l.grid.site_position(i, j, k, b);
+            let d2 = (pos[0] - lp[0]).powi(2)
+                + (pos[1] - lp[1]).powi(2)
+                + (pos[2] - lp[2]).powi(2);
+            if d2 < capture2 {
+                l.remove_runaway(idx);
+                l.occupy(nearest, rec.id, pos, rec.vel);
+                stats.recaptured += 1;
+                continue;
+            }
+        }
+        if nearest != rec.home as usize {
+            l.rehome_runaway(idx, nearest);
+            stats.rehomed += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmds_lattice::{BccGeometry, LatticeNeighborList, LocalGrid};
+
+    fn setup() -> (LatticeNeighborList, MdConfig, Vec<usize>) {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(6), 2);
+        let l = LatticeNeighborList::perfect(grid, 5.0);
+        let cfg = MdConfig::default();
+        let ids = l.grid.interior_ids().collect();
+        (l, cfg, ids)
+    }
+
+    #[test]
+    fn small_displacements_do_nothing() {
+        let (mut l, cfg, ids) = setup();
+        let s = ids[40];
+        l.pos[s][0] += 0.3; // well under 0.5·nn1 ≈ 1.24 Å
+        let st = apply_transitions(&mut l, &cfg, &ids);
+        assert_eq!(st, TransitionStats::default());
+        assert_eq!(l.n_runaways(), 0);
+    }
+
+    #[test]
+    fn large_displacement_promotes() {
+        let (mut l, cfg, ids) = setup();
+        let s = l.grid.site_id(4, 4, 4, 0);
+        // Push the atom most of the way toward its 1NN (the cell centre).
+        let target = l.grid.site_position(4, 4, 4, 1);
+        let lp = l.grid.site_position(4, 4, 4, 0);
+        l.pos[s] = [
+            lp[0] + 0.8 * (target[0] - lp[0]),
+            lp[1] + 0.8 * (target[1] - lp[1]),
+            lp[2] + 0.8 * (target[2] - lp[2]),
+        ];
+        let st = apply_transitions(&mut l, &cfg, &ids);
+        assert_eq!(st.promoted, 1);
+        assert!(l.is_vacancy(s));
+        assert_eq!(l.n_runaways(), 1);
+        // Anchored at the 1NN site it moved toward.
+        let idx = l.live_runaways()[0];
+        assert_eq!(l.runaway(idx).home as usize, l.grid.site_id(4, 4, 4, 1));
+    }
+
+    #[test]
+    fn runaway_recaptures_vacancy() {
+        let (mut l, cfg, ids) = setup();
+        let v = l.grid.site_id(4, 4, 4, 1);
+        l.make_vacancy(v);
+        let lp = l.grid.site_position(4, 4, 4, 1);
+        let anchor = l.grid.site_id(4, 4, 4, 0);
+        l.add_runaway(
+            anchor,
+            9999,
+            [lp[0] + 0.1, lp[1], lp[2]],
+            [1.0, 0.0, 0.0],
+        );
+        let st = apply_transitions(&mut l, &cfg, &ids);
+        assert_eq!(st.recaptured, 1);
+        assert!(!l.is_vacancy(v));
+        assert_eq!(l.id[v], 9999);
+        assert_eq!(l.vel[v], [1.0, 0.0, 0.0]);
+        assert_eq!(l.n_runaways(), 0);
+    }
+
+    #[test]
+    fn runaway_rehomes_when_it_drifts() {
+        let (mut l, cfg, ids) = setup();
+        let anchor = l.grid.site_id(4, 4, 4, 0);
+        // Occupied nearest site (4,4,4,1): cannot recapture, but the
+        // run-away should re-anchor there.
+        let near = l.grid.site_position(4, 4, 4, 1);
+        let idx = l.add_runaway(anchor, 7777, [near[0] + 0.05, near[1], near[2]], [0.0; 3]);
+        let st = apply_transitions(&mut l, &cfg, &ids);
+        assert_eq!(st.rehomed, 1);
+        assert_eq!(st.recaptured, 0);
+        assert_eq!(
+            l.runaway(idx).home as usize,
+            l.grid.site_id(4, 4, 4, 1)
+        );
+    }
+
+    #[test]
+    fn occupied_site_is_not_recaptured() {
+        let (mut l, cfg, ids) = setup();
+        let anchor = l.grid.site_id(4, 4, 4, 1);
+        let lp = l.grid.site_position(4, 4, 4, 1);
+        // Run-away right on top of an *occupied* site: no recapture.
+        l.add_runaway(anchor, 5555, [lp[0] + 0.05, lp[1], lp[2]], [0.0; 3]);
+        let st = apply_transitions(&mut l, &cfg, &ids);
+        assert_eq!(st.recaptured, 0);
+        assert_eq!(l.n_runaways(), 1);
+    }
+
+    #[test]
+    fn runaway_crossing_the_periodic_boundary_canonicalizes() {
+        let (mut l, cfg, ids) = setup();
+        // A run-away just past the box's upper-x face.
+        let lens = l.grid.global.box_lengths();
+        let anchor = l.grid.site_id(7, 4, 4, 0); // interior edge cell (global 5)
+        let idx = l.add_runaway(anchor, 4242, [lens[0] + 0.1, 4.0 * 2.855, 4.0 * 2.855], [0.0; 3]);
+        apply_transitions(&mut l, &cfg, &ids);
+        let rec = *l.runaway(idx);
+        // Wrapped home: global cell 0 → storage cell ghost+0 = 2 (interior).
+        let (i, j, k, _) = l.grid.decode(rec.home as usize);
+        assert!(l.grid.is_interior(i, j, k), "home must be interior");
+        assert!((rec.pos[0] - 0.1).abs() < 1e-9, "pos wrapped: {}", rec.pos[0]);
+    }
+
+    #[test]
+    fn whole_box_detection() {
+        let (l, _, _) = setup();
+        assert!(is_whole_box(&l));
+        let part = LocalGrid::new(BccGeometry::fe_cube(8), [0, 0, 0], [4, 8, 8], 2);
+        let lp = LatticeNeighborList::perfect(part, 5.0);
+        assert!(!is_whole_box(&lp));
+    }
+}

@@ -1,0 +1,72 @@
+//! Berendsen velocity-rescaling thermostat.
+
+use mmds_lattice::lnl::LatticeNeighborList;
+
+use crate::integrate::temperature;
+
+/// One Berendsen rescale toward `t_target`:
+/// `λ = √(1 + (dt/τ)(T₀/T − 1))`, velocities scaled by λ.
+/// Returns the applied λ.
+pub fn berendsen(
+    l: &mut LatticeNeighborList,
+    interior: &[usize],
+    mass: f64,
+    t_target: f64,
+    dt: f64,
+    tau: f64,
+) -> f64 {
+    let t = temperature(l, interior, mass);
+    if t <= 1e-12 {
+        return 1.0;
+    }
+    let lambda = (1.0 + dt / tau * (t_target / t - 1.0)).max(0.0).sqrt();
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        for ax in 0..3 {
+            l.vel[s][ax] *= lambda;
+        }
+    }
+    for i in l.live_runaways() {
+        let r = l.runaway_mut(i);
+        for ax in 0..3 {
+            r.vel[ax] *= lambda;
+        }
+    }
+    lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::maxwell_boltzmann;
+    use mmds_lattice::{BccGeometry, LocalGrid};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rescales_toward_target() {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(5), 2);
+        let mut l = mmds_lattice::LatticeNeighborList::perfect(grid, 5.0);
+        let ids: Vec<usize> = l.grid.interior_ids().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        maxwell_boltzmann(&mut l, &ids, 55.845, 1200.0, &mut rng);
+        let t0 = temperature(&l, &ids, 55.845);
+        for _ in 0..200 {
+            berendsen(&mut l, &ids, 55.845, 600.0, 0.001, 0.01);
+        }
+        let t1 = temperature(&l, &ids, 55.845);
+        assert!((t1 - 600.0).abs() < (t0 - 600.0).abs());
+        assert!((t1 - 600.0).abs() / 600.0 < 0.05, "T = {t1}");
+    }
+
+    #[test]
+    fn cold_system_is_left_alone() {
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(4), 2);
+        let mut l = mmds_lattice::LatticeNeighborList::perfect(grid, 5.0);
+        let ids: Vec<usize> = l.grid.interior_ids().collect();
+        let lambda = berendsen(&mut l, &ids, 55.845, 600.0, 0.001, 0.1);
+        assert_eq!(lambda, 1.0);
+    }
+}

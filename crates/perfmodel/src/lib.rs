@@ -1,0 +1,30 @@
+//! # mmds-perfmodel — paper-scale scaling projection
+//!
+//! We cannot run 6.6 million cores, so the figure binaries combine two
+//! sources:
+//!
+//! 1. **Measured** laptop-scale runs (1–256 simulated ranks) through
+//!    `mmds-swmpi`'s virtual clocks — real code, real bytes, modelled
+//!    time.
+//! 2. **Projected** paper-scale series from this crate: the per-rank
+//!    compute time comes from the measured kernel rate, and the
+//!    communication term follows the same LogP shape the swmpi model
+//!    charges, with *one* free contention constant per experiment fitted
+//!    so the largest-scale point matches the paper's reported parallel
+//!    efficiency. The *shape* of the curve (where efficiency bends, how
+//!    interior points fall, where super-linearity appears) is then a
+//!    genuine prediction of the model — EXPERIMENTS.md compares it
+//!    against every interior point the paper reports.
+//!
+//! All projections live here so the assumption set is in one place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod project;
+
+pub use machine::Machine;
+pub use project::{
+    fit_weak_comm_constant, project_strong, project_weak, CommShape, ProjectedPoint,
+};

@@ -1,0 +1,75 @@
+//! TaihuLight machine facts used by the projections.
+
+use serde::{Deserialize, Serialize};
+
+/// Sunway TaihuLight constants (Fu et al. 2016; paper §3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Machine {
+    /// Cores per core group (1 MPE + 64 CPEs).
+    pub cores_per_cg: u64,
+    /// Total core groups in the machine (40,960 nodes × 4).
+    pub total_cgs: u64,
+    /// L2 cache per MPE (bytes) — drives the Fig. 14 super-linear bump.
+    pub l2_bytes: f64,
+    /// Effective cache-speedup factor when a rank's working set fits in
+    /// cache (KMC site scans become cache-resident).
+    pub cache_boost: f64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::taihulight()
+    }
+}
+
+impl Machine {
+    /// The TaihuLight configuration.
+    pub fn taihulight() -> Self {
+        Self {
+            cores_per_cg: 65,
+            total_cgs: 163_840,
+            l2_bytes: 256.0 * 1024.0,
+            cache_boost: 1.35,
+        }
+    }
+
+    /// Master+slave core count for `cgs` core groups (MD figures).
+    pub fn cores(&self, cgs: u64) -> u64 {
+        cgs * self.cores_per_cg
+    }
+
+    /// Smooth cache-speedup multiplier for a per-rank working set of
+    /// `bytes`: 1 when far above cache, `cache_boost` when well inside.
+    /// The transition is centred where the hot fraction of the working
+    /// set (~1/16th: the active sector's boundary region) fits in L2.
+    pub fn cache_multiplier(&self, working_set_bytes: f64) -> f64 {
+        let hot = working_set_bytes / 16.0;
+        let x = (hot / self.l2_bytes).ln();
+        // Logistic in log-space: ≈boost for hot ≪ L2, ≈1 for hot ≫ L2.
+        1.0 + (self.cache_boost - 1.0) / (1.0 + (1.6 * x).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taihulight_core_math() {
+        let m = Machine::taihulight();
+        // Paper: 6,656,000 master+slave cores = 102,400 CGs.
+        assert_eq!(m.cores(102_400), 6_656_000);
+        assert_eq!(m.cores(96_000), 6_240_000);
+        assert_eq!(m.cores(1_600), 104_000);
+        assert!(m.total_cgs >= 102_400);
+    }
+
+    #[test]
+    fn cache_multiplier_limits() {
+        let m = Machine::taihulight();
+        assert!((m.cache_multiplier(1e3) - m.cache_boost).abs() < 0.02);
+        assert!((m.cache_multiplier(1e12) - 1.0).abs() < 0.001);
+        // Monotone decreasing in working set.
+        assert!(m.cache_multiplier(1e6) > m.cache_multiplier(1e8));
+    }
+}

@@ -1,0 +1,279 @@
+//! Strong/weak scaling projection with a single fitted comm constant.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::Machine;
+
+/// The P-dependence of the per-rank communication time.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum CommShape {
+    /// Collective-dominated: `f(P) = log2 P` (KMC's dt allreduce and
+    /// fences; "the increased communication time is due to the
+    /// collective operations used for time synchronization", Fig. 15).
+    Log2,
+    /// Halo traffic under fabric contention plus collectives:
+    /// `f(P) = log2 P + w·P^(1/3)` (MD's staged ghost exchange on a
+    /// torus-like network where bisection per node shrinks).
+    Log2PlusCbrt {
+        /// Weight of the contention term.
+        w: f64,
+    },
+}
+
+impl CommShape {
+    /// Evaluates the shape function at `p` ranks.
+    pub fn eval(&self, p: u64) -> f64 {
+        let lg = (p.max(2) as f64).log2();
+        match self {
+            CommShape::Log2 => lg,
+            CommShape::Log2PlusCbrt { w } => lg + w * (p as f64).cbrt(),
+        }
+    }
+}
+
+/// One projected scaling point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProjectedPoint {
+    /// Ranks (core groups for MD, master cores for KMC).
+    pub ranks: u64,
+    /// Reported core count (ranks × cores-per-unit as the figure labels).
+    pub cores: u64,
+    /// Per-rank compute time (s).
+    pub compute: f64,
+    /// Per-rank communication time (s).
+    pub comm: f64,
+    /// Total time (s).
+    pub total: f64,
+    /// Speedup vs the first point.
+    pub speedup: f64,
+    /// Parallel efficiency vs the first point.
+    pub efficiency: f64,
+}
+
+/// Solves for the comm constant K in `T(P) = C + K·f(P)` such that
+/// weak-scaling efficiency at the last point equals `target_end_eff`.
+pub fn fit_weak_comm_constant(
+    per_rank_compute: f64,
+    shape: CommShape,
+    p_first: u64,
+    p_last: u64,
+    target_end_eff: f64,
+) -> f64 {
+    assert!(target_end_eff > 0.0 && target_end_eff < 1.0);
+    let f0 = shape.eval(p_first);
+    let fe = shape.eval(p_last);
+    let denom = target_end_eff * fe - f0;
+    assert!(
+        denom > 0.0,
+        "shape cannot reach the target efficiency (f0={f0}, fe={fe})"
+    );
+    per_rank_compute * (1.0 - target_end_eff) / denom
+}
+
+/// Weak scaling: constant per-rank work, `T(P) = C + K·f(P)`, with K
+/// fitted so the last point's efficiency equals `target_end_eff`.
+pub fn project_weak(
+    ranks: &[u64],
+    cores_per_rank: u64,
+    per_rank_compute: f64,
+    shape: CommShape,
+    target_end_eff: f64,
+) -> Vec<ProjectedPoint> {
+    assert!(ranks.len() >= 2);
+    let k = fit_weak_comm_constant(
+        per_rank_compute,
+        shape,
+        ranks[0],
+        *ranks.last().expect("nonempty"),
+        target_end_eff,
+    );
+    let t0 = per_rank_compute + k * shape.eval(ranks[0]);
+    ranks
+        .iter()
+        .map(|&p| {
+            let comm = k * shape.eval(p);
+            let total = per_rank_compute + comm;
+            ProjectedPoint {
+                ranks: p,
+                cores: p * cores_per_rank,
+                compute: per_rank_compute,
+                comm,
+                total,
+                speedup: t0 / total * (p as f64 / ranks[0] as f64),
+                efficiency: t0 / total,
+            }
+        })
+        .collect()
+}
+
+/// Strong scaling: fixed total work `W`, `T(P) = W/(P·boost(P)) +
+/// K·f(P)`, with K fitted so the last point's efficiency equals
+/// `target_end_eff`. `cache` optionally supplies the Fig. 14
+/// super-linear boost: `(machine, total working-set bytes)`.
+pub fn project_strong(
+    ranks: &[u64],
+    cores_per_rank: u64,
+    total_compute: f64,
+    shape: CommShape,
+    target_end_eff: f64,
+    cache: Option<(Machine, f64)>,
+) -> Vec<ProjectedPoint> {
+    assert!(ranks.len() >= 2);
+    let boost = |p: u64| -> f64 {
+        match &cache {
+            Some((m, ws_total)) => m.cache_multiplier(ws_total / p as f64),
+            None => 1.0,
+        }
+    };
+    let p0 = ranks[0];
+    let pe = *ranks.last().expect("nonempty");
+    let a0 = total_compute / (p0 as f64 * boost(p0));
+    let ae = total_compute / (pe as f64 * boost(pe));
+    let r = target_end_eff * pe as f64 / p0 as f64;
+    let denom = r * shape.eval(pe) - shape.eval(p0);
+    assert!(denom > 0.0, "shape cannot reach the target efficiency");
+    let k = (a0 - r * ae) / denom;
+    assert!(
+        k > 0.0,
+        "target efficiency implies negative communication (a0={a0:.3e}, r·ae={:.3e})",
+        r * ae
+    );
+    let t0 = a0 + k * shape.eval(p0);
+    ranks
+        .iter()
+        .map(|&p| {
+            let compute = total_compute / (p as f64 * boost(p));
+            let comm = k * shape.eval(p);
+            let total = compute + comm;
+            let speedup = t0 / total;
+            ProjectedPoint {
+                ranks: p,
+                cores: p * cores_per_rank,
+                compute,
+                comm,
+                total,
+                speedup,
+                efficiency: speedup / (p as f64 / p0 as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MD_WEAK_CGS: [u64; 6] = [1_600, 3_200, 12_800, 25_600, 51_200, 102_400];
+    const MD_STRONG_CGS: [u64; 7] = [1_500, 3_000, 6_000, 12_000, 24_000, 48_000, 96_000];
+    const KMC_STRONG: [u64; 6] = [1_500, 3_000, 6_000, 12_000, 24_000, 48_000];
+    const KMC_WEAK: [u64; 7] = [1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400];
+
+    #[test]
+    fn md_weak_hits_85_percent_and_decays_monotonically_at_scale() {
+        // Paper Fig. 11: 85% efficiency at 6,656,000 cores.
+        let pts = project_weak(
+            &MD_WEAK_CGS,
+            65,
+            1.0,
+            CommShape::Log2PlusCbrt { w: 0.08 },
+            0.85,
+        );
+        assert_eq!(pts.last().unwrap().cores, 6_656_000);
+        assert!((pts.last().unwrap().efficiency - 0.85).abs() < 1e-9);
+        assert!((pts[0].efficiency - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-12);
+        }
+        // Compute stays constant, comm grows — the Fig. 11 bar shape.
+        assert!(pts[0].compute == pts[5].compute);
+        assert!(pts[5].comm > pts[0].comm);
+    }
+
+    #[test]
+    fn md_strong_hits_41_percent_and_26x() {
+        // Paper Fig. 10: 26.4× speedup / 41.3% efficiency over 64×.
+        let pts = project_strong(
+            &MD_STRONG_CGS,
+            65,
+            1.0e4,
+            CommShape::Log2PlusCbrt { w: 0.05 },
+            0.413,
+            None,
+        );
+        let last = pts.last().unwrap();
+        assert!((last.efficiency - 0.413).abs() < 1e-9);
+        assert!(
+            (last.speedup - 26.4).abs() < 0.1,
+            "speedup = {}",
+            last.speedup
+        );
+        // Efficiency decreases monotonically (Fig. 10's gradual decline).
+        for w in pts.windows(2) {
+            assert!(w[1].efficiency < w[0].efficiency);
+        }
+    }
+
+    #[test]
+    fn kmc_strong_shows_superlinear_bump() {
+        // Paper Fig. 14: super-linear speedup from 3,000 to 12,000 cores
+        // (L2 cache), 58.2% efficiency / 18.5× at 48,000.
+        let machine = Machine::taihulight();
+        let ws_total = 3.2e10; // ~1 B/site × 3.2e10 sites
+        let pts = project_strong(
+            &KMC_STRONG,
+            1,
+            2.0e4,
+            CommShape::Log2,
+            0.582,
+            Some((machine, ws_total)),
+        );
+        let last = pts.last().unwrap();
+        assert!((last.efficiency - 0.582).abs() < 1e-9);
+        assert!((last.speedup - 18.5).abs() < 0.5, "{}", last.speedup);
+        // Super-linearity: somewhere in 3k→12k the efficiency RISES
+        // above the previous point (paper's bump).
+        let eff: Vec<f64> = pts.iter().map(|p| p.efficiency).collect();
+        let has_bump = eff.windows(2).any(|w| w[1] > w[0] + 1e-6);
+        assert!(has_bump, "expected super-linear segment: {eff:?}");
+    }
+
+    #[test]
+    fn kmc_weak_hits_74_percent() {
+        // Paper Fig. 15: 97.2% → 74% over 1,600 → 102,400 master cores.
+        let pts = project_weak(&KMC_WEAK, 1, 1.0, CommShape::Log2, 0.74);
+        assert!((pts.last().unwrap().efficiency - 0.74).abs() < 1e-9);
+        // Interior points should land in the paper's ballpark:
+        // 88.1%, 86.1%, 85.2%, 79.9% at 3.2k, 6.4k(≈), 12.8k, 51.2k.
+        let e = |i: usize| pts[i].efficiency;
+        assert!((0.80..0.999).contains(&e(1)), "3200: {}", e(1));
+        assert!((0.78..0.95).contains(&e(3)), "12800: {}", e(3));
+        assert!((0.74..0.90).contains(&e(5)), "51200: {}", e(5));
+    }
+
+    #[test]
+    fn coupled_weak_hits_75_7_percent() {
+        // Paper Fig. 16: 98.9%, 77.4%, 75.7% over 97.5k → 6.24M cores.
+        let cgs = [1_500u64, 6_000, 24_000, 96_000];
+        let pts = project_weak(&cgs, 65, 5.0, CommShape::Log2PlusCbrt { w: 0.1 }, 0.757);
+        assert_eq!(pts.last().unwrap().cores, 6_240_000);
+        assert!((pts.last().unwrap().efficiency - 0.757).abs() < 1e-9);
+        assert!(pts[1].efficiency > 0.757);
+    }
+
+    #[test]
+    fn fit_rejects_impossible_targets() {
+        let r = std::panic::catch_unwind(|| {
+            fit_weak_comm_constant(1.0, CommShape::Log2, 1_000, 1_024, 0.5)
+        });
+        // f barely grows from 1000→1024 ranks: cannot halve efficiency.
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn comm_constant_positive_and_scales_with_compute() {
+        let k1 = fit_weak_comm_constant(1.0, CommShape::Log2, 16, 65_536, 0.8);
+        let k2 = fit_weak_comm_constant(2.0, CommShape::Log2, 16, 65_536, 0.8);
+        assert!(k1 > 0.0);
+        assert!((k2 / k1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-CPE work counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic work counters accumulated by one CPE during a kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpeCounters {
+    /// DMA get transactions issued.
+    pub dma_gets: u64,
+    /// DMA put transactions issued.
+    pub dma_puts: u64,
+    /// Bytes moved main memory → local store.
+    pub bytes_in: u64,
+    /// Bytes moved local store → main memory.
+    pub bytes_out: u64,
+    /// Scalar floating-point operations charged.
+    pub flops: u64,
+    /// Virtual seconds spent in DMA (outside double-buffer blocks; inside
+    /// blocks DMA time is folded by the pipeline model).
+    pub dma_time: f64,
+    /// Virtual seconds spent computing.
+    pub compute_time: f64,
+}
+
+impl CpeCounters {
+    /// Total DMA transactions.
+    pub fn dma_ops(&self) -> u64 {
+        self.dma_gets + self.dma_puts
+    }
+
+    /// Total DMA bytes in either direction.
+    pub fn dma_bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&self, o: &CpeCounters) -> CpeCounters {
+        CpeCounters {
+            dma_gets: self.dma_gets + o.dma_gets,
+            dma_puts: self.dma_puts + o.dma_puts,
+            bytes_in: self.bytes_in + o.bytes_in,
+            bytes_out: self.bytes_out + o.bytes_out,
+            flops: self.flops + o.flops,
+            dma_time: self.dma_time + o.dma_time,
+            compute_time: self.compute_time + o.compute_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums() {
+        let a = CpeCounters {
+            dma_gets: 2,
+            bytes_in: 100,
+            flops: 7,
+            ..Default::default()
+        };
+        let b = CpeCounters {
+            dma_puts: 1,
+            bytes_out: 50,
+            flops: 3,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.dma_ops(), 3);
+        assert_eq!(m.dma_bytes(), 150);
+        assert_eq!(m.flops, 10);
+    }
+}

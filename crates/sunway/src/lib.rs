@@ -1,0 +1,45 @@
+//! # mmds-sunway — SW26010 core-group simulator
+//!
+//! The paper (§2.1.2) accelerates EAM potential evaluation on the Sunway
+//! SW26010's *slave cores* (CPEs): each core group has one master core
+//! (MPE) plus an 8×8 CPE mesh, every CPE owning a 64 KB software-managed
+//! local store fed by DMA. The optimisations evaluated in Fig. 9 —
+//! compacted interpolation tables, ghost-data reuse between blocks, and
+//! double buffering — are all *local-store resource* techniques.
+//!
+//! We have no Sunway toolchain, so this crate provides the closest
+//! substitute that exercises the same code paths:
+//!
+//! * [`LocalStore`] is a capacity-enforced allocator: asking for a 273 KB
+//!   traditional interpolation table *fails*, exactly like on the real
+//!   hardware, while the 39 KB compacted table fits.
+//! * [`CpeCtx::dma_get_f64`] / [`CpeCtx::dma_put_f64`] really copy data
+//!   between "main memory" (host slices) and local-store buffers, and
+//!   charge virtual time through [`SwModel`].
+//! * [`CpeCluster`] executes kernels on 64 logical CPEs in parallel
+//!   (via rayon) and reports the cluster kernel time as the *maximum*
+//!   per-CPE virtual time — the quantity an MPE would observe.
+//! * [`pipeline::pipeline_time`] models the double-buffer overlap of
+//!   Fig. 6.
+//!
+//! Virtual times are deterministic: they are derived from counted work
+//! (flops, DMA bytes/transactions), never from wall clocks, so results
+//! are reproducible under any host load.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod counters;
+pub mod cpe;
+pub mod ldm_cache;
+pub mod local_store;
+pub mod pipeline;
+pub mod register;
+
+pub use arch::SwModel;
+pub use ldm_cache::SoftCache;
+pub use register::RegisterMesh;
+pub use counters::CpeCounters;
+pub use cpe::{ClusterReport, CpeCluster, CpeCtx};
+pub use local_store::{LdmOverflow, LocalStore, LsVec};

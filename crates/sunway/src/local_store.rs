@@ -1,0 +1,209 @@
+//! The 64 KB CPE local store, modelled as a capacity-enforced allocator.
+//!
+//! Buffers really hold data (kernels compute from them), and the store
+//! tracks how many bytes are live so that over-allocation fails exactly
+//! where the real hardware would: the paper's traditional 273 KB
+//! interpolation table cannot be made resident, while the 39 KB compacted
+//! table can (§2.1.2).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Error returned when an allocation would exceed local-store capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes already live in the store.
+    pub in_use: usize,
+    /// Store capacity in bytes.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "local store overflow: requested {} B with {} B of {} B in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+/// One CPE's local store.
+///
+/// `LocalStore` is single-threaded by construction (each CPE context owns
+/// one), hence the `Rc<Cell<..>>` bookkeeping.
+pub struct LocalStore {
+    capacity: usize,
+    used: Rc<Cell<usize>>,
+    high_water: Rc<Cell<usize>>,
+}
+
+impl LocalStore {
+    /// Creates a store with `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: Rc::new(Cell::new(0)),
+            high_water: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Store capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently live.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used.get()
+    }
+
+    /// Maximum bytes ever simultaneously live (for reporting LDM
+    /// pressure of a kernel configuration).
+    pub fn high_water(&self) -> usize {
+        self.high_water.get()
+    }
+
+    /// Allocates an `n`-element `f64` buffer, zero-initialised.
+    pub fn alloc_f64(&self, n: usize) -> Result<LsVec<f64>, LdmOverflow> {
+        self.alloc_with(n, 0.0)
+    }
+
+    /// Allocates an `n`-element buffer filled with `fill`.
+    pub fn alloc_with<T: Copy>(&self, n: usize, fill: T) -> Result<LsVec<T>, LdmOverflow> {
+        let bytes = n * std::mem::size_of::<T>();
+        let in_use = self.used.get();
+        if in_use + bytes > self.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.used.set(in_use + bytes);
+        if self.used.get() > self.high_water.get() {
+            self.high_water.set(self.used.get());
+        }
+        Ok(LsVec {
+            data: vec![fill; n],
+            bytes,
+            used: Rc::clone(&self.used),
+        })
+    }
+
+    /// Allocates and fills a buffer by copying `src` (a "resident load";
+    /// the DMA charge is the caller's job via `CpeCtx::dma_get_f64`).
+    pub fn alloc_copy<T: Copy + Default>(&self, src: &[T]) -> Result<LsVec<T>, LdmOverflow> {
+        let mut v = self.alloc_with(src.len(), T::default())?;
+        v.data.copy_from_slice(src);
+        Ok(v)
+    }
+}
+
+/// A buffer living in a [`LocalStore`]; freed (and its bytes returned to
+/// the store) on drop.
+pub struct LsVec<T> {
+    data: Vec<T>,
+    bytes: usize,
+    used: Rc<Cell<usize>>,
+}
+
+impl<T> LsVec<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of this buffer in local-store bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl<T> std::fmt::Debug for LsVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LsVec({} elems, {} B)", self.data.len(), self.bytes)
+    }
+}
+
+impl<T> std::ops::Deref for LsVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for LsVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for LsVec<T> {
+    fn drop(&mut self) {
+        self.used.set(self.used.get() - self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity() {
+        let ls = LocalStore::new(1024);
+        let a = ls.alloc_f64(64).unwrap(); // 512 B
+        assert_eq!(ls.used(), 512);
+        let b = ls.alloc_f64(64).unwrap(); // 512 B more: exactly full
+        assert_eq!(ls.available(), 0);
+        drop(a);
+        assert_eq!(ls.used(), 512);
+        drop(b);
+        assert_eq!(ls.used(), 0);
+        assert_eq!(ls.high_water(), 1024);
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        let ls = LocalStore::new(64 * 1024);
+        // The paper's traditional interpolation table: 5000*7 f64 = 280 kB.
+        let err = ls.alloc_f64(5000 * 7).unwrap_err();
+        assert_eq!(err.requested, 5000 * 7 * 8);
+        assert_eq!(err.in_use, 0);
+        // The compacted table fits.
+        assert!(ls.alloc_f64(5000).is_ok());
+    }
+
+    #[test]
+    fn freed_space_is_reusable() {
+        let ls = LocalStore::new(100);
+        let a = ls.alloc_with::<u8>(80, 0).unwrap();
+        assert!(ls.alloc_with::<u8>(40, 0).is_err());
+        drop(a);
+        assert!(ls.alloc_with::<u8>(40, 0).is_ok());
+    }
+
+    #[test]
+    fn buffers_hold_data() {
+        let ls = LocalStore::new(1024);
+        let mut v = ls.alloc_with(4, 1.5f64).unwrap();
+        v[2] = 9.0;
+        assert_eq!(&v[..], &[1.5, 1.5, 9.0, 1.5]);
+        let c = ls.alloc_copy(&[1u32, 2, 3]).unwrap();
+        assert_eq!(&c[..], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Synchronising collectives: barrier, allreduce, allgather.
+//!
+//! Besides their functional role, collectives are where per-rank virtual
+//! clocks reconcile: every participant leaves a collective with its clock
+//! set to the maximum clock over all participants plus the modelled cost
+//! of the operation. This reproduces the paper's observation that
+//! "collective operations used for time synchronization" dominate KMC
+//! weak-scaling communication time (Fig. 15).
+
+use std::collections::HashMap;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A rank's contribution to (and the result of) one collective call.
+///
+/// All ranks of a world must pass the *same variant* to the same
+/// collective call site; mixing variants is a protocol error and panics.
+#[derive(Debug, Clone)]
+pub enum Acc {
+    /// Pure synchronisation, no data.
+    Barrier,
+    /// Sum of `f64` contributions.
+    SumF64(f64),
+    /// Minimum of `f64` contributions.
+    MinF64(f64),
+    /// Maximum of `f64` contributions.
+    MaxF64(f64),
+    /// Sum of `u64` contributions.
+    SumU64(u64),
+    /// Maximum of `u64` contributions.
+    MaxU64(u64),
+    /// Byte-buffer allgather; slot `r` holds rank `r`'s contribution.
+    Gather(Vec<Option<Vec<u8>>>),
+}
+
+fn combine(a: Acc, b: Acc) -> Acc {
+    use Acc::*;
+    match (a, b) {
+        (Barrier, Barrier) => Barrier,
+        (SumF64(x), SumF64(y)) => SumF64(x + y),
+        (MinF64(x), MinF64(y)) => MinF64(x.min(y)),
+        (MaxF64(x), MaxF64(y)) => MaxF64(x.max(y)),
+        (SumU64(x), SumU64(y)) => SumU64(x + y),
+        (MaxU64(x), MaxU64(y)) => MaxU64(x.max(y)),
+        (Gather(mut xs), Gather(ys)) => {
+            for (i, y) in ys.into_iter().enumerate() {
+                if let Some(v) = y {
+                    assert!(
+                        xs[i].is_none(),
+                        "two ranks contributed to allgather slot {i}"
+                    );
+                    xs[i] = Some(v);
+                }
+            }
+            Gather(xs)
+        }
+        (a, b) => panic!("mismatched collective variants: {a:?} vs {b:?}"),
+    }
+}
+
+struct Inner {
+    generation: u64,
+    arrived: usize,
+    acc: Option<Acc>,
+    clock_max: f64,
+    /// generation -> (result, synced clock, readers still to consume).
+    results: HashMap<u64, (Acc, f64, usize)>,
+}
+
+/// Shared rendezvous point for all collectives of one world.
+pub struct CollectiveHub {
+    n: usize,
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl CollectiveHub {
+    /// Creates a hub for a world of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "world must have at least one rank");
+        Self {
+            n,
+            inner: Mutex::new(Inner {
+                generation: 0,
+                arrived: 0,
+                acc: None,
+                clock_max: f64::NEG_INFINITY,
+                results: HashMap::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// World size this hub synchronises.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Performs one collective: contributes `mine` and this rank's
+    /// virtual `clock`, blocks until all `n` ranks have arrived, and
+    /// returns `(combined result, max clock over participants)`.
+    pub fn collect(&self, mine: Acc, clock: f64) -> (Acc, f64) {
+        let mut g = self.inner.lock();
+        let my_gen = g.generation;
+        g.clock_max = g.clock_max.max(clock);
+        g.acc = Some(match g.acc.take() {
+            None => mine,
+            Some(a) => combine(a, mine),
+        });
+        g.arrived += 1;
+        if g.arrived == self.n {
+            let acc = g.acc.take().expect("accumulator present at completion");
+            let ck = g.clock_max;
+            g.results.insert(my_gen, (acc, ck, self.n));
+            g.generation += 1;
+            g.arrived = 0;
+            g.clock_max = f64::NEG_INFINITY;
+            self.cond.notify_all();
+        } else {
+            while !g.results.contains_key(&my_gen) {
+                self.cond.wait(&mut g);
+            }
+        }
+        let entry = g
+            .results
+            .get_mut(&my_gen)
+            .expect("result published for this generation");
+        let out = (entry.0.clone(), entry.1);
+        entry.2 -= 1;
+        if entry.2 == 0 {
+            g.results.remove(&my_gen);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn run_ranks<F, R>(n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize, &CollectiveHub) -> R + Sync,
+        R: Send,
+    {
+        let hub = Arc::new(CollectiveHub::new(n));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|r| {
+                    let hub = Arc::clone(&hub);
+                    let f = &f;
+                    s.spawn(move || f(r, &hub))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn sum_reduction() {
+        let out = run_ranks(8, |r, hub| hub.collect(Acc::SumF64(r as f64), 0.0));
+        for (acc, _) in out {
+            match acc {
+                Acc::SumF64(s) => assert_eq!(s, 28.0),
+                _ => panic!("wrong variant"),
+            }
+        }
+    }
+
+    #[test]
+    fn clock_sync_takes_max() {
+        let out = run_ranks(4, |r, hub| hub.collect(Acc::Barrier, r as f64 * 10.0));
+        for (_, ck) in out {
+            assert_eq!(ck, 30.0);
+        }
+    }
+
+    #[test]
+    fn gather_collects_all_slots() {
+        let out = run_ranks(3, |r, hub| {
+            let mut slots = vec![None; 3];
+            slots[r] = Some(vec![r as u8; r + 1]);
+            hub.collect(Acc::Gather(slots), 0.0)
+        });
+        for (acc, _) in out {
+            match acc {
+                Acc::Gather(slots) => {
+                    for (i, s) in slots.iter().enumerate() {
+                        assert_eq!(s.as_ref().unwrap().len(), i + 1);
+                    }
+                }
+                _ => panic!("wrong variant"),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_generations() {
+        let out = run_ranks(4, |r, hub| {
+            let mut total = 0u64;
+            for round in 0..50u64 {
+                let (acc, _) = hub.collect(Acc::SumU64(round + r as u64), 0.0);
+                match acc {
+                    Acc::SumU64(s) => total += s,
+                    _ => panic!("wrong variant"),
+                }
+            }
+            total
+        });
+        // Every round sums to 4*round + (0+1+2+3); totals agree on all ranks.
+        assert!(out.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let out = run_ranks(5, |r, hub| {
+            let (mn, _) = hub.collect(Acc::MinF64(r as f64), 0.0);
+            let (mx, _) = hub.collect(Acc::MaxU64(r as u64), 0.0);
+            (mn, mx)
+        });
+        for (mn, mx) in out {
+            assert!(matches!(mn, Acc::MinF64(v) if v == 0.0));
+            assert!(matches!(mx, Acc::MaxU64(4)));
+        }
+    }
+}

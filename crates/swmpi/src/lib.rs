@@ -1,0 +1,55 @@
+//! # mmds-swmpi — in-process message-passing substrate
+//!
+//! A from-scratch "simulated MPI" used by the MMDS reproduction of
+//! *Massively Scaling the Metal Microscopic Damage Simulation on Sunway
+//! TaihuLight Supercomputer* (Li et al., ICPP 2018).
+//!
+//! The paper runs its MD and KMC engines over MPI on up to 6.6 million
+//! cores. We have neither the machine nor its toolchain, so this crate
+//! provides the closest substitute that exercises the same code paths:
+//!
+//! * **Ranks are OS threads** spawned by [`World::run`]; each receives a
+//!   [`Comm`] handle.
+//! * **Two-sided primitives** with MPI semantics: [`Comm::send`],
+//!   [`Comm::recv`], tag matching, [`Comm::probe`] /
+//!   [`Comm::try_probe_any`] (needed by the paper's on-demand KMC
+//!   communication, §2.2.1).
+//! * **Collectives**: barrier, allreduce, allgather — all of which also
+//!   synchronise the per-rank *virtual clocks*.
+//! * **One-sided windows** ([`onesided::WindowHub`]): put + fence, the
+//!   paper's alternative implementation of on-demand communication that
+//!   avoids zero-size messages.
+//! * **Accounting**: every message updates [`stats::CommStats`]
+//!   (bytes/messages — exact, machine-independent) and advances a
+//!   per-rank virtual clock through a LogP-style [`model::MachineModel`]
+//!   (time — modelled, calibrated to TaihuLight-like constants).
+//!
+//! Communication *volume* results (paper Fig. 12) read the exact counters;
+//! communication *time* results (Figs. 10–16) read the virtual clocks, and
+//! `EXPERIMENTS.md` documents that substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod mailbox;
+pub mod model;
+pub mod onesided;
+pub mod stats;
+pub mod topology;
+pub mod wire;
+pub mod world;
+
+pub use comm::Comm;
+pub use model::MachineModel;
+pub use stats::CommStats;
+pub use topology::CartGrid;
+pub use wire::{Packer, Unpacker, Wire};
+pub use world::{World, WorldConfig};
+
+/// A message tag, used for matching as in MPI.
+pub type Tag = u32;
+
+/// A rank identifier within a [`World`].
+pub type Rank = usize;

@@ -1,0 +1,148 @@
+//! LogP-style communication cost model and virtual time.
+//!
+//! The paper reports times measured on Sunway TaihuLight. We cannot run
+//! there, so each rank carries a deterministic *virtual clock*: computation
+//! advances it by work-derived charges (see `mmds-sunway` and the engine
+//! crates), and every communication operation advances it through this
+//! model. The constants default to TaihuLight-like values and are
+//! calibrated once in `crates/perfmodel`; EXPERIMENTS.md records the
+//! substitution per figure.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine constants for the communication time model.
+///
+/// A point-to-point message of `b` bytes costs
+/// `alpha * contention(P) + b * beta`, and a tree collective over `P`
+/// ranks costs `ceil(log2 P)` such latency terms (plus bandwidth terms
+/// for payload-carrying collectives).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Point-to-point latency (seconds). TaihuLight MPI ≈ 1–2 µs.
+    pub net_alpha: f64,
+    /// Inverse network bandwidth (seconds per byte). TaihuLight ≈ 6 GB/s
+    /// effective per node pair.
+    pub net_beta: f64,
+    /// Contention growth coefficient: effective latency is multiplied by
+    /// `1 + contention * log2(P)` to model fat-tree/torus congestion at
+    /// scale (the paper observes this on 208,000 cores, Fig. 11).
+    pub contention: f64,
+    /// Fixed software overhead charged to the *sender* per message
+    /// (seconds). Models packing + injection.
+    pub send_overhead: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::taihulight()
+    }
+}
+
+impl MachineModel {
+    /// TaihuLight-like constants used throughout the reproduction.
+    pub fn taihulight() -> Self {
+        Self {
+            net_alpha: 1.5e-6,
+            net_beta: 1.0 / 6.0e9,
+            contention: 0.02,
+            send_overhead: 4.0e-7,
+        }
+    }
+
+    /// A zero-cost model: virtual clocks only advance via explicit compute
+    /// charges. Useful in unit tests that assert functional behaviour.
+    pub fn free() -> Self {
+        Self {
+            net_alpha: 0.0,
+            net_beta: 0.0,
+            contention: 0.0,
+            send_overhead: 0.0,
+        }
+    }
+
+    /// Effective latency for one message when `p` ranks share the fabric.
+    pub fn latency(&self, p: usize) -> f64 {
+        self.net_alpha * (1.0 + self.contention * log2_ceil(p) as f64)
+    }
+
+    /// End-to-end transfer time for a `bytes`-byte point-to-point message
+    /// in a world of `p` ranks.
+    pub fn p2p_time(&self, bytes: usize, p: usize) -> f64 {
+        self.latency(p) + bytes as f64 * self.net_beta
+    }
+
+    /// Cost of a barrier over `p` ranks (latency tree up + down).
+    pub fn barrier_time(&self, p: usize) -> f64 {
+        2.0 * self.latency(p) * log2_ceil(p) as f64
+    }
+
+    /// Cost of an allreduce of `bytes` over `p` ranks.
+    pub fn allreduce_time(&self, bytes: usize, p: usize) -> f64 {
+        self.barrier_time(p) + 2.0 * bytes as f64 * self.net_beta * log2_ceil(p) as f64
+    }
+
+    /// Cost of an allgather where each rank contributes `bytes` bytes.
+    pub fn allgather_time(&self, bytes: usize, p: usize) -> f64 {
+        self.latency(p) * log2_ceil(p) as f64
+            + (p.saturating_sub(1)) as f64 * bytes as f64 * self.net_beta
+    }
+}
+
+/// `ceil(log2(p))`, with `log2_ceil(0) == 0` and `log2_ceil(1) == 0`.
+pub fn log2_ceil(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn p2p_monotone_in_bytes() {
+        let m = MachineModel::taihulight();
+        assert!(m.p2p_time(10, 16) < m.p2p_time(10_000, 16));
+    }
+
+    #[test]
+    fn latency_grows_with_ranks() {
+        let m = MachineModel::taihulight();
+        assert!(m.latency(2) < m.latency(100_000));
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = MachineModel::free();
+        assert_eq!(m.p2p_time(1 << 20, 4096), 0.0);
+        assert_eq!(m.barrier_time(4096), 0.0);
+        assert_eq!(m.allreduce_time(8, 4096), 0.0);
+    }
+
+    #[test]
+    fn allgather_monotone_in_bytes() {
+        let m = MachineModel::taihulight();
+        assert!(m.allgather_time(16, 64) < m.allgather_time(4096, 64));
+    }
+
+    #[test]
+    fn collective_costs_scale_with_p() {
+        let m = MachineModel::taihulight();
+        assert!(m.barrier_time(4) < m.barrier_time(1024));
+        assert!(m.allgather_time(64, 4) < m.allgather_time(64, 1024));
+    }
+}

@@ -1,0 +1,107 @@
+//! One-sided communication: windows with put + fence.
+//!
+//! The paper (§2.2.1) notes that probe-based on-demand exchange forces
+//! senders to emit zero-size messages so receivers can match them, and
+//! proposes MPI one-sided communication as the fix: each process opens a
+//! window, *puts* updates into its neighbours, and a global fence
+//! completes the epoch. [`WindowHub`] models exactly that: puts append
+//! [`PutRecord`]s to the target's board; after a fence (a barrier driven
+//! by [`crate::Comm::win_fence`]) each rank drains its own board.
+
+use parking_lot::Mutex;
+
+use crate::Rank;
+
+/// One one-sided update deposited into a target rank's window.
+#[derive(Debug, Clone)]
+pub struct PutRecord {
+    /// Originating rank.
+    pub src: Rank,
+    /// Application-defined region identifier (e.g. which ghost face).
+    pub region: u32,
+    /// Virtual time at which the originator issued the put.
+    pub depart_time: f64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Per-rank put boards for an entire world.
+pub struct WindowHub {
+    boards: Vec<Mutex<Vec<PutRecord>>>,
+}
+
+impl WindowHub {
+    /// Creates boards for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        Self {
+            boards: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Deposits a record into `dst`'s board. Called by the source rank.
+    pub fn put(&self, dst: Rank, rec: PutRecord) {
+        self.boards[dst].lock().push(rec);
+    }
+
+    /// Removes and returns everything deposited into `rank`'s board.
+    /// Called by the owner after a fence. Records are sorted by
+    /// `(src, region)` so drain order is deterministic regardless of
+    /// thread scheduling.
+    pub fn drain(&self, rank: Rank) -> Vec<PutRecord> {
+        let mut recs = std::mem::take(&mut *self.boards[rank].lock());
+        recs.sort_by_key(|r| (r.src, r.region));
+        recs
+    }
+
+    /// Number of undelivered records currently boarded for `rank`.
+    pub fn pending(&self, rank: Rank) -> usize {
+        self.boards[rank].lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(src: Rank, region: u32, payload: Vec<u8>) -> PutRecord {
+        PutRecord {
+            src,
+            region,
+            depart_time: 0.0,
+            payload,
+        }
+    }
+
+    #[test]
+    fn put_then_drain() {
+        let hub = WindowHub::new(3);
+        hub.put(1, rec(0, 2, vec![1, 2]));
+        hub.put(1, rec(2, 1, vec![3]));
+        hub.put(0, rec(1, 0, vec![4]));
+        assert_eq!(hub.pending(1), 2);
+        let drained = hub.drain(1);
+        assert_eq!(drained.len(), 2);
+        // Deterministic order: sorted by (src, region).
+        assert_eq!(drained[0].src, 0);
+        assert_eq!(drained[1].src, 2);
+        assert_eq!(hub.pending(1), 0);
+        assert_eq!(hub.drain(0).len(), 1);
+    }
+
+    #[test]
+    fn drain_sorts_by_src_then_region() {
+        let hub = WindowHub::new(2);
+        hub.put(0, rec(1, 5, vec![]));
+        hub.put(0, rec(1, 2, vec![]));
+        hub.put(0, rec(0, 9, vec![]));
+        let d = hub.drain(0);
+        let keys: Vec<_> = d.iter().map(|r| (r.src, r.region)).collect();
+        assert_eq!(keys, vec![(0, 9), (1, 2), (1, 5)]);
+    }
+
+    #[test]
+    fn empty_drain() {
+        let hub = WindowHub::new(1);
+        assert!(hub.drain(0).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-rank communication and computation accounting.
+//!
+//! Byte and message counts are *exact* — they are what Fig. 12
+//! (communication volume) reports. Times are virtual-clock charges from
+//! [`crate::model::MachineModel`].
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one rank over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Point-to-point payload bytes sent.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_recv: u64,
+    /// Point-to-point payload bytes received.
+    pub bytes_recv: u64,
+    /// One-sided put operations issued.
+    pub puts: u64,
+    /// One-sided payload bytes put.
+    pub bytes_put: u64,
+    /// Collective operations participated in (barrier/allreduce/allgather).
+    pub collectives: u64,
+    /// Virtual seconds spent in communication (waiting + transfer).
+    pub comm_time: f64,
+    /// Virtual seconds charged as computation.
+    pub compute_time: f64,
+}
+
+impl CommStats {
+    /// Total virtual time (compute + communication).
+    pub fn total_time(&self) -> f64 {
+        self.comm_time + self.compute_time
+    }
+
+    /// Total bytes moved by this rank (two-sided sends + one-sided puts).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_sent + self.bytes_put
+    }
+
+    /// Element-wise sum, for aggregating a world's ranks.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_recv: self.msgs_recv + other.msgs_recv,
+            bytes_recv: self.bytes_recv + other.bytes_recv,
+            puts: self.puts + other.puts,
+            bytes_put: self.bytes_put + other.bytes_put,
+            collectives: self.collectives + other.collectives,
+            comm_time: self.comm_time + other.comm_time,
+            compute_time: self.compute_time + other.compute_time,
+        }
+    }
+
+    /// Aggregates a slice of per-rank stats into world totals.
+    pub fn sum(all: &[CommStats]) -> CommStats {
+        all.iter().fold(CommStats::default(), |a, s| a.merge(s))
+    }
+
+    /// Maximum communication time across ranks (critical path proxy).
+    pub fn max_comm_time(all: &[CommStats]) -> f64 {
+        all.iter().map(|s| s.comm_time).fold(0.0, f64::max)
+    }
+
+    /// Maximum compute time across ranks.
+    pub fn max_compute_time(all: &[CommStats]) -> f64 {
+        all.iter().map(|s| s.compute_time).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            comm_time: 0.5,
+            ..Default::default()
+        };
+        let b = CommStats {
+            msgs_sent: 2,
+            bytes_sent: 20,
+            compute_time: 1.0,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.msgs_sent, 3);
+        assert_eq!(m.bytes_sent, 30);
+        assert_eq!(m.total_time(), 1.5);
+    }
+
+    #[test]
+    fn sum_and_maxes() {
+        let all = vec![
+            CommStats {
+                comm_time: 1.0,
+                compute_time: 3.0,
+                bytes_sent: 5,
+                ..Default::default()
+            },
+            CommStats {
+                comm_time: 2.0,
+                compute_time: 1.0,
+                bytes_put: 7,
+                ..Default::default()
+            },
+        ];
+        let s = CommStats::sum(&all);
+        assert_eq!(s.bytes_moved(), 12);
+        assert_eq!(CommStats::max_comm_time(&all), 2.0);
+        assert_eq!(CommStats::max_compute_time(&all), 3.0);
+    }
+}

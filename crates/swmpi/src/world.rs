@@ -1,0 +1,165 @@
+//! World creation: spawn one thread per rank and collect results.
+
+use std::sync::Arc;
+
+use crate::collectives::CollectiveHub;
+use crate::comm::{Comm, Shared};
+use crate::mailbox::Mailbox;
+use crate::model::MachineModel;
+use crate::onesided::WindowHub;
+use crate::stats::CommStats;
+
+/// Configuration for a [`World`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Communication cost model charged to virtual clocks.
+    pub model: MachineModel,
+    /// Stack size per rank thread. Ranks are plentiful (hundreds), so we
+    /// default well below the 8 MB Linux default.
+    pub stack_bytes: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            model: MachineModel::taihulight(),
+            stack_bytes: 4 << 20,
+        }
+    }
+}
+
+/// What one rank produced: the closure's return value plus accounting.
+#[derive(Debug, Clone)]
+pub struct RankOutput<R> {
+    /// The rank's return value.
+    pub result: R,
+    /// Final accounting counters.
+    pub stats: CommStats,
+    /// Final virtual clock (seconds).
+    pub clock: f64,
+}
+
+/// A launcher for SPMD programs over simulated ranks.
+///
+/// ```
+/// use mmds_swmpi::{World, WorldConfig};
+/// let out = World::new(WorldConfig::default()).run(4, |comm| {
+///     comm.allreduce_sum_u64(comm.rank() as u64 + 1)
+/// });
+/// assert!(out.iter().all(|r| r.result == 10));
+/// ```
+pub struct World {
+    config: WorldConfig,
+}
+
+impl World {
+    /// Creates a world launcher with the given configuration.
+    pub fn new(config: WorldConfig) -> Self {
+        Self { config }
+    }
+
+    /// A world with default (TaihuLight-like) cost model.
+    pub fn default_world() -> Self {
+        Self::new(WorldConfig::default())
+    }
+
+    /// Runs `f` on `n` ranks, each on its own OS thread, and returns the
+    /// per-rank outputs in rank order. Panics in any rank propagate.
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<RankOutput<R>>
+    where
+        R: Send,
+        F: Fn(&Comm) -> R + Sync,
+    {
+        assert!(n > 0, "world needs at least one rank");
+        let shared = Arc::new(Shared {
+            mailboxes: (0..n).map(|_| Arc::new(Mailbox::new())).collect(),
+            hub: CollectiveHub::new(n),
+            windows: WindowHub::new(n),
+            model: self.config.model,
+        });
+        let stack = self.config.stack_bytes;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    std::thread::Builder::new()
+                        .name(format!("rank{rank}"))
+                        .stack_size(stack)
+                        .spawn_scoped(scope, move || {
+                            let comm = Comm::new(rank, n, shared);
+                            let result = f(&comm);
+                            RankOutput {
+                                result,
+                                stats: comm.stats(),
+                                clock: comm.clock(),
+                            }
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => out,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_in_rank_order() {
+        let out = World::default_world().run(8, |comm| comm.rank() * 10);
+        let got: Vec<_> = out.iter().map(|r| r.result).collect();
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::default_world().run(1, |comm| {
+            comm.barrier();
+            comm.allreduce_sum_f64(3.5)
+        });
+        assert_eq!(out[0].result, 3.5);
+    }
+
+    #[test]
+    fn many_ranks_spawn() {
+        let world = World::new(WorldConfig {
+            stack_bytes: 512 << 10,
+            ..Default::default()
+        });
+        let out = world.run(128, |comm| comm.allreduce_sum_u64(1));
+        assert!(out.iter().all(|r| r.result == 128));
+    }
+
+    #[test]
+    fn stats_reported_per_rank() {
+        let out = World::default_world().run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 64]);
+            } else {
+                comm.recv_from(0, 0);
+            }
+        });
+        assert_eq!(out[0].stats.bytes_sent, 64);
+        assert_eq!(out[1].stats.bytes_recv, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        World::default_world().run(2, |comm| {
+            if comm.rank() == 1 {
+                // Avoid leaving rank 0 blocked: panic before any recv.
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,64 @@
+//! Cascade damage study: how many Frenkel pairs survive a primary
+//! knock-on atom of a given energy?
+//!
+//! ```text
+//! cargo run --release --example cascade_damage
+//! ```
+//!
+//! Sweeps PKA energies, runs the MD cascade for each, and reports peak
+//! and surviving defect counts plus the temperature spike — the
+//! ingredients of the paper's "defect generation caused by cascade
+//! collision" phase (§2.1), cross-checked with an independent
+//! Wigner–Seitz occupancy analysis.
+
+use mmds::md::cascade::{launch_pka, PKA_DIRECTION};
+use mmds::md::defects::{count, wigner_seitz};
+use mmds::md::domain::Loopback;
+use mmds::md::{MdConfig, MdSimulation};
+
+fn main() {
+    println!(
+        "{:>10} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "PKA (eV)", "steps", "peak vac", "surv vac", "surv int", "T_final (K)"
+    );
+    for &pka_ev in &[100.0, 200.0, 400.0, 800.0] {
+        let cfg = MdConfig {
+            temperature: 300.0,
+            thermostat_tau: Some(0.03),
+            table_knots: 1500,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut sim = MdSimulation::single_box(cfg, 10);
+        sim.init_velocities();
+        let g = sim.lnl.grid.ghost;
+        let centre = sim.lnl.grid.site_id(g + 5, g + 5, g + 5, 0);
+        launch_pka(&mut sim.lnl, centre, pka_ev, PKA_DIRECTION, sim.mass);
+
+        let mut peak = 0usize;
+        let mut t_final = 0.0;
+        let steps = 50;
+        for _ in 0..steps {
+            let s = sim.step(&mut Loopback);
+            peak = peak.max(sim.lnl.n_vacancies());
+            t_final = s.temperature;
+        }
+        let c = count(&sim.lnl);
+        let ws = wigner_seitz(&sim.lnl, &sim.interior);
+        // The occupancy census may count fewer defects than the
+        // bookkeeping: a run-away hovering just outside the capture
+        // radius of its own vacancy is a Frenkel pair to the lattice
+        // neighbor list but a (strained) perfect crystal to
+        // Wigner-Seitz. It can never count more.
+        assert!(ws.vacancies <= c.vacancies && ws.interstitials <= c.interstitials);
+        println!(
+            "{:>10} {:>9} {:>10} {:>10} {:>10} {:>12.0}   (WS: {}/{})",
+            pka_ev, steps, peak, c.vacancies, c.interstitials, t_final,
+            ws.vacancies, ws.interstitials
+        );
+    }
+    println!(
+        "\npeak counts rise with PKA energy; most pairs recombine during the\n\
+         thermal spike — the survivors are what the KMC phase inherits."
+    );
+}

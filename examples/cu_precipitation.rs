@@ -1,0 +1,92 @@
+//! Vacancy-mediated Cu precipitation in α-Fe.
+//!
+//! ```text
+//! cargo run --release --example cu_precipitation
+//! ```
+//!
+//! The paper's time-rescaling formula (§3) comes from Castin et al.'s
+//! hybrid AKMC study of exactly this process: dilute Cu in BCC iron
+//! demixes (positive heat of mixing), and vacancies are the transport
+//! mechanism that lets the Cu atoms find each other. This example runs
+//! the alloy-aware KMC engine on an Fe–1.5%Cu solid solution with a few
+//! vacancies and watches the Cu cluster-size distribution coarsen.
+
+use mmds::analysis::clusters::cluster_sizes;
+use mmds::kmc::comm::LoopbackK;
+use mmds::kmc::lattice::required_ghost;
+use mmds::kmc::{ExchangeStrategy, KmcConfig, KmcSimulation, OnDemandMode, SiteState};
+use mmds::lattice::{BccGeometry, LocalGrid};
+
+fn main() {
+    let cfg = KmcConfig {
+        table_knots: 1500,
+        events_per_cycle: 1.0,
+        temperature: 850.0, // hot ageing: faster coarsening in wall time
+        seed: 4242,
+        ..Default::default()
+    };
+    let cells = 12;
+    let geom = BccGeometry::new(cfg.a0, cells, cells, cells);
+    let ghost = required_ghost(cfg.a0, cfg.rate_cutoff);
+    let grid = LocalGrid::whole(geom, ghost);
+    let mut sim = KmcSimulation::new(cfg, grid);
+
+    let n_sites = sim.lat.n_owned();
+    let n_cu = (0.015 * n_sites as f64).round() as usize;
+    let placed_cu = sim.lat.seed_solutes_global(n_cu, 77);
+    sim.lat.seed_vacancies_global(10, 78);
+    sim.initialize(&mut LoopbackK);
+    println!(
+        "Fe-{:.1}%Cu, {} sites, {} Cu atoms, {} vacancies at {} K",
+        100.0 * placed_cu as f64 / n_sites as f64,
+        n_sites,
+        placed_cu,
+        sim.lat.n_vacancies(),
+        sim.cfg.temperature
+    );
+
+    let box_len = geom.box_lengths();
+    let r_link = 1.2 * geom.nn2();
+    let cu_points = |sim: &KmcSimulation| -> Vec<[f64; 3]> {
+        sim.lat
+            .grid
+            .interior_ids()
+            .filter(|&s| sim.lat.state[s] == SiteState::Cu)
+            .map(|s| sim.lat.position(s))
+            .collect()
+    };
+
+    println!(
+        "\n{:>8} {:>9} {:>12} {:>10} {:>14}",
+        "cycles", "events", "Cu clusters", "largest", "Cu clustered"
+    );
+    let strategy = ExchangeStrategy::OnDemand(OnDemandMode::TwoSided);
+    let mut events = 0;
+    for block in 0..=6 {
+        if block > 0 {
+            events += sim.run_cycles(strategy, &mut LoopbackK, 250);
+        }
+        let pts = cu_points(&sim);
+        let cl = cluster_sizes(&pts, box_len, r_link);
+        println!(
+            "{:>8} {:>9} {:>12} {:>10} {:>14}",
+            block * 250,
+            events,
+            cl.n_clusters,
+            cl.largest,
+            format!("{:.1}%", 100.0 * cl.clustered_fraction)
+        );
+    }
+
+    // Conservation: Cu and vacancy counts are invariants of the dynamics.
+    let cu_final = cu_points(&sim).len();
+    assert_eq!(cu_final, placed_cu, "Cu atoms are conserved");
+    println!(
+        "\nCu conserved ({cu_final} atoms); vacancies conserved ({})",
+        sim.lat.n_vacancies()
+    );
+    println!(
+        "Cu transport is vacancy-mediated: every Cu move is a V-Cu exchange, so\n\
+         coarsening stalls if the vacancies are removed."
+    );
+}

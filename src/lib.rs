@@ -1,0 +1,30 @@
+//! # mmds — Metal Microscopic Damage Simulation
+//!
+//! A from-scratch Rust reproduction of *Massively Scaling the Metal
+//! Microscopic Damage Simulation on Sunway TaihuLight Supercomputer*
+//! (Shigang Li et al., ICPP 2018): coupled MD-KMC simulation of
+//! irradiation damage in BCC iron, with every substrate the paper
+//! depends on — a simulated SW26010 core group, an in-process
+//! message-passing layer, EAM interpolation tables, the lattice
+//! neighbor list, and the on-demand KMC communication strategy.
+//!
+//! This crate is a thin facade over [`mmds_core`]; see that crate (and
+//! the workspace `README.md` / `DESIGN.md` / `EXPERIMENTS.md`) for the
+//! full story. Quick start:
+//!
+//! ```
+//! use mmds::DamageSimulation;
+//!
+//! let report = DamageSimulation::builder()
+//!     .cells(8)                 // 2·8³ = 1024 atoms
+//!     .temperature(300.0)       // kelvin
+//!     .pka_energy_ev(200.0)     // primary knock-on atom
+//!     .md_steps(20)             // 20 fs of cascade MD
+//!     .kmc_threshold(2.0e-7)    // then KMC defect evolution
+//!     .table_knots(800)
+//!     .build()
+//!     .run();
+//! println!("Frenkel pairs: {}", report.md_vacancies);
+//! ```
+
+pub use mmds_core::*;

@@ -1,0 +1,103 @@
+//! Checkpoint/restart and trajectory output through the public API.
+
+use mmds::analysis::io::{write_points_csv, write_xyz};
+use mmds::kmc::comm::LoopbackK;
+use mmds::kmc::lattice::required_ghost;
+use mmds::kmc::{ExchangeStrategy, KmcConfig, KmcSimulation};
+use mmds::lattice::{BccGeometry, LocalGrid};
+use mmds::md::cascade::{launch_pka, PKA_DIRECTION};
+use mmds::md::{MdConfig, MdSimulation};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mmds_persistence");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn md_checkpoint_resume_matches_uninterrupted_cascade() {
+    let cfg = MdConfig {
+        table_knots: 800,
+        temperature: 150.0,
+        thermostat_tau: Some(0.02),
+        ..Default::default()
+    };
+    let build = || {
+        let mut s = MdSimulation::single_box(cfg, 6);
+        s.init_velocities();
+        let pka = s.lnl.grid.site_id(5, 5, 5, 0);
+        launch_pka(&mut s.lnl, pka, 180.0, PKA_DIRECTION, s.mass);
+        s
+    };
+    let mut straight = build();
+    straight.run_local(24);
+
+    let mut first = build();
+    first.run_local(9);
+    first.save_checkpoint(&tmp("cascade.ckpt.json")).unwrap();
+    let mut resumed = MdSimulation::load_checkpoint(&tmp("cascade.ckpt.json")).unwrap();
+    resumed.run_local(15);
+
+    assert_eq!(straight.lnl.n_vacancies(), resumed.lnl.n_vacancies());
+    assert_eq!(straight.lnl.n_runaways(), resumed.lnl.n_runaways());
+    for &s in &straight.interior {
+        assert_eq!(straight.lnl.pos[s], resumed.lnl.pos[s]);
+    }
+}
+
+#[test]
+fn kmc_checkpoint_preserves_counts_and_continues() {
+    let cfg = KmcConfig {
+        table_knots: 600,
+        ..Default::default()
+    };
+    let ghost = required_ghost(cfg.a0, cfg.rate_cutoff);
+    let grid = LocalGrid::whole(BccGeometry::fe_cube(8), ghost);
+    let mut sim = KmcSimulation::new(cfg, grid);
+    sim.lat.seed_vacancies_global(5, 9);
+    sim.lat.seed_solutes_global(20, 10);
+    sim.initialize(&mut LoopbackK);
+    sim.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 4);
+    sim.save_checkpoint(&tmp("kmc.ckpt.json")).unwrap();
+
+    let mut restored = KmcSimulation::load_checkpoint(&tmp("kmc.ckpt.json")).unwrap();
+    assert_eq!(restored.lat.state, sim.lat.state);
+    restored.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 4);
+    assert_eq!(restored.lat.n_vacancies(), 5, "vacancies conserved over restart");
+    let cu = restored
+        .lat
+        .grid
+        .interior_ids()
+        .filter(|&s| restored.lat.state[s] == mmds::kmc::SiteState::Cu)
+        .count();
+    assert_eq!(cu, 20, "solutes conserved over restart");
+}
+
+#[test]
+fn trajectory_writers_produce_parseable_files() {
+    let cfg = MdConfig {
+        table_knots: 800,
+        temperature: 300.0,
+        ..Default::default()
+    };
+    let mut s = MdSimulation::single_box(cfg, 5);
+    s.init_velocities();
+    s.run_local(2);
+    let atoms: Vec<(&str, [f64; 3])> = s
+        .interior
+        .iter()
+        .filter(|&&i| s.lnl.id[i] >= 0)
+        .map(|&i| ("Fe", s.lnl.pos[i]))
+        .collect();
+    let xyz = tmp("frame.xyz");
+    write_xyz(&xyz, &format!("t = {} ps", s.time_ps), &atoms).unwrap();
+    let content = std::fs::read_to_string(&xyz).unwrap();
+    let mut lines = content.lines();
+    let n: usize = lines.next().unwrap().parse().unwrap();
+    assert_eq!(n, atoms.len());
+    assert_eq!(content.lines().count(), n + 2);
+
+    let csv = tmp("vacs.csv");
+    write_points_csv(&csv, &[[1.0, 2.0, 3.0]]).unwrap();
+    assert!(std::fs::read_to_string(&csv).unwrap().contains("1,2,3"));
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration tests of the coupled pipeline (public API).
+
+use mmds::DamageSimulation;
+
+fn quick() -> mmds::CoupledReport {
+    DamageSimulation::builder()
+        .cells(8)
+        .temperature(300.0)
+        .pka_energy_ev(250.0)
+        .md_steps(25)
+        .seeded_vacancy_concentration(5.0e-3)
+        .kmc_threshold(4.0e-7)
+        .max_kmc_cycles(60)
+        .table_knots(900)
+        .seed(21)
+        .build()
+        .run()
+}
+
+#[test]
+fn coupled_pipeline_end_to_end() {
+    let rep = quick();
+    assert!(rep.md_vacancies >= 5, "seeded + cascade vacancies expected");
+    assert_eq!(
+        rep.after_kmc_clusters.n_points, rep.md_vacancies,
+        "KMC conserves the vacancy count"
+    );
+    assert!(rep.kmc_events > 0);
+    assert!(rep.t_real_seconds > 0.0);
+    assert_eq!(rep.md_vacancy_points.len(), rep.md_vacancies);
+    assert_eq!(rep.kmc_vacancy_points.len(), rep.md_vacancies);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = quick();
+    let b = quick();
+    assert_eq!(a.md_vacancies, b.md_vacancies);
+    assert_eq!(a.kmc_events, b.kmc_events);
+    assert_eq!(a.kmc_vacancy_points, b.kmc_vacancy_points);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = quick();
+    let b = DamageSimulation::builder()
+        .cells(8)
+        .temperature(300.0)
+        .pka_energy_ev(250.0)
+        .md_steps(25)
+        .seeded_vacancy_concentration(5.0e-3)
+        .kmc_threshold(4.0e-7)
+        .max_kmc_cycles(60)
+        .table_knots(900)
+        .seed(22)
+        .build()
+        .run();
+    assert_ne!(
+        a.kmc_vacancy_points, b.kmc_vacancy_points,
+        "different seeds must explore different trajectories"
+    );
+}
+
+#[test]
+fn kmc_aggregates_vacancies() {
+    // The Fig. 17 physics through the public API: dispersion must not
+    // increase, and binding must form at least one multi-vacancy
+    // cluster given enough events.
+    let rep = DamageSimulation::builder()
+        .cells(10)
+        .temperature(600.0)
+        .pka_energy_ev(300.0)
+        .md_steps(20)
+        .seeded_vacancy_concentration(6.0e-3)
+        .kmc_threshold(3.0e-6)
+        .max_kmc_cycles(150)
+        .table_knots(900)
+        .seed(5)
+        .build()
+        .run();
+    assert!(rep.kmc_events > 100, "events = {}", rep.kmc_events);
+    assert!(
+        rep.after_kmc_clusters.largest >= 2,
+        "bound vacancy clusters should form (largest = {})",
+        rep.after_kmc_clusters.largest
+    );
+    assert!(
+        rep.after_kmc_dispersion.ratio <= rep.after_md_dispersion.ratio + 0.05,
+        "dispersion must not grow: {} -> {}",
+        rep.after_md_dispersion.ratio,
+        rep.after_kmc_dispersion.ratio
+    );
+}
+
+#[test]
+fn exchange_strategy_does_not_change_physics() {
+    let base = DamageSimulation::builder()
+        .cells(8)
+        .temperature(600.0)
+        .pka_energy_ev(200.0)
+        .md_steps(15)
+        .seeded_vacancy_concentration(5.0e-3)
+        .kmc_threshold(3.0e-7)
+        .max_kmc_cycles(40)
+        .table_knots(900)
+        .seed(33);
+    let trad = base.clone().traditional_exchange().build().run();
+    let od2 = base.clone().on_demand_exchange(false).build().run();
+    let od1 = base.on_demand_exchange(true).build().run();
+    assert_eq!(trad.kmc_vacancy_points, od2.kmc_vacancy_points);
+    assert_eq!(trad.kmc_vacancy_points, od1.kmc_vacancy_points);
+}

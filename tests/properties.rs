@@ -1,0 +1,133 @@
+//! Property-based tests on the core data structures and invariants.
+
+use mmds::eam::analytic::AnalyticEam;
+use mmds::eam::compact::CompactTable;
+use mmds::eam::spline::TraditionalTable;
+use mmds::kmc::comm::LoopbackK;
+use mmds::kmc::lattice::required_ghost;
+use mmds::kmc::{ExchangeStrategy, KmcConfig, KmcSimulation, OnDemandMode};
+use mmds::lattice::{BccGeometry, LatticeNeighborList, LocalGrid, VerletList};
+use mmds::swmpi::{Packer, Unpacker};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compacted table reproduces the traditional table everywhere,
+    /// for arbitrary smooth functions (random Morse-like parameters).
+    #[test]
+    fn compact_matches_traditional(
+        d in 0.1f64..1.0,
+        alpha in 0.8f64..2.0,
+        r0 in 2.0f64..3.0,
+        x in 1.05f64..4.95,
+    ) {
+        let f = move |r: f64| d * ((-2.0 * alpha * (r - r0)).exp() - 2.0 * (-alpha * (r - r0)).exp());
+        let trad = TraditionalTable::build(f, 1.0, 5.0, 2000);
+        let comp = CompactTable::build(f, 1.0, 5.0, 2000);
+        let (tv, td) = trad.eval_both(x);
+        let (cv, cd) = comp.eval_both(x);
+        prop_assert!((tv - cv).abs() < 1e-7, "value {tv} vs {cv} at {x}");
+        prop_assert!((td - cd).abs() < 1e-3, "deriv {td} vs {cd} at {x}");
+    }
+
+    /// The lattice neighbor list finds exactly the pairs a Verlet list
+    /// finds, for thermally displaced near-lattice configurations.
+    #[test]
+    fn lnl_agrees_with_verlet(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let cutoff = 5.0;
+        let grid = LocalGrid::whole(BccGeometry::fe_cube(6), 2);
+        let mut lnl = LatticeNeighborList::perfect(grid, cutoff + 0.6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let interior: Vec<usize> = lnl.grid.interior_ids().collect();
+        for &s in &interior {
+            for ax in 0..3 {
+                lnl.pos[s][ax] += rng.random_range(-0.25..0.25);
+            }
+        }
+        // Mirror ghosts so periodic partners are consistent.
+        mmds::md::domain::exchange_ghosts(
+            &mut lnl,
+            &mut mmds::md::domain::Loopback,
+            mmds::md::domain::GhostPhase::Positions,
+        );
+        // Verlet ground truth over interior + ghost coordinates.
+        let all_pos: Vec<[f64; 3]> = (0..lnl.n_sites()).map(|s| lnl.pos[s]).collect();
+        let verlet = VerletList::build(&all_pos, cutoff, 0.0);
+        // Pick a handful of interior sites and compare partner counts.
+        for &s in interior.iter().step_by(37) {
+            let mut lnl_partners = 0usize;
+            mmds::md::force::for_each_partner(
+                &lnl,
+                mmds::md::force::Central::Site(s),
+                cutoff,
+                |_| lnl_partners += 1,
+            );
+            prop_assert_eq!(
+                lnl_partners,
+                verlet.neighbors_of(s).len(),
+                "site {} partner mismatch", s
+            );
+        }
+    }
+
+    /// Wire pack/unpack round-trips arbitrary payload sequences.
+    #[test]
+    fn wire_round_trip(u32s in prop::collection::vec(any::<u32>(), 0..20),
+                       f64s in prop::collection::vec(-1e12f64..1e12, 0..20)) {
+        let mut p = Packer::new();
+        for &v in &u32s { p.put_u32(v); }
+        p.put_f64_slice(&f64s);
+        let bytes = p.finish();
+        let mut u = Unpacker::new(&bytes);
+        for &v in &u32s { prop_assert_eq!(u.get_u32(), v); }
+        prop_assert_eq!(u.get_f64_vec(), f64s);
+        prop_assert!(u.is_exhausted());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// On-demand and traditional exchanges produce identical owned
+    /// trajectories for random vacancy configurations and seeds.
+    #[test]
+    fn kmc_strategies_equivalent(seed in 0u64..1000, n_vac in 2usize..12) {
+        let run = |strategy: ExchangeStrategy| {
+            let cfg = KmcConfig {
+                table_knots: 600,
+                seed,
+                events_per_cycle: 1.5,
+                ..Default::default()
+            };
+            let ghost = required_ghost(cfg.a0, cfg.rate_cutoff);
+            let grid = LocalGrid::whole(BccGeometry::fe_cube(8), ghost);
+            let mut sim = KmcSimulation::new(cfg, grid);
+            sim.lat.seed_vacancies_global(n_vac, seed ^ 0xF00D);
+            sim.initialize(&mut LoopbackK);
+            sim.run_cycles(strategy, &mut LoopbackK, 8);
+            let owned: Vec<u8> = sim
+                .lat
+                .grid
+                .interior_ids()
+                .map(|i| sim.lat.state[i].to_u8())
+                .collect();
+            (sim.stats.events, owned)
+        };
+        let trad = run(ExchangeStrategy::Traditional);
+        let od = run(ExchangeStrategy::OnDemand(OnDemandMode::TwoSided));
+        prop_assert_eq!(trad.0, od.0);
+        prop_assert_eq!(trad.1, od.1);
+    }
+
+    /// Table form never changes the analytic function by more than the
+    /// interpolation tolerance (EAM machinery sanity).
+    #[test]
+    fn tables_track_analytic(r in 1.6f64..4.9) {
+        let p = AnalyticEam::fe();
+        let trad = TraditionalTable::build(|x| p.phi(x), 1.0, 5.0, 3000);
+        prop_assert!((trad.eval(r) - p.phi(r)).abs() < 1e-6);
+    }
+}
