@@ -18,11 +18,7 @@ pub fn write_points_csv(path: &Path, points: &[[f64; 3]]) -> std::io::Result<()>
 
 /// Writes an extended-XYZ frame (`species x y z` per line) — readable
 /// by OVITO/VMD/ASE for visualising cascades and vacancy clouds.
-pub fn write_xyz(
-    path: &Path,
-    comment: &str,
-    atoms: &[(&str, [f64; 3])],
-) -> std::io::Result<()> {
+pub fn write_xyz(path: &Path, comment: &str, atoms: &[(&str, [f64; 3])]) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{}", atoms.len())?;
     writeln!(f, "{}", comment.replace('\n', " "))?;

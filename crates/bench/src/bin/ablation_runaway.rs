@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use mmds_bench::{emit_json, header};
+use mmds_bench::{emit_report, header};
 use mmds_md::force::{for_each_partner, Central};
 use mmds_md::{MdConfig, MdSimulation};
 use rand::rngs::StdRng;
@@ -36,7 +36,9 @@ struct Result {
 }
 
 fn main() {
-    header("Ablation: run-away neighbour search — anchored chains (paper) vs flat array (Crystal MD)");
+    header(
+        "Ablation: run-away neighbour search — anchored chains (paper) vs flat array (Crystal MD)",
+    );
     let cfg = MdConfig {
         table_knots: 800,
         ..Default::default()
@@ -146,5 +148,5 @@ fn main() {
         "the array must scale visibly worse"
     );
 
-    emit_json("ablation_runaway.json", &Result { rows });
+    emit_report("ablation_runaway.json", &Result { rows });
 }

@@ -16,7 +16,7 @@
 //! from a thermalised MD box) through all four cost models and prints
 //! the per-access and total virtual times.
 
-use mmds_bench::{emit_json, fmt_s, header};
+use mmds_bench::{emit_report, fmt_s, header};
 use mmds_eam::spline::TraditionalTable;
 use mmds_md::force::{for_each_partner, Central};
 use mmds_md::{MdConfig, MdSimulation};
@@ -81,12 +81,19 @@ fn main() {
 
     // 1. Traditional: one 56 B DMA gather per access.
     let t_dma = n as f64 * model.dma_time(TraditionalTable::ROW_BYTES);
-    push("traditional row DMA (Fig. 9 baseline)", t_dma, "56 B gather per access");
+    push(
+        "traditional row DMA (Fig. 9 baseline)",
+        t_dma,
+        "56 B gather per access",
+    );
 
     // 2. Software-emulated cache over the traditional table.
     let mut cache = SoftCache::new(40 * 1024, 256);
     for &r in &rs {
-        cache.access_range(row(r) * TraditionalTable::ROW_BYTES, TraditionalTable::ROW_BYTES);
+        cache.access_range(
+            row(r) * TraditionalTable::ROW_BYTES,
+            TraditionalTable::ROW_BYTES,
+        );
     }
     let rep = cache.report();
     push(
@@ -137,7 +144,10 @@ fn main() {
     println!("winner: {}", best.scheme);
     // The paper's choice must beat every scheme that EXISTED on the
     // machine (row DMA, software cache, two-sided register comm)...
-    let compacted = schemes.iter().find(|s| s.scheme.contains("compacted")).expect("present");
+    let compacted = schemes
+        .iter()
+        .find(|s| s.scheme.contains("compacted"))
+        .expect("present");
     for s in &schemes {
         if !s.scheme.contains("one-sided") && !s.scheme.contains("compacted") {
             assert!(
@@ -155,7 +165,7 @@ fn main() {
          with the authors' forward-looking argument."
     );
 
-    emit_json(
+    emit_report(
         "ablation_tables.json",
         &AblationResult {
             accesses: n,

@@ -10,7 +10,7 @@
 //! `MMDS_SCALE` to grow it). The work is split evenly across core
 //! groups, exactly as the paper's strong-scaled bars.
 
-use mmds_bench::{emit_json, fmt_pct, fmt_s, header, paper, scale};
+use mmds_bench::{emit_report, fmt_pct, fmt_s, header, paper, scale};
 use mmds_md::domain::{exchange_ghosts, GhostPhase, Loopback};
 use mmds_md::offload::{offload_compute_forces, OffloadConfig};
 use mmds_md::{MdConfig, MdSimulation};
@@ -67,7 +67,9 @@ fn geomean(xs: &[f64]) -> f64 {
 }
 
 fn main() {
-    header("Figure 9: MD optimisation ablation (traditional vs compacted vs +reuse vs +double-buffer)");
+    header(
+        "Figure 9: MD optimisation ablation (traditional vs compacted vs +reuse vs +double-buffer)",
+    );
     let total_atoms = (2.0e5 * scale().powi(3)) as usize;
     let steps = 3;
     let variants = OffloadConfig::fig9_variants();
@@ -127,7 +129,7 @@ fn main() {
         fmt_pct(dbuf)
     );
 
-    emit_json(
+    emit_report(
         "fig09.json",
         &Fig9Result {
             total_atoms,

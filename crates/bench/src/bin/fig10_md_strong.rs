@@ -9,7 +9,7 @@
 //! (b) the paper-scale *projected* series with the measured kernel rate
 //! and one comm constant fitted to the paper's endpoint (DESIGN.md §1).
 
-use mmds_bench::{emit_json, fmt_pct, fmt_s, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, fmt_s, header, paper, scaled_cells};
 use mmds_md::offload::OffloadConfig;
 use mmds_md::parallel::{run_parallel_md, ParallelMdParams};
 use mmds_md::MdConfig;
@@ -55,7 +55,10 @@ fn main() {
         pka_energy: None,
     };
 
-    println!("measured (global box {cells}^3 cells = {} atoms, {steps} steps):", 2 * cells * cells * cells);
+    println!(
+        "measured (global box {cells}^3 cells = {} atoms, {steps} steps):",
+        2 * cells * cells * cells
+    );
     println!(
         "{:>6} {:>9} {:>10} {:>10} {:>10} {:>9} {:>10}",
         "ranks", "cores", "compute", "comm", "total", "speedup", "efficiency"
@@ -135,7 +138,7 @@ fn main() {
         fmt_pct(paper::FIG10_EFFICIENCY)
     );
 
-    emit_json(
+    emit_report(
         "fig10.json",
         &Fig10Result {
             measured,

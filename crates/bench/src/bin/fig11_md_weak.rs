@@ -9,7 +9,7 @@
 //! the projected paper-scale series, and the memory-capacity arithmetic
 //! from `mmds-lattice::memory`.
 
-use mmds_bench::{emit_json, fmt_pct, fmt_s, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, fmt_s, header, paper, scaled_cells};
 use mmds_lattice::memory::MemoryModel;
 use mmds_md::offload::OffloadConfig;
 use mmds_md::parallel::{run_parallel_md, ParallelMdParams};
@@ -178,7 +178,7 @@ fn main() {
         paper::FIG11_VERLET_ATOMS
     );
 
-    emit_json(
+    emit_report(
         "fig11.json",
         &Fig11Result {
             measured,

@@ -12,7 +12,7 @@
 //! an upper bound on the paper's.
 
 use mmds_bench::kmc_sweep::{run, SweepPoint};
-use mmds_bench::{emit_json, fmt_pct, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, header, paper, scaled_cells};
 use mmds_kmc::{ExchangeStrategy, OnDemandMode};
 use mmds_swmpi::{MachineModel, World, WorldConfig};
 use serde::Serialize;
@@ -101,7 +101,7 @@ fn main() {
         "(the ratio scales with vacancy concentration; at the paper's 4.5e-5 the dirty-site \
          traffic shrinks proportionally)"
     );
-    emit_json(
+    emit_report(
         "fig12.json",
         &Fig12Result {
             concentration,

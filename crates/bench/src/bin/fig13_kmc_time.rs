@@ -10,7 +10,7 @@
 //! zero-size messages).
 
 use mmds_bench::kmc_sweep::run;
-use mmds_bench::{emit_json, fmt_s, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_s, header, paper, scaled_cells};
 use mmds_kmc::{ExchangeStrategy, OnDemandMode};
 use mmds_swmpi::World;
 use serde::Serialize;
@@ -104,7 +104,7 @@ fn main() {
          probe-based variant at these rank counts; the paper proposes it to remove the \
          zero-size messages, which dominate at much higher neighbour counts)"
     );
-    emit_json(
+    emit_report(
         "fig13.json",
         &Fig13Result {
             rows,

@@ -9,7 +9,7 @@
 //! cache-boost model that reproduces the super-linear bump.
 
 use mmds_bench::kmc_sweep::run_fixed_box;
-use mmds_bench::{emit_json, fmt_pct, fmt_s, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, fmt_s, header, paper, scaled_cells};
 use mmds_kmc::{ExchangeStrategy, OnDemandMode};
 use mmds_perfmodel::{project_strong, CommShape, Machine, ProjectedPoint};
 use mmds_swmpi::topology::CartGrid;
@@ -43,7 +43,10 @@ fn main() {
     let world = World::default_world();
     let strategy = ExchangeStrategy::OnDemand(OnDemandMode::TwoSided);
 
-    println!("measured (global {cells}^3 cells = {} sites, {cycles} cycles):", 2 * cells.pow(3));
+    println!(
+        "measured (global {cells}^3 cells = {} sites, {cycles} cycles):",
+        2 * cells.pow(3)
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>9} {:>10}",
         "ranks", "compute", "comm", "total", "speedup", "efficiency"
@@ -53,18 +56,13 @@ fn main() {
     for &r in &[1usize, 2, 4, 8, 16, 32, 64] {
         // Keep subdomains legal: every axis ≥ 2× the KMC ghost width.
         let dims = CartGrid::for_ranks(r).dims;
-        if dims.iter().any(|&d| cells / d < 6 || !cells.is_multiple_of(d)) {
+        if dims
+            .iter()
+            .any(|&d| cells / d < 6 || !cells.is_multiple_of(d))
+        {
             continue;
         }
-        let point = run_fixed_box(
-            &world,
-            r,
-            [cells; 3],
-            concentration,
-            cycles,
-            strategy,
-            true,
-        );
+        let point = run_fixed_box(&world, r, [cells; 3], concentration, cycles, strategy, true);
         let total = point.comm_time + point.compute_time;
         if r == 1 {
             t0 = total;
@@ -94,8 +92,7 @@ fn main() {
     // Paper-scale projection with the cache model.
     let machine = Machine::taihulight();
     let ws_total = 3.2e10; // ~1 B/site working set
-    let per_site_cycle =
-        measured[0].compute_s / (measured[0].sites as f64 * cycles as f64);
+    let per_site_cycle = measured[0].compute_s / (measured[0].sites as f64 * cycles as f64);
     let total_compute = per_site_cycle * 3.2e10 * cycles as f64;
     let cores: Vec<u64> = vec![1_500, 3_000, 6_000, 12_000, 24_000, 48_000];
     let projected = project_strong(
@@ -138,11 +135,9 @@ fn main() {
         paper::FIG14_SPEEDUP,
         fmt_pct(paper::FIG14_EFFICIENCY)
     );
-    println!(
-        "super-linear segment present: {bump}   [paper: yes, from 3,000 to 12,000 cores]"
-    );
+    println!("super-linear segment present: {bump}   [paper: yes, from 3,000 to 12,000 cores]");
 
-    emit_json(
+    emit_report(
         "fig14.json",
         &Fig14Result {
             measured,

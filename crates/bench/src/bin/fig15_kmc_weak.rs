@@ -9,7 +9,7 @@
 //! paper-scale series with the collective-dominated comm shape.
 
 use mmds_bench::kmc_sweep::run;
-use mmds_bench::{emit_json, fmt_pct, fmt_s, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, fmt_s, header, paper, scaled_cells};
 use mmds_kmc::{ExchangeStrategy, OnDemandMode};
 use mmds_perfmodel::{project_weak, CommShape, ProjectedPoint};
 use mmds_swmpi::World;
@@ -86,8 +86,7 @@ fn main() {
     }
 
     // Paper-scale projection: 1e7 sites per core.
-    let per_site_cycle =
-        measured[0].compute_s / (measured[0].sites_total as f64 * cycles as f64);
+    let per_site_cycle = measured[0].compute_s / (measured[0].sites_total as f64 * cycles as f64);
     let per_rank_compute = per_site_cycle * 1.0e7 * cycles as f64;
     let cores: Vec<u64> = vec![1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400];
     let projected = project_weak(
@@ -127,7 +126,7 @@ fn main() {
         fmt_pct(paper::FIG15_EFFICIENCY)
     );
 
-    emit_json(
+    emit_report(
         "fig15.json",
         &Fig15Result {
             measured,

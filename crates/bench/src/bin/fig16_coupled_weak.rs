@@ -7,7 +7,7 @@
 //! MD cascade → handoff → parallel KMC) over simulated ranks, plus the
 //! projected paper-scale series.
 
-use mmds_bench::{emit_json, fmt_pct, fmt_s, header, paper, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, fmt_s, header, paper, scaled_cells};
 use mmds_coupled::parallel::{run_coupled_parallel, ParallelCoupledParams};
 use mmds_kmc::{ExchangeStrategy, KmcConfig, OnDemandMode};
 use mmds_md::offload::OffloadConfig;
@@ -139,7 +139,7 @@ fn main() {
         fmt_pct(paper::FIG16_EFFICIENCY)
     );
 
-    emit_json(
+    emit_report(
         "fig16.json",
         &Fig16Result {
             measured,

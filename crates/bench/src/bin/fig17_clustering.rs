@@ -13,7 +13,7 @@
 
 use mmds_analysis::clusters::size_histogram;
 use mmds_analysis::io::write_points_csv;
-use mmds_bench::{emit_json, fmt_pct, header, paper, results_dir, scaled_cells};
+use mmds_bench::{emit_report, fmt_pct, header, paper, results_dir, scaled_cells};
 use mmds_coupled::timescale::{paper_configuration_days, real_time_seconds};
 use mmds_coupled::{CoupledConfig, CoupledSimulation};
 use mmds_eam::units::E_VAC_FORMATION;
@@ -67,9 +67,14 @@ fn main() {
     );
     let rep = CoupledSimulation::new(cfg).run();
 
-    println!("\nMD phase: {} vacancies, {} interstitials (Frenkel pairs from the cascade)",
-        rep.md_vacancies, rep.md_interstitials);
-    println!("KMC phase: {} events over t = {:.3e} KMC seconds", rep.kmc_events, rep.kmc_time);
+    println!(
+        "\nMD phase: {} vacancies, {} interstitials (Frenkel pairs from the cascade)",
+        rep.md_vacancies, rep.md_interstitials
+    );
+    println!(
+        "KMC phase: {} events over t = {:.3e} KMC seconds",
+        rep.kmc_events, rep.kmc_time
+    );
 
     println!("\n{:>28} {:>12} {:>12}", "", "after MD", "after KMC");
     println!(
@@ -139,7 +144,7 @@ fn main() {
     let check = real_time_seconds(2.0e-4, 2.0e-6, E_VAC_FORMATION, 600.0) / 86_400.0;
     assert!((check - paper_days).abs() < 1e-9);
 
-    emit_json(
+    emit_report(
         "fig17.json",
         &Fig17Result {
             cells,

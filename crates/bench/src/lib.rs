@@ -47,6 +47,21 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
     println!("\n[artefact] {}", path.display());
 }
 
+/// The single exit point of every figure binary: writes the figure's
+/// JSON artefact, and — when `MMDS_TELEMETRY` is on — a sibling
+/// `<stem>.telemetry.json` holding the run-wide
+/// [`mmds_telemetry::RunReport`] (spans, merged comm/CPE counters,
+/// samples), plus the flamegraph-style self-time tree on stdout.
+pub fn emit_report<T: Serialize>(name: &str, value: &T) {
+    emit_json(name, value);
+    let tel = mmds_telemetry::global();
+    if tel.enabled() {
+        let stem = name.strip_suffix(".json").unwrap_or(name);
+        emit_json(&format!("{stem}.telemetry.json"), &tel.run_report());
+        println!("{}", tel.render_tree());
+    }
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

@@ -106,22 +106,27 @@ impl CoupledSimulation {
     /// Runs MD cascade → handoff → KMC clustering, returning the
     /// combined report.
     pub fn run(&self) -> CoupledReport {
+        let run_span = mmds_telemetry::span_enter("coupled.run");
         let cfg = &self.cfg;
         let geom = BccGeometry::new(cfg.md.a0, cfg.cells, cfg.cells, cfg.cells);
         let box_len = geom.box_lengths();
 
         // --- MD phase: cascade collision -----------------------------
         let mut md = MdSimulation::single_box(cfg.md, cfg.cells);
-        md.init_velocities();
-        let mid = md.lnl.grid.ghost + cfg.cells / 2;
-        let pka = md.lnl.grid.site_id(mid, mid, mid, 0);
-        launch_pka(&mut md.lnl, pka, cfg.pka_energy, PKA_DIRECTION, md.mass);
-        md.run(&mut Loopback, cfg.md_steps);
+        {
+            let _phase = mmds_telemetry::span!("md.phase");
+            md.init_velocities();
+            let mid = md.lnl.grid.ghost + cfg.cells / 2;
+            let pka = md.lnl.grid.site_id(mid, mid, mid, 0);
+            launch_pka(&mut md.lnl, pka, cfg.pka_energy, PKA_DIRECTION, md.mass);
+            md.run(&mut Loopback, cfg.md_steps);
+        }
 
         let vac_cells = md_vacancy_cells(&md.lnl);
         let r_link = 1.2 * geom.nn2(); // between 2NN and 3NN
 
         // --- Handoff --------------------------------------------------
+        let handoff = mmds_telemetry::span_enter("handoff");
         let ghost = required_ghost(cfg.kmc.a0, cfg.kmc.rate_cutoff);
         let kmc_grid = LocalGrid::whole(geom, ghost);
         let mut kmc = KmcSimulation::new(cfg.kmc, kmc_grid);
@@ -129,30 +134,32 @@ impl CoupledSimulation {
         if cfg.extra_vacancy_concentration > 0.0 {
             let n_extra =
                 (cfg.extra_vacancy_concentration * kmc.lat.n_owned() as f64).round() as usize;
-            kmc.lat.seed_vacancies_global(n_extra, cfg.kmc.seed ^ 0x17_17);
+            kmc.lat
+                .seed_vacancies_global(n_extra, cfg.kmc.seed ^ 0x17_17);
         }
         // "After MD" = the full dispersive vacancy population the KMC
         // phase starts from (cascade survivors + seeded debris).
-        let md_points: Vec<[f64; 3]> =
-            kmc.lat.vacancies().map(|s| kmc.lat.position(s)).collect();
+        let md_points: Vec<[f64; 3]> = kmc.lat.vacancies().map(|s| kmc.lat.position(s)).collect();
         let after_md_clusters = cluster_sizes(&md_points, box_len, r_link);
         let after_md_dispersion = mean_nn_distance(&md_points, box_len);
+        drop(handoff);
 
         // --- KMC phase: clustering & evolution ------------------------
-        let mut t = LoopbackK;
-        kmc.initialize(&mut t);
-        let kmc_events = kmc.run_until_threshold(cfg.strategy, &mut t, cfg.max_kmc_cycles);
+        let kmc_events = {
+            let _phase = mmds_telemetry::span!("kmc.phase");
+            let mut t = LoopbackK;
+            kmc.initialize(&mut t);
+            kmc.run_until_threshold(cfg.strategy, &mut t, cfg.max_kmc_cycles)
+        };
 
-        let kmc_points: Vec<[f64; 3]> = kmc
-            .lat
-            .vacancies()
-            .map(|s| kmc.lat.position(s))
-            .collect();
+        let analysis = mmds_telemetry::span_enter("analysis");
+        let kmc_points: Vec<[f64; 3]> = kmc.lat.vacancies().map(|s| kmc.lat.position(s)).collect();
         let after_kmc_clusters = cluster_sizes(&kmc_points, box_len, r_link);
         let after_kmc_dispersion = mean_nn_distance(&kmc_points, box_len);
+        drop(analysis);
 
         let c_v_mc = kmc.lat.vacancy_concentration();
-        CoupledReport {
+        let report = CoupledReport {
             md_vacancies: md_points.len(),
             md_interstitials: md.lnl.n_runaways(),
             after_md_clusters,
@@ -169,7 +176,14 @@ impl CoupledSimulation {
             ),
             md_vacancy_points: md_points,
             kmc_vacancy_points: kmc_points,
+        };
+        drop(run_span);
+        let tel = mmds_telemetry::global();
+        if tel.enabled() {
+            // End-of-run self-time tree (summary and jsonl modes).
+            eprintln!("{}", tel.render_tree());
         }
+        report
     }
 }
 

@@ -60,7 +60,8 @@ pub fn run_coupled_parallel(
     params: &ParallelCoupledParams,
 ) -> Vec<RankOutput<CoupledRankSummary>> {
     let grid3 = CartGrid::for_ranks(ranks);
-    world.run(ranks, |comm| {
+    let out = world.run(ranks, |comm| {
+        let _rank_span = mmds_telemetry::span!("coupled.rank");
         // ---- MD phase ------------------------------------------------
         let mut md_cfg = params.md;
         md_cfg.seed = params.md.rank_seed(comm.rank());
@@ -87,8 +88,8 @@ pub fn run_coupled_parallel(
         let cluster = CpeCluster::new(SwModel::sw26010());
         comm.reset_accounting();
         {
-            let mut transport =
-                mmds_md::domain::CommTransport::new(comm, grid3);
+            let _phase = mmds_telemetry::span!("md.phase");
+            let mut transport = mmds_md::domain::CommTransport::new(comm, grid3);
             for _ in 0..params.md_steps {
                 offload_step(&mut sim, comm, &mut transport, &cluster, &params.offload);
             }
@@ -108,9 +109,12 @@ pub fn run_coupled_parallel(
             let n = (params.seed_concentration * kmc.lat.n_owned() as f64).round() as usize;
             kmc.lat.seed_vacancies(n, kmc_cfg.seed ^ 0xACE1);
         }
-        let mut t = CommK::new(comm, grid3);
-        kmc.initialize(&mut t);
-        let kmc_events = kmc.run_cycles(params.strategy, &mut t, params.kmc_cycles);
+        let kmc_events = {
+            let _phase = mmds_telemetry::span!("kmc.phase");
+            let mut t = CommK::new(comm, grid3);
+            kmc.initialize(&mut t);
+            kmc.run_cycles(params.strategy, &mut t, params.kmc_cycles)
+        };
         comm.barrier();
         let kmc_time = comm.clock() - md_time;
 
@@ -121,7 +125,13 @@ pub fn run_coupled_parallel(
             md_time,
             kmc_time,
         }
-    })
+    });
+    if mmds_telemetry::enabled() {
+        for r in &out {
+            mmds_telemetry::absorb_comm_stats(&r.stats);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -12,12 +12,7 @@ pub fn real_vacancy_concentration(e_formation_ev: f64, t_kelvin: f64) -> f64 {
 }
 
 /// The paper's rescaling: `t_real = t_threshold · C_v^MC / C_v^real`.
-pub fn real_time_seconds(
-    t_threshold: f64,
-    c_v_mc: f64,
-    e_formation_ev: f64,
-    t_kelvin: f64,
-) -> f64 {
+pub fn real_time_seconds(t_threshold: f64, c_v_mc: f64, e_formation_ev: f64, t_kelvin: f64) -> f64 {
     t_threshold * c_v_mc / real_vacancy_concentration(e_formation_ev, t_kelvin)
 }
 

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analytic::{AnalyticEam, Species};
 use crate::compact::CompactTable;
-use crate::potential::{R_MIN, RHO_MAX};
+use crate::potential::{RHO_MAX, R_MIN};
 
 /// One logical table of an alloy set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

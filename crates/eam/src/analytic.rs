@@ -161,8 +161,7 @@ impl AnalyticEam {
     }
 
     fn dsw(&self, r: f64) -> f64 {
-        dswitch((r - self.r_switch) / (self.r_cut - self.r_switch))
-            / (self.r_cut - self.r_switch)
+        dswitch((r - self.r_switch) / (self.r_cut - self.r_switch)) / (self.r_cut - self.r_switch)
     }
 
     /// Pair potential φ(r) (eV).

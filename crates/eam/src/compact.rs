@@ -68,8 +68,7 @@ impl CompactTable {
         let n = values.len();
         if i >= 2 && i + 2 < n {
             // (S[i-2] − S[i+2] + 8·(S[i+1] − S[i-1])) / 12  — Fig. 5.
-            (values[i - 2] - values[i + 2] + 8.0 * (values[i + 1] - values[i - 1]))
-                / (12.0 * dx)
+            (values[i - 2] - values[i + 2] + 8.0 * (values[i + 1] - values[i - 1])) / (12.0 * dx)
         } else if i == 0 {
             (-3.0 * values[0] + 4.0 * values[1] - values[2]) / (2.0 * dx)
         } else if i == 1 {

@@ -56,15 +56,7 @@ impl TraditionalTable {
             let b = m[i] * h2 / 2.0;
             let c = ys[i + 1] - ys[i] - h2 / 6.0 * (2.0 * m[i] + m[i + 1]);
             let d = ys[i];
-            coeff.push([
-                3.0 * a / dx,
-                2.0 * b / dx,
-                c / dx,
-                a,
-                b,
-                c,
-                d,
-            ]);
+            coeff.push([3.0 * a / dx, 2.0 * b / dx, c / dx, a, b, c, d]);
         }
         // Padding row so the array is n×7 exactly like the paper's.
         let last = *coeff.last().expect("at least one segment");

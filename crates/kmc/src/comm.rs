@@ -192,10 +192,7 @@ mod tests {
             let grid = CartGrid::new([4, 1, 1]);
             let mut t = CommK::new(comm, grid);
             let dirs = [[1i64, 0, 0], [-1, 0, 0]];
-            let msgs = vec![
-                vec![comm.rank() as u8, 1],
-                vec![comm.rank() as u8, 2],
-            ];
+            let msgs = vec![vec![comm.rank() as u8, 1], vec![comm.rank() as u8, 2]];
             t.neighbor_exchange(&dirs, msgs)
         });
         // Rank 1's slot 0 (dir +x) receives from rank 0's +x message.

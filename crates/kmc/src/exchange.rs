@@ -91,7 +91,13 @@ fn event_reach(lat: &KmcLattice) -> usize {
         .first_shell(0)
         .iter()
         .chain(lat.offsets.first_shell(1).iter())
-        .flat_map(|o| [o.di.unsigned_abs(), o.dj.unsigned_abs(), o.dk.unsigned_abs()])
+        .flat_map(|o| {
+            [
+                o.di.unsigned_abs(),
+                o.dj.unsigned_abs(),
+                o.dk.unsigned_abs(),
+            ]
+        })
         .max()
         .unwrap_or(1) as usize
 }
@@ -148,7 +154,10 @@ fn unpack_states(lat: &mut KmcLattice, r: &[std::ops::Range<usize>; 3], bytes: &
 }
 
 /// Full 6-direction ghost fill (initialisation; also used by tests).
-pub fn full_exchange(lat: &mut KmcLattice, t: &mut impl KmcTransport) {
+/// Returns payload bytes sent.
+pub fn full_exchange(lat: &mut KmcLattice, t: &mut impl KmcTransport) -> u64 {
+    let _span = mmds_telemetry::span!("kmc.exchange.full");
+    let mut bytes = 0;
     for axis in 0..3 {
         for (toward_high, recv_side) in [(true, Side::Low), (false, Side::High)] {
             let send_side = match recv_side {
@@ -158,18 +167,27 @@ pub fn full_exchange(lat: &mut KmcLattice, t: &mut impl KmcTransport) {
             let g = lat.grid.ghost;
             let send = ranges(lat, axis, send_side, Role::OwnedEdge, g, |b| b < axis);
             let payload = pack_states(lat, &send);
+            bytes += payload.len() as u64;
             let got = t.shift(axis, toward_high, payload);
             let recv = ranges(lat, axis, recv_side, Role::Ghost, g, |b| b < axis);
             unpack_states(lat, &recv, &got);
         }
     }
+    bytes
 }
 
 /// Traditional pre-sector *get* (Fig. 8 b): refresh the ghost slabs on
 /// the sector-adjacent sides.
-pub fn traditional_get(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTransport) {
+/// Returns payload bytes sent.
+pub fn traditional_get(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTransport) -> u64 {
+    let _span = mmds_telemetry::span!("kmc.exchange.get");
+    let mut bytes = 0;
     for axis in 0..3 {
-        let recv_side = if sec[axis] == 0 { Side::Low } else { Side::High };
+        let recv_side = if sec[axis] == 0 {
+            Side::Low
+        } else {
+            Side::High
+        };
         let toward_high = sec[axis] == 0;
         let send_side = match recv_side {
             Side::Low => Side::High,
@@ -178,16 +196,21 @@ pub fn traditional_get(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTr
         let g = lat.grid.ghost;
         let send = ranges(lat, axis, send_side, Role::OwnedEdge, g, |b| b < axis);
         let payload = pack_states(lat, &send);
+        bytes += payload.len() as u64;
         let got = t.shift(axis, toward_high, payload);
         let recv = ranges(lat, axis, recv_side, Role::Ghost, g, |b| b < axis);
         unpack_states(lat, &recv, &got);
     }
+    bytes
 }
 
 /// Traditional post-sector *put* (Fig. 8 c): push the same slabs back
 /// to their owners. Staged in reverse axis order so corner updates are
 /// forwarded through intermediate ranks.
-pub fn traditional_put(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTransport) {
+/// Returns payload bytes sent.
+pub fn traditional_put(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTransport) -> u64 {
+    let _span = mmds_telemetry::span!("kmc.exchange.put");
+    let mut bytes = 0;
     // Staged in *descending* axis order with full extent on the axes
     // processed after the current one, so a corner update first rides a
     // high-axis slab into an intermediate rank's ghost region and is
@@ -199,11 +222,16 @@ pub fn traditional_put(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTr
     // the receiver's *own* boundary hops live just inside it.
     let w = event_reach(lat);
     for axis in (0..3).rev() {
-        let ghost_side = if sec[axis] == 0 { Side::Low } else { Side::High };
+        let ghost_side = if sec[axis] == 0 {
+            Side::Low
+        } else {
+            Side::High
+        };
         // My low ghost flows to the −axis owner.
         let toward_high = sec[axis] != 0;
         let send = ranges(lat, axis, ghost_side, Role::Ghost, w, |b| b < axis);
         let payload = pack_states(lat, &send);
+        bytes += payload.len() as u64;
         let got = t.shift(axis, toward_high, payload);
         let recv_side = match ghost_side {
             Side::Low => Side::High,
@@ -212,6 +240,7 @@ pub fn traditional_put(lat: &mut KmcLattice, sec: [usize; 3], t: &mut impl KmcTr
         let recv = ranges(lat, axis, recv_side, Role::OwnedEdge, w, |b| b < axis);
         unpack_states(lat, &recv, &got);
     }
+    bytes
 }
 
 /// The 7 neighbour directions touched by a sector's corner.
@@ -255,9 +284,12 @@ pub fn apply_global_update(lat: &mut KmcLattice, gcell: [usize; 3], basis: usize
     let mut per_axis: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for ax in 0..3 {
         let raw = gcell[ax] as i64 - lat.grid.start[ax] as i64 + lat.grid.ghost as i64;
-        for cand in [raw, raw + global_dims[ax] as i64, raw - global_dims[ax] as i64] {
-            if cand >= 0 && (cand as usize) < dims[ax] && !per_axis[ax].contains(&(cand as usize))
-            {
+        for cand in [
+            raw,
+            raw + global_dims[ax] as i64,
+            raw - global_dims[ax] as i64,
+        ] {
+            if cand >= 0 && (cand as usize) < dims[ax] && !per_axis[ax].contains(&(cand as usize)) {
                 per_axis[ax].push(cand as usize);
             }
         }
@@ -273,14 +305,16 @@ pub fn apply_global_update(lat: &mut KmcLattice, gcell: [usize; 3], basis: usize
 }
 
 /// On-demand post-sector transfer (Fig. 8 d): sends each affected site
-/// to every neighbour that stores it; applies what arrives.
+/// to every neighbour that stores it; applies what arrives. Returns
+/// payload bytes sent (the "dirty ghost" traffic Fig. 12 measures).
 pub fn on_demand_put(
     lat: &mut KmcLattice,
     sec: [usize; 3],
     dirty: &[usize],
     mode: OnDemandMode,
     t: &mut impl KmcTransport,
-) {
+) -> u64 {
+    let _span = mmds_telemetry::span!("kmc.exchange.dirty");
     let dirs = sector_dirs(sec);
     let mut unique: Vec<usize> = dirty.to_vec();
     unique.sort_unstable();
@@ -301,6 +335,7 @@ pub fn on_demand_put(
         }
     }
     let payloads: Vec<Vec<u8>> = msgs.into_iter().map(|p| p.finish()).collect();
+    let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
     let received = match mode {
         OnDemandMode::TwoSided => t.neighbor_exchange(&dirs, payloads),
         OnDemandMode::OneSided => t.put_fence(&dirs, payloads),
@@ -309,7 +344,11 @@ pub fn on_demand_put(
     for bytes in received {
         let mut u = Unpacker::new(&bytes);
         while !u.is_exhausted() {
-            let g = [u.get_u32() as usize, u.get_u32() as usize, u.get_u32() as usize];
+            let g = [
+                u.get_u32() as usize,
+                u.get_u32() as usize,
+                u.get_u32() as usize,
+            ];
             let b = u.get_u8() as usize;
             let st = SiteState::from_u8(u.get_u8());
             apply_global_update(lat, g, b, st);
@@ -319,28 +358,31 @@ pub fn on_demand_put(
     // In loopback mode the sent updates double as the received ones; in
     // multi-rank mode the local images of *our own* dirty ghost writes
     // are already stored locally (we wrote them), so nothing else to do.
+    bytes
 }
 
-/// Strategy dispatcher: pre-sector hook.
+/// Strategy dispatcher: pre-sector hook. Returns payload bytes sent.
 pub fn pre_sector(
     strategy: ExchangeStrategy,
     lat: &mut KmcLattice,
     sec: [usize; 3],
     t: &mut impl KmcTransport,
-) {
+) -> u64 {
     if strategy == ExchangeStrategy::Traditional {
-        traditional_get(lat, sec, t);
+        traditional_get(lat, sec, t)
+    } else {
+        0
     }
 }
 
-/// Strategy dispatcher: post-sector hook.
+/// Strategy dispatcher: post-sector hook. Returns payload bytes sent.
 pub fn post_sector(
     strategy: ExchangeStrategy,
     lat: &mut KmcLattice,
     sec: [usize; 3],
     dirty: &[usize],
     t: &mut impl KmcTransport,
-) {
+) -> u64 {
     match strategy {
         ExchangeStrategy::Traditional => traditional_put(lat, sec, t),
         ExchangeStrategy::OnDemand(mode) => on_demand_put(lat, sec, dirty, mode, t),

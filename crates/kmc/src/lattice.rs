@@ -155,7 +155,11 @@ impl KmcLattice {
         use rand::Rng;
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let dims = [self.grid.global.nx, self.grid.global.ny, self.grid.global.nz];
+        let dims = [
+            self.grid.global.nx,
+            self.grid.global.ny,
+            self.grid.global.nz,
+        ];
         let mut chosen = std::collections::BTreeSet::new();
         while chosen.len() < n_total.min(self.grid.global.n_sites()) {
             let g = [
@@ -185,7 +189,11 @@ impl KmcLattice {
         use rand::Rng;
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let dims = [self.grid.global.nx, self.grid.global.ny, self.grid.global.nz];
+        let dims = [
+            self.grid.global.nx,
+            self.grid.global.ny,
+            self.grid.global.nz,
+        ];
         let mut chosen = std::collections::BTreeSet::new();
         let mut guard = 0;
         while chosen.len() < n_total.min(self.grid.global.n_sites()) && guard < 100 * n_total + 100
@@ -239,7 +247,11 @@ impl KmcLattice {
     /// taking periodic wrap into account.
     pub fn global_to_local(&self, gcell: [usize; 3], basis: usize) -> Option<usize> {
         let dims = self.grid.dims();
-        let global_dims = [self.grid.global.nx, self.grid.global.ny, self.grid.global.nz];
+        let global_dims = [
+            self.grid.global.nx,
+            self.grid.global.ny,
+            self.grid.global.nz,
+        ];
         let mut local = [0usize; 3];
         for ax in 0..3 {
             let raw = gcell[ax] as i64 - self.grid.start[ax] as i64 + self.grid.ghost as i64;

@@ -14,7 +14,7 @@
 
 use mmds_eam::analytic::{AnalyticEam, Species};
 use mmds_eam::compact::CompactTable;
-use mmds_eam::potential::{R_MIN, RHO_MAX};
+use mmds_eam::potential::{RHO_MAX, R_MIN};
 use serde::{Deserialize, Serialize};
 
 use crate::config::KmcConfig;
@@ -218,7 +218,11 @@ mod tests {
         }
         // ΔE ≈ 0 for a symmetric exchange ⇒ k ≈ reference rate.
         let k_ref = m.nu * (-m.e_mig0 / m.kbt).exp();
-        assert!((rates[0] - k_ref).abs() / k_ref < 0.05, "{} vs {k_ref}", rates[0]);
+        assert!(
+            (rates[0] - k_ref).abs() / k_ref < 0.05,
+            "{} vs {k_ref}",
+            rates[0]
+        );
         assert!(st.rate_evals == 8);
     }
 
@@ -251,7 +255,10 @@ mod tests {
         let far = lat.grid.site_id(3, 3, 3, 1);
         assert!(lat.nn1(v1).any(|x| x == far));
         let de_separate = m.delta_e(&mut lat, v1, far, &mut st);
-        assert!(de_separate > 0.05, "separation must cost energy: {de_separate}");
+        assert!(
+            de_separate > 0.05,
+            "separation must cost energy: {de_separate}"
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@ use crate::config::KmcConfig;
 use crate::exchange::ExchangeStrategy;
 use crate::sublattice::KmcSimulation;
 
-
 /// Parameters of a parallel KMC run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ParallelKmcParams {
@@ -72,16 +71,18 @@ pub fn run_parallel_kmc(
     params: &ParallelKmcParams,
 ) -> Vec<RankOutput<KmcRankSummary>> {
     let grid3 = CartGrid::for_ranks(ranks);
-    world.run(ranks, |comm| {
+    let out = world.run(ranks, |comm| {
         let mut cfg = params.kmc;
         cfg.seed = params.kmc.rank_seed(comm.rank());
         let grid = kmc_rank_grid(&cfg, params.global_cells, grid3, comm.rank());
         let mut sim = KmcSimulation::new(cfg, grid);
-        let total_sites = 2 * params.global_cells[0] * params.global_cells[1] * params.global_cells[2];
+        let total_sites =
+            2 * params.global_cells[0] * params.global_cells[1] * params.global_cells[2];
         let n_vac = (params.vacancy_concentration * total_sites as f64).round() as usize;
         // Same seed on every rank: the vacancy configuration is a
         // property of the *system*, not of the decomposition.
-        sim.lat.seed_vacancies_global(n_vac, params.kmc.seed ^ 0xACE1);
+        sim.lat
+            .seed_vacancies_global(n_vac, params.kmc.seed ^ 0xACE1);
         let mut t = if params.charge_compute {
             CommK::new(comm, grid3)
         } else {
@@ -106,12 +107,20 @@ pub fn run_parallel_kmc(
             time: sim.time,
             vacancy_cells,
         }
-    })
+    });
+    if mmds_telemetry::enabled() {
+        for r in &out {
+            mmds_telemetry::absorb_comm_stats(&r.stats);
+        }
+    }
+    out
 }
 
 /// Aggregates: total bytes sent by all ranks (the Fig. 12 metric).
 pub fn total_bytes_sent<T>(out: &[RankOutput<T>]) -> u64 {
-    out.iter().map(|r| r.stats.bytes_sent + r.stats.bytes_put).sum()
+    out.iter()
+        .map(|r| r.stats.bytes_sent + r.stats.bytes_put)
+        .sum()
 }
 
 /// Aggregates: maximum per-rank communication time (the Fig. 13 metric).

@@ -60,6 +60,7 @@ pub fn run_sector(
     rng: &mut impl Rng,
     stats: &mut RateStats,
 ) -> SectorOutcome {
+    let _span = mmds_telemetry::span!("kmc.sector");
     let mut out = SectorOutcome::default();
     let mut t_local = 0.0;
     loop {
@@ -173,7 +174,10 @@ mod tests {
         assert_eq!(out.dirty.len() as u64, 2 * out.events);
         // Exactly one vacancy still exists (it moved around).
         assert_eq!(
-            lat.state.iter().filter(|&&s| s == SiteState::Vacancy).count(),
+            lat.state
+                .iter()
+                .filter(|&&s| s == SiteState::Vacancy)
+                .count(),
             1
         );
     }

@@ -65,6 +65,7 @@ impl KmcSimulation {
 
     /// Initial ghost fill; must run once after seeding vacancies.
     pub fn initialize(&mut self, t: &mut impl KmcTransport) {
+        let _span = mmds_telemetry::span!("kmc.init");
         full_exchange(&mut self.lat, t);
     }
 
@@ -77,6 +78,7 @@ impl KmcSimulation {
     /// cost Fig. 15 attributes the weak-scaling loss to. Returns 0 when
     /// no vacancies exist anywhere.
     pub fn compute_dt(&mut self, t: &mut impl KmcTransport) -> f64 {
+        let _span = mmds_telemetry::span!("kmc.sync_dt");
         let global_vacancies = t.allreduce_sum_u64(self.lat.n_vacancies() as u64);
         if global_vacancies == 0 {
             return 0.0;
@@ -88,6 +90,7 @@ impl KmcSimulation {
     /// One synchronisation cycle: the 8 sectors in order, with the
     /// chosen exchange strategy around each. Returns events executed.
     pub fn cycle(&mut self, strategy: ExchangeStrategy, t: &mut impl KmcTransport) -> u64 {
+        let _span = mmds_telemetry::span!("kmc.cycle");
         let dt = self.compute_dt(t);
         if dt <= 0.0 {
             // No vacancies anywhere: time still advances by a full
@@ -97,8 +100,10 @@ impl KmcSimulation {
         }
         let evals_before = self.stats.rate.site_evals;
         let mut events = 0;
-        for sec in sectors() {
-            pre_sector(strategy, &mut self.lat, sec, t);
+        let mut ghost_bytes = 0u64;
+        let mut last_sector = 0u8;
+        for (si, sec) in sectors().into_iter().enumerate() {
+            ghost_bytes += pre_sector(strategy, &mut self.lat, sec, t);
             let out = run_sector(
                 &mut self.lat,
                 &self.model,
@@ -108,13 +113,25 @@ impl KmcSimulation {
                 &mut self.stats.rate,
             );
             events += out.events;
-            post_sector(strategy, &mut self.lat, sec, &out.dirty, t);
+            ghost_bytes += post_sector(strategy, &mut self.lat, sec, &out.dirty, t);
+            last_sector = si as u8;
         }
         self.stats.events += events;
         self.stats.cycles += 1;
         self.time += dt;
         let evals = self.stats.rate.site_evals - evals_before;
         t.tick_compute(evals as f64 * SITE_EVAL_SECONDS);
+        if mmds_telemetry::enabled() {
+            let sample = mmds_telemetry::KmcCycleSample {
+                cycle: self.stats.cycles,
+                events,
+                dirty_ghost_bytes: ghost_bytes,
+                sector: last_sector,
+            };
+            mmds_telemetry::global().counters().push_kmc(sample);
+            mmds_telemetry::emit(mmds_telemetry::Event::Kmc(sample));
+            mmds_telemetry::add_counter("kmc.ghost_bytes", ghost_bytes as f64);
+        }
         events
     }
 
@@ -186,12 +203,7 @@ mod tests {
         let run = |strategy: ExchangeStrategy| {
             let mut s = sim(8);
             s.run_cycles(strategy, &mut LoopbackK, 15);
-            let owned: Vec<_> = s
-                .lat
-                .grid
-                .interior_ids()
-                .map(|i| s.lat.state[i])
-                .collect();
+            let owned: Vec<_> = s.lat.grid.interior_ids().map(|i| s.lat.state[i]).collect();
             (s.stats.events, owned)
         };
         let trad = run(ExchangeStrategy::Traditional);
@@ -223,7 +235,11 @@ mod tests {
     #[test]
     fn ghost_images_stay_consistent() {
         let mut s = sim(10);
-        s.run_cycles(ExchangeStrategy::OnDemand(OnDemandMode::TwoSided), &mut LoopbackK, 10);
+        s.run_cycles(
+            ExchangeStrategy::OnDemand(OnDemandMode::TwoSided),
+            &mut LoopbackK,
+            10,
+        );
         // Every ghost site must equal its canonical interior image.
         let dims = s.lat.grid.dims();
         for k in 0..dims[2] {
@@ -236,8 +252,7 @@ mod tests {
                         let ghost = s.lat.grid.site_id(i, j, k, b);
                         let g = s.lat.grid.global_cell(i, j, k);
                         let gh = s.lat.grid.ghost;
-                        let own =
-                            s.lat.grid.site_id(g[0] + gh, g[1] + gh, g[2] + gh, b);
+                        let own = s.lat.grid.site_id(g[0] + gh, g[1] + gh, g[2] + gh, b);
                         assert_eq!(
                             s.lat.state[ghost], s.lat.state[own],
                             "ghost ({i},{j},{k},{b}) diverged"

@@ -132,8 +132,7 @@ impl LocalGrid {
         offsets
             .iter()
             .map(|o| {
-                ((o.dk as isize * d[1] as isize + o.dj as isize) * d[0] as isize
-                    + o.di as isize)
+                ((o.dk as isize * d[1] as isize + o.dj as isize) * d[0] as isize + o.di as isize)
                     * 2
                     + (o.b as isize - central_basis as isize)
             })
@@ -237,8 +236,8 @@ mod tests {
                 (3 + o.dk) as usize,
                 o.b as usize,
             );
-            let d = ((p[0] - p0[0]).powi(2) + (p[1] - p0[1]).powi(2) + (p[2] - p0[2]).powi(2))
-                .sqrt();
+            let d =
+                ((p[0] - p0[0]).powi(2) + (p[1] - p0[1]).powi(2) + (p[2] - p0[2]).powi(2)).sqrt();
             assert!((d - g.global.nn1()).abs() < 1e-9);
         }
     }

@@ -89,11 +89,8 @@ impl LinkedCellList {
                         {
                             continue;
                         }
-                        let mut cur = self.heads[self.flat([
-                            q[0] as usize,
-                            q[1] as usize,
-                            q[2] as usize,
-                        ])];
+                        let mut cur =
+                            self.heads[self.flat([q[0] as usize, q[1] as usize, q[2] as usize])];
                         while cur >= 0 {
                             let j = cur as usize;
                             cur = self.next[j];

@@ -188,26 +188,14 @@ impl LatticeNeighborList {
 
     /// Anchors a new run-away atom record at site `home`. Returns the
     /// pool index.
-    pub fn add_runaway(
-        &mut self,
-        home: usize,
-        id: i64,
-        pos: [f64; 3],
-        vel: [f64; 3],
-    ) -> u32 {
+    pub fn add_runaway(&mut self, home: usize, id: i64, pos: [f64; 3], vel: [f64; 3]) -> u32 {
         self.add_runaway_impl(home, id, pos, vel, false)
     }
 
     /// Anchors a *ghost* run-away record (a mirrored copy from a
     /// neighbouring subdomain); excluded from [`Self::n_runaways`] and
     /// [`Self::live_runaways`], removed by [`Self::clear_ghost_runaways`].
-    pub fn add_ghost_runaway(
-        &mut self,
-        home: usize,
-        id: i64,
-        pos: [f64; 3],
-        vel: [f64; 3],
-    ) -> u32 {
+    pub fn add_ghost_runaway(&mut self, home: usize, id: i64, pos: [f64; 3], vel: [f64; 3]) -> u32 {
         self.add_runaway_impl(home, id, pos, vel, true)
     }
 
@@ -343,7 +331,9 @@ impl LatticeNeighborList {
                 d2 += delta * delta;
             }
             if (0..3).all(|ax| c[ax] >= 0 && (c[ax] as usize) < d[ax]) {
-                let s = self.grid.site_id(c[0] as usize, c[1] as usize, c[2] as usize, b);
+                let s = self
+                    .grid
+                    .site_id(c[0] as usize, c[1] as usize, c[2] as usize, b);
                 if best.is_none_or(|(bd, _)| d2 < bd) {
                     best = Some((d2, s));
                 }
@@ -430,8 +420,8 @@ mod tests {
         let mut count = 0;
         for (nid, off) in l.neighbor_ids(s).zip(l.offsets.for_basis(1)) {
             let p = l.pos[nid];
-            let d = ((p[0] - p0[0]).powi(2) + (p[1] - p0[1]).powi(2) + (p[2] - p0[2]).powi(2))
-                .sqrt();
+            let d =
+                ((p[0] - p0[0]).powi(2) + (p[1] - p0[1]).powi(2) + (p[2] - p0[2]).powi(2)).sqrt();
             assert!((d - off.r_ideal).abs() < 1e-9);
             count += 1;
         }

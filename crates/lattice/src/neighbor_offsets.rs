@@ -149,8 +149,16 @@ mod tests {
     fn bases_are_mirror_symmetric() {
         let offs = NeighborOffsets::generate(A0, 5.0);
         // Same multiset of distances for both bases.
-        let d0: Vec<i64> = offs.basis0.iter().map(|o| (o.r_ideal * 1e6) as i64).collect();
-        let d1: Vec<i64> = offs.basis1.iter().map(|o| (o.r_ideal * 1e6) as i64).collect();
+        let d0: Vec<i64> = offs
+            .basis0
+            .iter()
+            .map(|o| (o.r_ideal * 1e6) as i64)
+            .collect();
+        let d1: Vec<i64> = offs
+            .basis1
+            .iter()
+            .map(|o| (o.r_ideal * 1e6) as i64)
+            .collect();
         assert_eq!(d0, d1);
     }
 
@@ -170,9 +178,10 @@ mod tests {
         let offs = NeighborOffsets::generate(A0, 5.0);
         for o in &offs.basis0 {
             if o.b == 1 {
-                let found = offs.basis1.iter().any(|p| {
-                    p.b == 0 && p.di == -o.di && p.dj == -o.dj && p.dk == -o.dk
-                });
+                let found = offs
+                    .basis1
+                    .iter()
+                    .any(|p| p.b == 0 && p.di == -o.di && p.dj == -o.dj && p.dk == -o.dk);
                 assert!(found, "missing reverse of {o:?}");
             }
         }

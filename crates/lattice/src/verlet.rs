@@ -61,15 +61,8 @@ impl VerletList {
                 for dz in -1i64..=1 {
                     for dy in -1i64..=1 {
                         for dx in -1i64..=1 {
-                            let q = [
-                                c[0] as i64 + dx,
-                                c[1] as i64 + dy,
-                                c[2] as i64 + dz,
-                            ];
-                            if q.iter()
-                                .zip(&dims)
-                                .any(|(&v, &d)| v < 0 || v >= d as i64)
-                            {
+                            let q = [c[0] as i64 + dx, c[1] as i64 + dy, c[2] as i64 + dz];
+                            if q.iter().zip(&dims).any(|(&v, &d)| v < 0 || v >= d as i64) {
                                 continue;
                             }
                             for &j in &bins[flat([q[0] as usize, q[1] as usize, q[2] as usize])] {
@@ -122,8 +115,7 @@ impl VerletList {
     pub fn needs_rebuild(&self, pos: &[[f64; 3]], skin: f64) -> bool {
         let lim2 = (0.5 * skin) * (0.5 * skin);
         pos.iter().zip(&self.build_pos).any(|(p, q)| {
-            let d2 =
-                (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
+            let d2 = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
             d2 > lim2
         })
     }
@@ -170,7 +162,9 @@ mod tests {
         // Deterministic quasi-random points.
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * scale
         };
         (0..n).map(|_| [next(), next(), next()]).collect()

@@ -18,10 +18,9 @@ pub fn launch_pka(
 ) -> f64 {
     assert!(l.id[site] >= 0, "PKA site must hold an atom");
     assert!(energy_ev > 0.0);
-    let norm = (direction[0] * direction[0]
-        + direction[1] * direction[1]
-        + direction[2] * direction[2])
-        .sqrt();
+    let norm =
+        (direction[0] * direction[0] + direction[1] * direction[1] + direction[2] * direction[2])
+            .sqrt();
     assert!(norm > 0.0, "PKA direction must be nonzero");
     let speed = (2.0 * energy_ev / (mass_amu * KE_CONV)).sqrt();
     for ax in 0..3 {

@@ -146,7 +146,11 @@ fn for_each_slab_site(
     }
 }
 
-fn pack_slab(l: &LatticeNeighborList, ranges: &[std::ops::Range<usize>; 3], phase: GhostPhase) -> Vec<u8> {
+fn pack_slab(
+    l: &LatticeNeighborList,
+    ranges: &[std::ops::Range<usize>; 3],
+    phase: GhostPhase,
+) -> Vec<u8> {
     let mut p = Packer::new();
     for_each_slab_site(l, ranges, |s, lp| match phase {
         GhostPhase::Positions => {
@@ -203,10 +207,12 @@ fn unpack_slab(
                 // Replace the ghost chain: records were cleared at the
                 // start of the exchange; later axes may overwrite a slab
                 // that was already written — drop what's there first.
-                let existing: Vec<(u32, bool)> =
-                    l.chain(s).map(|(i, r)| (i, r.ghost)).collect();
+                let existing: Vec<(u32, bool)> = l.chain(s).map(|(i, r)| (i, r.ghost)).collect();
                 for (idx, ghost) in existing {
-                    assert!(ghost, "real run-away anchored at ghost site {s} during exchange");
+                    assert!(
+                        ghost,
+                        "real run-away anchored at ghost site {s} during exchange"
+                    );
                     l.remove_runaway(idx);
                 }
                 let n = u.get_u32() as usize;
@@ -237,11 +243,7 @@ fn unpack_slab(
 }
 
 /// Runs one full ghost exchange (6 staged shifts).
-pub fn exchange_ghosts(
-    l: &mut LatticeNeighborList,
-    t: &mut impl Transport,
-    phase: GhostPhase,
-) {
+pub fn exchange_ghosts(l: &mut LatticeNeighborList, t: &mut impl Transport, phase: GhostPhase) {
     if phase == GhostPhase::Positions {
         l.clear_ghost_runaways();
     }
@@ -299,7 +301,11 @@ pub fn migrate_runaways(l: &mut LatticeNeighborList, t: &mut impl Transport) -> 
         let mut u = Unpacker::new(&bytes);
         let n = u.get_u32() as usize;
         for _ in 0..n {
-            let g = [u.get_u64() as usize, u.get_u64() as usize, u.get_u64() as usize];
+            let g = [
+                u.get_u64() as usize,
+                u.get_u64() as usize,
+                u.get_u64() as usize,
+            ];
             let b = u.get_u64() as usize;
             let id = u.get_u64() as i64;
             let disp = [u.get_f64(), u.get_f64(), u.get_f64()];
@@ -427,7 +433,12 @@ mod tests {
         // boundary); migration must re-anchor it at the interior image.
         let ghost_home = l.grid.site_id(7, 4, 4, 0); // global (5,2,2) ≡ (0,2,2)
         let glp = l.grid.site_position(7, 4, 4, 0);
-        l.add_runaway(ghost_home, 42, [glp[0] + 0.2, glp[1], glp[2]], [1.0, 0.0, 0.0]);
+        l.add_runaway(
+            ghost_home,
+            42,
+            [glp[0] + 0.2, glp[1], glp[2]],
+            [1.0, 0.0, 0.0],
+        );
         let emitted = migrate_runaways(&mut l, &mut Loopback);
         assert_eq!(emitted, 1);
         assert_eq!(l.n_runaways(), 1);

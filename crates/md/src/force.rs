@@ -120,6 +120,7 @@ pub fn density_pass(
     form: TableForm,
     interior: &[usize],
 ) {
+    let _span = mmds_telemetry::span!("md.density");
     let cutoff = pot.cutoff();
     let mut site_rho = Vec::with_capacity(interior.len());
     for &s in interior {
@@ -157,6 +158,7 @@ pub fn embedding_pass(
     form: TableForm,
     interior: &[usize],
 ) -> f64 {
+    let _span = mmds_telemetry::span!("md.embed");
     let mut e = 0.0;
     for &s in interior {
         if l.id[s] < 0 {
@@ -184,6 +186,7 @@ pub fn force_pass(
     form: TableForm,
     interior: &[usize],
 ) -> f64 {
+    let _span = mmds_telemetry::span!("md.pair");
     let cutoff = pot.cutoff();
     let mut pair_energy = 0.0;
     let mut site_force = Vec::with_capacity(interior.len());

@@ -529,7 +529,10 @@ mod tests {
         let mut s2 = sim();
         let out = offload_forces(&mut s2, &OffloadConfig::optimized());
         assert!((out.pair_energy - serial.pair).abs() < 1e-9, "pair energy");
-        assert!((out.embed_energy - serial.embed).abs() < 1e-9, "embed energy");
+        assert!(
+            (out.embed_energy - serial.embed).abs() < 1e-9,
+            "embed energy"
+        );
         for &site in &s1.interior {
             for ax in 0..3 {
                 assert!(

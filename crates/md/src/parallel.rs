@@ -9,10 +9,10 @@
 //! (Figs. 10, 11) read the resulting per-rank compute/communication
 //! split.
 
+use mmds_sunway::{CpeCluster, SwModel};
 use mmds_swmpi::topology::CartGrid;
 use mmds_swmpi::world::RankOutput;
 use mmds_swmpi::{Comm, World};
-use mmds_sunway::{CpeCluster, SwModel};
 use serde::{Deserialize, Serialize};
 
 use crate::cascade::{launch_pka, PKA_DIRECTION};
@@ -88,16 +88,21 @@ pub fn offload_step(
     cluster: &CpeCluster,
     ocfg: &OffloadConfig,
 ) -> StepSample {
+    let _span = mmds_telemetry::span!("md.step");
     let dt = sim.cfg.dt;
     let n_atoms = sim.n_atoms();
     kick(&mut sim.lnl, &sim.interior, 0.5 * dt, sim.mass);
     drift(&mut sim.lnl, &sim.interior, dt);
     let st = apply_transitions(&mut sim.lnl, &sim.cfg, &sim.interior);
     sim.transitions = sim.transitions.merge(&st);
-    migrate_runaways(&mut sim.lnl, transport);
-    exchange_ghosts(&mut sim.lnl, transport, GhostPhase::Positions);
+    {
+        let _g = mmds_telemetry::span!("md.ghost");
+        migrate_runaways(&mut sim.lnl, transport);
+        exchange_ghosts(&mut sim.lnl, transport, GhostPhase::Positions);
+    }
     let interior = std::mem::take(&mut sim.interior);
     let outcome = {
+        let _g = mmds_telemetry::span!("md.offload");
         let pot = &sim.pot;
         let lnl = &mut sim.lnl;
         offload_compute_forces(lnl, pot, cluster, ocfg, &interior, |l| {
@@ -105,6 +110,11 @@ pub fn offload_step(
         })
     };
     sim.interior = interior;
+    if mmds_telemetry::enabled() {
+        mmds_telemetry::absorb_cpe_counters(
+            &outcome.density.counters.merge(&outcome.force.counters),
+        );
+    }
     comm.tick_compute(outcome.kernel_time() + n_atoms as f64 * MPE_PER_ATOM_SECONDS);
     kick(&mut sim.lnl, &sim.interior, 0.5 * dt, sim.mass);
     if let Some(tau) = sim.cfg.thermostat_tau {
@@ -134,7 +144,7 @@ pub fn run_parallel_md(
     params: &ParallelMdParams,
 ) -> Vec<RankOutput<RankMdSummary>> {
     let grid3 = CartGrid::for_ranks(ranks);
-    world.run(ranks, |comm| {
+    let out = world.run(ranks, |comm| {
         let mut md = params.md;
         md.seed = params.md.rank_seed(comm.rank());
         let grid = rank_grid(&md, params.global_cells, grid3, comm.rank());
@@ -169,7 +179,13 @@ pub fn run_parallel_md(
             n_atoms: sim.n_atoms(),
             cpe_time: comm.stats().compute_time,
         }
-    })
+    });
+    if mmds_telemetry::enabled() {
+        for r in &out {
+            mmds_telemetry::absorb_comm_stats(&r.stats);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -202,8 +218,14 @@ mod tests {
         let p = params(8, 3);
         let single = run_parallel_md(&world, 1, &p);
         let double = run_parallel_md(&world, 2, &p);
-        let e1: f64 = single.iter().map(|r| r.result.last.pair + r.result.last.embed).sum();
-        let e2: f64 = double.iter().map(|r| r.result.last.pair + r.result.last.embed).sum();
+        let e1: f64 = single
+            .iter()
+            .map(|r| r.result.last.pair + r.result.last.embed)
+            .sum();
+        let e2: f64 = double
+            .iter()
+            .map(|r| r.result.last.pair + r.result.last.embed)
+            .sum();
         // Different rank seeds give different velocities, but the cold
         // potential-energy surface is identical at step 0 scale; compare
         // a cold run instead for bit-level equality.
@@ -211,8 +233,14 @@ mod tests {
         cold.md.temperature = 0.0;
         let s1 = run_parallel_md(&world, 1, &cold);
         let s2 = run_parallel_md(&world, 2, &cold);
-        let c1: f64 = s1.iter().map(|r| r.result.last.pair + r.result.last.embed).sum();
-        let c2: f64 = s2.iter().map(|r| r.result.last.pair + r.result.last.embed).sum();
+        let c1: f64 = s1
+            .iter()
+            .map(|r| r.result.last.pair + r.result.last.embed)
+            .sum();
+        let c2: f64 = s2
+            .iter()
+            .map(|r| r.result.last.pair + r.result.last.embed)
+            .sum();
         assert!(
             (c1 - c2).abs() < 1e-6 * c1.abs().max(1.0),
             "cold energies differ: {c1} vs {c2}"

@@ -99,8 +99,7 @@ pub fn apply_transitions(
         let (i, j, k, b) = l.grid.decode(s);
         let lp = l.grid.site_position(i, j, k, b);
         let p = l.pos[s];
-        let d2 =
-            (p[0] - lp[0]).powi(2) + (p[1] - lp[1]).powi(2) + (p[2] - lp[2]).powi(2);
+        let d2 = (p[0] - lp[0]).powi(2) + (p[1] - lp[1]).powi(2) + (p[2] - lp[2]).powi(2);
         if d2 > promote2 {
             let id = l.make_vacancy(s);
             let vel = l.vel[s];
@@ -137,9 +136,7 @@ pub fn apply_transitions(
         let (i, j, k, b) = l.grid.decode(nearest);
         if l.is_vacancy(nearest) && l.grid.is_interior(i, j, k) {
             let lp = l.grid.site_position(i, j, k, b);
-            let d2 = (pos[0] - lp[0]).powi(2)
-                + (pos[1] - lp[1]).powi(2)
-                + (pos[2] - lp[2]).powi(2);
+            let d2 = (pos[0] - lp[0]).powi(2) + (pos[1] - lp[1]).powi(2) + (pos[2] - lp[2]).powi(2);
             if d2 < capture2 {
                 l.remove_runaway(idx);
                 l.occupy(nearest, rec.id, pos, rec.vel);
@@ -206,12 +203,7 @@ mod tests {
         l.make_vacancy(v);
         let lp = l.grid.site_position(4, 4, 4, 1);
         let anchor = l.grid.site_id(4, 4, 4, 0);
-        l.add_runaway(
-            anchor,
-            9999,
-            [lp[0] + 0.1, lp[1], lp[2]],
-            [1.0, 0.0, 0.0],
-        );
+        l.add_runaway(anchor, 9999, [lp[0] + 0.1, lp[1], lp[2]], [1.0, 0.0, 0.0]);
         let st = apply_transitions(&mut l, &cfg, &ids);
         assert_eq!(st.recaptured, 1);
         assert!(!l.is_vacancy(v));
@@ -231,10 +223,7 @@ mod tests {
         let st = apply_transitions(&mut l, &cfg, &ids);
         assert_eq!(st.rehomed, 1);
         assert_eq!(st.recaptured, 0);
-        assert_eq!(
-            l.runaway(idx).home as usize,
-            l.grid.site_id(4, 4, 4, 1)
-        );
+        assert_eq!(l.runaway(idx).home as usize, l.grid.site_id(4, 4, 4, 1));
     }
 
     #[test]
@@ -255,13 +244,22 @@ mod tests {
         // A run-away just past the box's upper-x face.
         let lens = l.grid.global.box_lengths();
         let anchor = l.grid.site_id(7, 4, 4, 0); // interior edge cell (global 5)
-        let idx = l.add_runaway(anchor, 4242, [lens[0] + 0.1, 4.0 * 2.855, 4.0 * 2.855], [0.0; 3]);
+        let idx = l.add_runaway(
+            anchor,
+            4242,
+            [lens[0] + 0.1, 4.0 * 2.855, 4.0 * 2.855],
+            [0.0; 3],
+        );
         apply_transitions(&mut l, &cfg, &ids);
         let rec = *l.runaway(idx);
         // Wrapped home: global cell 0 → storage cell ghost+0 = 2 (interior).
         let (i, j, k, _) = l.grid.decode(rec.home as usize);
         assert!(l.grid.is_interior(i, j, k), "home must be interior");
-        assert!((rec.pos[0] - 0.1).abs() < 1e-9, "pos wrapped: {}", rec.pos[0]);
+        assert!(
+            (rec.pos[0] - 0.1).abs() < 1e-9,
+            "pos wrapped: {}",
+            rec.pos[0]
+        );
     }
 
     #[test]

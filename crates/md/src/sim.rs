@@ -98,7 +98,11 @@ impl MdSimulation {
 
     /// Number of owned atoms.
     pub fn n_atoms(&self) -> usize {
-        self.interior.iter().filter(|&&s| self.lnl.id[s] >= 0).count() + self.lnl.n_runaways()
+        self.interior
+            .iter()
+            .filter(|&&s| self.lnl.id[s] >= 0)
+            .count()
+            + self.lnl.n_runaways()
     }
 
     /// Draws Maxwell–Boltzmann velocities at the configured temperature.
@@ -117,10 +121,17 @@ impl MdSimulation {
     /// Computes forces (both passes + ghost refreshes) and returns the
     /// potential-energy sample.
     pub fn compute_forces(&mut self, t: &mut impl Transport) -> EnergySample {
-        exchange_ghosts(&mut self.lnl, t, GhostPhase::Positions);
+        let _span = mmds_telemetry::span!("md.force");
+        {
+            let _g = mmds_telemetry::span!("md.ghost");
+            exchange_ghosts(&mut self.lnl, t, GhostPhase::Positions);
+        }
         density_pass(&mut self.lnl, &self.pot, self.table_form, &self.interior);
         let embed = embedding_pass(&mut self.lnl, &self.pot, self.table_form, &self.interior);
-        exchange_ghosts(&mut self.lnl, t, GhostPhase::Fp);
+        {
+            let _g = mmds_telemetry::span!("md.ghost");
+            exchange_ghosts(&mut self.lnl, t, GhostPhase::Fp);
+        }
         let pair = force_pass(&mut self.lnl, &self.pot, self.table_form, &self.interior);
         self.forces_current = true;
         EnergySample { pair, embed }
@@ -128,6 +139,7 @@ impl MdSimulation {
 
     /// Advances one velocity-Verlet step; returns the step observables.
     pub fn step(&mut self, t: &mut impl Transport) -> StepSample {
+        let _span = mmds_telemetry::span!("md.step");
         if !self.forces_current {
             self.compute_forces(t);
         }
@@ -160,9 +172,27 @@ impl MdSimulation {
 
     /// Runs `n` steps and collects a report.
     pub fn run(&mut self, t: &mut impl Transport, n: usize) -> MdReport {
+        let _span = mmds_telemetry::span!("md.run");
+        let observe = mmds_telemetry::enabled();
         let mut samples = Vec::with_capacity(n);
-        for _ in 0..n {
-            samples.push(self.step(t));
+        for i in 0..n {
+            let s = self.step(t);
+            if observe {
+                // The defect census is O(sites); only pay for it when
+                // somebody is listening.
+                let d = count(&self.lnl);
+                let sample = mmds_telemetry::MdStepSample {
+                    step: i as u64,
+                    kinetic: s.kinetic,
+                    potential: s.pair + s.embed,
+                    runaways: self.lnl.n_runaways() as u64,
+                    vacancies: d.vacancies as u64,
+                    interstitials: d.interstitials as u64,
+                };
+                mmds_telemetry::global().counters().push_md(sample);
+                mmds_telemetry::emit(mmds_telemetry::Event::Md(sample));
+            }
+            samples.push(s);
         }
         MdReport {
             samples,
@@ -212,7 +242,11 @@ mod tests {
             last = sim.step(&mut Loopback);
         }
         let drift = (last.total() - e0).abs() / e0.abs();
-        assert!(drift < 2e-4, "energy drift {drift:.3e} (e0={e0}, e={})", last.total());
+        assert!(
+            drift < 2e-4,
+            "energy drift {drift:.3e} (e0={e0}, e={})",
+            last.total()
+        );
     }
 
     #[test]

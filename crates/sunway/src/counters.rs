@@ -45,6 +45,12 @@ impl CpeCounters {
             compute_time: self.compute_time + o.compute_time,
         }
     }
+
+    /// Aggregates a slice of per-CPE counters into cluster totals
+    /// (mirrors `CommStats::sum` in `mmds-swmpi`).
+    pub fn sum(all: &[CpeCounters]) -> CpeCounters {
+        all.iter().fold(CpeCounters::default(), |a, c| a.merge(c))
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +75,31 @@ mod tests {
         assert_eq!(m.dma_ops(), 3);
         assert_eq!(m.dma_bytes(), 150);
         assert_eq!(m.flops, 10);
+    }
+
+    #[test]
+    fn merge_identity_and_sum_consistency() {
+        let a = CpeCounters {
+            dma_gets: 5,
+            dma_puts: 2,
+            bytes_in: 1024,
+            bytes_out: 256,
+            flops: 99,
+            dma_time: 0.25,
+            compute_time: 1.5,
+        };
+        // Default is the identity of merge.
+        assert_eq!(a.merge(&CpeCounters::default()), a);
+        assert_eq!(CpeCounters::default().merge(&a), a);
+        // sum of an empty slice is the identity; singleton is itself.
+        assert_eq!(CpeCounters::sum(&[]), CpeCounters::default());
+        assert_eq!(CpeCounters::sum(&[a]), a);
+        // sum agrees with folded merge.
+        let b = CpeCounters {
+            flops: 1,
+            dma_time: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(CpeCounters::sum(&[a, b, a]), a.merge(&b).merge(&a));
     }
 }

@@ -38,8 +38,8 @@ pub mod pipeline;
 pub mod register;
 
 pub use arch::SwModel;
-pub use ldm_cache::SoftCache;
-pub use register::RegisterMesh;
 pub use counters::CpeCounters;
 pub use cpe::{ClusterReport, CpeCluster, CpeCtx};
+pub use ldm_cache::SoftCache;
 pub use local_store::{LdmOverflow, LocalStore, LsVec};
+pub use register::RegisterMesh;

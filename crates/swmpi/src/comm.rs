@@ -317,7 +317,7 @@ mod tests {
     fn sendrecv_halo_style() {
         let out = free_world().run(2, |comm| {
             let other = 1 - comm.rank();
-            
+
             comm.sendrecv(other, other, 7, vec![comm.rank() as u8; 5])
         });
         assert_eq!(out[0].result, vec![1u8; 5]);

@@ -116,4 +116,32 @@ mod tests {
         assert_eq!(CommStats::max_comm_time(&all), 2.0);
         assert_eq!(CommStats::max_compute_time(&all), 3.0);
     }
+
+    #[test]
+    fn merge_identity_and_sum_consistency() {
+        let a = CommStats {
+            msgs_sent: 4,
+            bytes_sent: 44,
+            msgs_recv: 3,
+            bytes_recv: 33,
+            puts: 2,
+            bytes_put: 22,
+            collectives: 1,
+            comm_time: 0.75,
+            compute_time: 2.5,
+        };
+        // Default is the identity of merge.
+        assert_eq!(a.merge(&CommStats::default()), a);
+        assert_eq!(CommStats::default().merge(&a), a);
+        // sum of an empty slice is the identity; singleton is itself.
+        assert_eq!(CommStats::sum(&[]), CommStats::default());
+        assert_eq!(CommStats::sum(&[a]), a);
+        // sum agrees with folded merge.
+        let b = CommStats {
+            collectives: 7,
+            comm_time: 0.25,
+            ..Default::default()
+        };
+        assert_eq!(CommStats::sum(&[a, b, a]), a.merge(&b).merge(&a));
+    }
 }

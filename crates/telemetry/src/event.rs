@@ -1,0 +1,271 @@
+//! Structured telemetry events and the pluggable JSONL sink.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// One per-step MD observation (the quantities Fig. 17's narrative
+/// tracks through the cascade phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MdStepSample {
+    /// Step index within the run.
+    pub step: u64,
+    /// Kinetic energy (eV).
+    pub kinetic: f64,
+    /// Potential energy: pair + embedding (eV).
+    pub potential: f64,
+    /// Live run-away (ballistic) atoms.
+    pub runaways: u64,
+    /// Vacant lattice sites.
+    pub vacancies: u64,
+    /// Interstitial count from the defect census.
+    pub interstitials: u64,
+}
+
+/// One per-cycle KMC observation (the quantities Figs. 12–15 report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KmcCycleSample {
+    /// Synchronisation cycle index.
+    pub cycle: u64,
+    /// Events fired this cycle.
+    pub events: u64,
+    /// Bytes of dirty-ghost traffic this cycle.
+    pub dirty_ghost_bytes: u64,
+    /// Last sector executed (0–7); 255 when aggregated over sectors.
+    pub sector: u8,
+}
+
+/// Everything the telemetry layer can observe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A span opened (path is the full `a/b/c` call path).
+    SpanOpen {
+        /// Full span path.
+        path: String,
+    },
+    /// A span closed.
+    SpanClose {
+        /// Full span path.
+        path: String,
+        /// Wall-clock duration, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A per-step MD sample.
+    Md(MdStepSample),
+    /// A per-cycle KMC sample.
+    Kmc(KmcCycleSample),
+    /// An ad-hoc named counter increment.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Increment value.
+        value: f64,
+    },
+}
+
+/// An event with its total-order stamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Process-wide sequence number (gapless, increasing).
+    pub seq: u64,
+    /// Nanoseconds since the telemetry epoch.
+    pub t_ns: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl Record {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("record serializes")
+    }
+
+    /// Parses one JSONL line.
+    pub fn from_jsonl(line: &str) -> Result<Record, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+/// Where records go. Implementations must be cheap per call; the
+/// caller already holds the ordering lock.
+pub trait EventSink: Send {
+    /// Consumes one record.
+    fn record(&mut self, r: &Record);
+    /// Flushes buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Discards everything (useful to measure instrumentation overhead).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _r: &Record) {}
+}
+
+/// Appends JSONL lines to a buffered file.
+///
+/// The global sink is never dropped at process exit, so buffering alone
+/// would lose the tail of the stream. The sink therefore flushes when a
+/// *root* span closes (the natural end of a run) and every
+/// [`FileSink::FLUSH_EVERY`] records as a backstop.
+pub struct FileSink {
+    w: std::io::BufWriter<std::fs::File>,
+    pending: u32,
+}
+
+impl FileSink {
+    /// Backstop flush interval, in records.
+    pub const FLUSH_EVERY: u32 = 128;
+
+    /// Creates/truncates `path`.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(Self {
+            w: std::io::BufWriter::new(std::fs::File::create(path)?),
+            pending: 0,
+        })
+    }
+}
+
+impl EventSink for FileSink {
+    fn record(&mut self, r: &Record) {
+        let _ = writeln!(self.w, "{}", r.to_jsonl());
+        self.pending += 1;
+        let root_close = matches!(&r.event, Event::SpanClose { path, .. } if !path.contains('/'));
+        if root_close || self.pending >= Self::FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+        self.pending = 0;
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Captures records in memory, in arrival order. Clone the handle
+/// before installing so the test can read what was captured.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<Record>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything captured so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().unwrap().clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&mut self, r: &Record) {
+        self.records.lock().unwrap().push(r.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let records = vec![
+            Record {
+                seq: 0,
+                t_ns: 17,
+                event: Event::SpanOpen {
+                    path: "coupled.run/md.phase".into(),
+                },
+            },
+            Record {
+                seq: 1,
+                t_ns: 42,
+                event: Event::Md(MdStepSample {
+                    step: 3,
+                    kinetic: 12.5,
+                    potential: -812.25,
+                    runaways: 2,
+                    vacancies: 4,
+                    interstitials: 2,
+                }),
+            },
+            Record {
+                seq: 2,
+                t_ns: 99,
+                event: Event::Kmc(KmcCycleSample {
+                    cycle: 7,
+                    events: 31,
+                    dirty_ghost_bytes: 1024,
+                    sector: 5,
+                }),
+            },
+            Record {
+                seq: 3,
+                t_ns: 100,
+                event: Event::Counter {
+                    name: "md.ghost_bytes".into(),
+                    value: 4096.0,
+                },
+            },
+            Record {
+                seq: 4,
+                t_ns: 120,
+                event: Event::SpanClose {
+                    path: "coupled.run/md.phase".into(),
+                    dur_ns: 103,
+                },
+            },
+        ];
+        for r in &records {
+            let line = r.to_jsonl();
+            assert!(!line.contains('\n'), "JSONL must be single-line");
+            let back = Record::from_jsonl(&line).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("mmds_telemetry_test");
+        let path = dir.join("trace.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        {
+            let mut sink = FileSink::create(&path_s).unwrap();
+            for seq in 0..5 {
+                sink.record(&Record {
+                    seq,
+                    t_ns: seq * 10,
+                    event: Event::Counter {
+                        name: "x".into(),
+                        value: seq as f64,
+                    },
+                });
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            let r = Record::from_jsonl(line).unwrap();
+            assert_eq!(r.seq, i as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

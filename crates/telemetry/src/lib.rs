@@ -1,0 +1,159 @@
+//! Unified telemetry for the MMDS workspace.
+//!
+//! The paper's whole evaluation (Figs. 9–17) is per-phase timing plus
+//! communication-volume accounting; this crate is the substrate that
+//! produces those numbers from *one* instrumentation layer:
+//!
+//! * **Phase spans** ([`span!`]) — RAII-guarded, nestable timers that
+//!   accumulate wall time and call counts into a thread-safe registry.
+//!   When telemetry is off the guard is a no-op (one relaxed atomic
+//!   load), so instrumentation stays compiled in for release builds.
+//! * **Structured events** ([`event::Event`]) — span open/close,
+//!   per-step MD samples, per-cycle KMC samples, arbitrary counters —
+//!   streamed to a pluggable JSONL sink (file, in-memory, null).
+//! * **Counter registry** ([`report::CounterRegistry`]) — absorbs the
+//!   per-rank [`mmds_swmpi::CommStats`] and per-CPE
+//!   [`mmds_sunway::CpeCounters`] so a run ends with one merged
+//!   [`report::RunReport`] serializable to JSON.
+//!
+//! Configuration comes from `MMDS_TELEMETRY`:
+//!
+//! | value          | effect                                          |
+//! |----------------|-------------------------------------------------|
+//! | `off` / unset  | spans disabled, no events                       |
+//! | `summary`      | spans on; end-of-run self-time tree             |
+//! | `jsonl:<path>` | spans on; events streamed to `<path>` as JSONL  |
+//!
+//! ```
+//! mmds_telemetry::set_mode(mmds_telemetry::Mode::Summary);
+//! {
+//!     let _run = mmds_telemetry::span!("example.run");
+//!     let _phase = mmds_telemetry::span!("example.phase");
+//! }
+//! let report = mmds_telemetry::global().run_report();
+//! assert_eq!(report.spans[0].path, "example.run");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod render;
+pub mod report;
+pub mod span;
+
+use std::sync::OnceLock;
+
+pub use event::{Event, EventSink, FileSink, KmcCycleSample, MdStepSample, MemorySink, Record};
+pub use report::{CounterRegistry, RunReport, SpanReport};
+pub use span::{SpanGuard, Telemetry};
+
+/// What the telemetry layer does with what it observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Spans compile to no-ops; nothing is recorded.
+    Off,
+    /// Spans and counters accumulate; callers may render a summary.
+    Summary,
+    /// Like `Summary`, plus every event is streamed as JSONL to a file.
+    Jsonl(String),
+}
+
+impl Mode {
+    /// Parses the `MMDS_TELEMETRY` syntax.
+    pub fn parse(s: &str) -> Mode {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("summary") {
+            Mode::Summary
+        } else if let Some(path) = s.strip_prefix("jsonl:") {
+            Mode::Jsonl(path.to_string())
+        } else {
+            Mode::Off
+        }
+    }
+
+    /// Reads the mode from the environment.
+    pub fn from_env() -> Mode {
+        match std::env::var("MMDS_TELEMETRY") {
+            Ok(v) => Mode::parse(&v),
+            Err(_) => Mode::Off,
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-wide telemetry instance.
+///
+/// Initialized lazily from `MMDS_TELEMETRY` on first touch; the mode
+/// can be changed later with [`set_mode`].
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(|| Telemetry::with_mode(Mode::from_env()))
+}
+
+/// Reconfigures the global instance (mainly for tests and binaries
+/// that decide the mode programmatically).
+pub fn set_mode(mode: Mode) {
+    global().set_mode(mode);
+}
+
+/// True when spans are being recorded.
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Opens a phase span on the global instance. Prefer the [`span!`]
+/// macro, which reads better at call sites.
+pub fn span_enter(name: &'static str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Opens a named, RAII-guarded phase span:
+///
+/// ```
+/// # mmds_telemetry::set_mode(mmds_telemetry::Mode::Summary);
+/// let _g = mmds_telemetry::span!("md.force");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_enter($name)
+    };
+}
+
+/// Records an event on the global instance's sink (if any).
+pub fn emit(event: Event) {
+    global().emit(event);
+}
+
+/// Adds a named counter on the global instance.
+pub fn add_counter(name: &str, value: f64) {
+    global().counters().add_named(name, value);
+}
+
+/// Absorbs per-rank communication stats into the global registry.
+pub fn absorb_comm_stats(stats: &mmds_swmpi::CommStats) {
+    global().counters().absorb_comm(stats);
+}
+
+/// Absorbs per-CPE counters into the global registry.
+pub fn absorb_cpe_counters(counters: &mmds_sunway::CpeCounters) {
+    global().counters().absorb_cpe(counters);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(Mode::parse("off"), Mode::Off);
+        assert_eq!(Mode::parse(""), Mode::Off);
+        assert_eq!(Mode::parse("summary"), Mode::Summary);
+        assert_eq!(Mode::parse("SUMMARY"), Mode::Summary);
+        assert_eq!(
+            Mode::parse("jsonl:/tmp/trace.jsonl"),
+            Mode::Jsonl("/tmp/trace.jsonl".into())
+        );
+    }
+}

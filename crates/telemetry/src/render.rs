@@ -1,0 +1,137 @@
+//! Flamegraph-style text rendering of the span tree.
+//!
+//! Paths split on `/` into a tree; each line shows total time, percent
+//! of parent, call count, and self time. Printed at the end of coupled
+//! runs when `MMDS_TELEMETRY=summary`.
+
+use crate::report::SpanReport;
+
+struct Node {
+    name: String,
+    count: u64,
+    total_s: f64,
+    self_s: f64,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn new(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            count: 0,
+            total_s: 0.0,
+            self_s: 0.0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child(&mut self, name: &str) -> &mut Node {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(Node::new(name));
+        self.children.last_mut().unwrap()
+    }
+}
+
+/// Renders the span reports as an indented tree.
+///
+/// ```
+/// use mmds_telemetry::SpanReport;
+/// let spans = vec![
+///     SpanReport { path: "run".into(), count: 1, total_s: 2.0, self_s: 0.5 },
+///     SpanReport { path: "run/force".into(), count: 10, total_s: 1.5, self_s: 1.5 },
+/// ];
+/// let tree = mmds_telemetry::render::render_tree(&spans);
+/// assert!(tree.contains("run"));
+/// assert!(tree.contains("force"));
+/// ```
+pub fn render_tree(spans: &[SpanReport]) -> String {
+    let mut root = Node::new("");
+    for s in spans {
+        let mut cur = &mut root;
+        for seg in s.path.split('/') {
+            cur = cur.child(seg);
+        }
+        cur.count += s.count;
+        cur.total_s += s.total_s;
+        cur.self_s += s.self_s;
+    }
+    if root.children.is_empty() {
+        return "(no spans recorded)\n".to_string();
+    }
+    let grand_total: f64 = root.children.iter().map(|c| c.total_s).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>10} {:>6} {:>8} {:>10}\n",
+        "span", "total", "%par", "calls", "self"
+    ));
+    for child in &root.children {
+        render_node(child, 0, grand_total, &mut out);
+    }
+    out
+}
+
+fn render_node(n: &Node, depth: usize, parent_total: f64, out: &mut String) {
+    let pct = if parent_total > 0.0 {
+        100.0 * n.total_s / parent_total
+    } else {
+        100.0
+    };
+    let label = format!("{}{}", "  ".repeat(depth), n.name);
+    out.push_str(&format!(
+        "{:<44} {:>9.4}s {:>5.1}% {:>8} {:>9.4}s\n",
+        label, n.total_s, pct, n.count, n.self_s
+    ));
+    let mut kids: Vec<&Node> = n.children.iter().collect();
+    kids.sort_by(|a, b| b.total_s.partial_cmp(&a.total_s).unwrap());
+    for k in kids {
+        render_node(k, depth + 1, n.total_s, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sr(path: &str, count: u64, total_s: f64, self_s: f64) -> SpanReport {
+        SpanReport {
+            path: path.into(),
+            count,
+            total_s,
+            self_s,
+        }
+    }
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        assert!(render_tree(&[]).contains("no spans"));
+    }
+
+    #[test]
+    fn tree_nests_and_sorts_children_by_total() {
+        let spans = vec![
+            sr("run", 1, 10.0, 1.0),
+            sr("run/kmc", 1, 3.0, 3.0),
+            sr("run/md", 1, 6.0, 2.0),
+            sr("run/md/force", 20, 4.0, 4.0),
+        ];
+        let tree = render_tree(&spans);
+        let lines: Vec<&str> = tree.lines().collect();
+        // Header, run, md (bigger child first), force, kmc.
+        assert!(lines[1].starts_with("run"));
+        assert!(lines[2].trim_start().starts_with("md"));
+        assert!(lines[3].trim_start().starts_with("force"));
+        assert!(lines[4].trim_start().starts_with("kmc"));
+        // md is 60% of run.
+        assert!(lines[2].contains("60.0%"));
+    }
+
+    #[test]
+    fn multiple_roots_share_grand_total() {
+        let spans = vec![sr("a", 1, 1.0, 1.0), sr("b", 1, 3.0, 3.0)];
+        let tree = render_tree(&spans);
+        assert!(tree.contains("25.0%"));
+        assert!(tree.contains("75.0%"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The run-wide counter registry and the final serializable report.
+//!
+//! The registry is the single aggregation point that used to be spread
+//! over ad-hoc `CommStats::sum` calls in every figure binary: ranks
+//! deposit their [`mmds_swmpi::CommStats`], CPE clusters their
+//! [`mmds_sunway::CpeCounters`], phases their named counters, and the
+//! run ends with one [`RunReport`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{KmcCycleSample, MdStepSample};
+
+/// Statistics of one span path (times in seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Full `a/b/c` call path.
+    pub path: String,
+    /// Times the span closed.
+    pub count: u64,
+    /// Total wall time across all closes.
+    pub total_s: f64,
+    /// Total minus time attributed to child spans.
+    pub self_s: f64,
+}
+
+/// Aggregated counters at one point in time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Element-wise sum of every absorbed per-rank [`mmds_swmpi::CommStats`].
+    pub comm: mmds_swmpi::CommStats,
+    /// Ranks absorbed into `comm`.
+    pub comm_ranks: u64,
+    /// Element-wise sum of every absorbed per-CPE [`mmds_sunway::CpeCounters`].
+    pub cpe: mmds_sunway::CpeCounters,
+    /// CPE counter sets absorbed into `cpe`.
+    pub cpe_sets: u64,
+    /// Free-form named counters (`name -> accumulated value`).
+    pub named: BTreeMap<String, f64>,
+}
+
+/// Retained MD/KMC samples, in deposit order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleLog {
+    /// Per-step MD samples.
+    pub md: Vec<MdStepSample>,
+    /// Per-cycle KMC samples.
+    pub kmc: Vec<KmcCycleSample>,
+}
+
+/// Everything a run produced: span timings, merged counters, samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Span statistics sorted by path.
+    pub spans: Vec<SpanReport>,
+    /// Merged counters.
+    pub counters: CounterSnapshot,
+    /// Retained samples.
+    pub samples: SampleLog,
+}
+
+impl RunReport {
+    /// Pretty JSON rendering of the whole report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Sum of wall time over top-level (root) spans — the quantity that
+    /// should track total run wall time when instrumentation covers the
+    /// whole run.
+    pub fn root_total_s(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| !s.path.contains('/'))
+            .map(|s| s.total_s)
+            .sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    comm: mmds_swmpi::CommStats,
+    comm_ranks: u64,
+    cpe: mmds_sunway::CpeCounters,
+    cpe_sets: u64,
+    named: BTreeMap<String, f64>,
+    md: Vec<MdStepSample>,
+    kmc: Vec<KmcCycleSample>,
+}
+
+/// Thread-safe accumulator behind [`crate::Telemetry::counters`]. All
+/// methods take `&self`; a mutex guards the interior.
+#[derive(Debug, Default)]
+pub struct CounterRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl CounterRegistry {
+    /// Folds one rank's communication stats into the aggregate.
+    pub fn absorb_comm(&self, stats: &mmds_swmpi::CommStats) {
+        let mut g = self.inner.lock().unwrap();
+        g.comm = g.comm.merge(stats);
+        g.comm_ranks += 1;
+    }
+
+    /// Folds one CPE counter set into the aggregate.
+    pub fn absorb_cpe(&self, counters: &mmds_sunway::CpeCounters) {
+        let mut g = self.inner.lock().unwrap();
+        g.cpe = g.cpe.merge(counters);
+        g.cpe_sets += 1;
+    }
+
+    /// Adds `value` to the named counter, creating it at zero.
+    pub fn add_named(&self, name: &str, value: f64) {
+        let mut g = self.inner.lock().unwrap();
+        *g.named.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Retains one MD step sample.
+    pub fn push_md(&self, s: MdStepSample) {
+        self.inner.lock().unwrap().md.push(s);
+    }
+
+    /// Retains one KMC cycle sample.
+    pub fn push_kmc(&self, s: KmcCycleSample) {
+        self.inner.lock().unwrap().kmc.push(s);
+    }
+
+    /// Copies out the current aggregates.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let g = self.inner.lock().unwrap();
+        CounterSnapshot {
+            comm: g.comm,
+            comm_ranks: g.comm_ranks,
+            cpe: g.cpe,
+            cpe_sets: g.cpe_sets,
+            named: g.named.clone(),
+        }
+    }
+
+    /// Copies out the retained samples.
+    pub fn samples(&self) -> SampleLog {
+        let g = self.inner.lock().unwrap();
+        SampleLog {
+            md: g.md.clone(),
+            kmc: g.kmc.clone(),
+        }
+    }
+
+    /// Clears everything.
+    pub fn reset(&self) {
+        *self.inner.lock().unwrap() = RegistryInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_merges_comm_and_cpe() {
+        let reg = CounterRegistry::default();
+        reg.absorb_comm(&mmds_swmpi::CommStats {
+            msgs_sent: 3,
+            bytes_sent: 300,
+            ..Default::default()
+        });
+        reg.absorb_comm(&mmds_swmpi::CommStats {
+            msgs_sent: 1,
+            bytes_recv: 50,
+            ..Default::default()
+        });
+        reg.absorb_cpe(&mmds_sunway::CpeCounters {
+            flops: 10,
+            bytes_in: 64,
+            ..Default::default()
+        });
+        reg.add_named("kmc.dirty_ghost_bytes", 128.0);
+        reg.add_named("kmc.dirty_ghost_bytes", 64.0);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.comm.msgs_sent, 4);
+        assert_eq!(snap.comm.bytes_sent, 300);
+        assert_eq!(snap.comm.bytes_recv, 50);
+        assert_eq!(snap.comm_ranks, 2);
+        assert_eq!(snap.cpe.flops, 10);
+        assert_eq!(snap.cpe_sets, 1);
+        assert_eq!(snap.named["kmc.dirty_ghost_bytes"], 192.0);
+    }
+
+    #[test]
+    fn run_report_serializes_and_round_trips() {
+        let report = RunReport {
+            spans: vec![SpanReport {
+                path: "coupled.run".into(),
+                count: 1,
+                total_s: 1.5,
+                self_s: 0.25,
+            }],
+            counters: CounterSnapshot {
+                comm_ranks: 8,
+                ..Default::default()
+            },
+            samples: SampleLog {
+                md: vec![MdStepSample {
+                    step: 1,
+                    kinetic: 2.0,
+                    ..Default::default()
+                }],
+                kmc: vec![],
+            },
+        };
+        let json = report.to_json();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(report.root_total_s(), 1.5);
+    }
+}

@@ -53,8 +53,14 @@ fn main() {
         assert!(ws.vacancies <= c.vacancies && ws.interstitials <= c.interstitials);
         println!(
             "{:>10} {:>9} {:>10} {:>10} {:>10} {:>12.0}   (WS: {}/{})",
-            pka_ev, steps, peak, c.vacancies, c.interstitials, t_final,
-            ws.vacancies, ws.interstitials
+            pka_ev,
+            steps,
+            peak,
+            c.vacancies,
+            c.interstitials,
+            t_final,
+            ws.vacancies,
+            ws.interstitials
         );
     }
     println!(

@@ -67,8 +67,14 @@ fn main() {
     let mut reference: Option<Vec<u8>> = None;
     for (name, strategy) in [
         ("traditional", ExchangeStrategy::Traditional),
-        ("on-demand 2-sided", ExchangeStrategy::OnDemand(OnDemandMode::TwoSided)),
-        ("on-demand 1-sided", ExchangeStrategy::OnDemand(OnDemandMode::OneSided)),
+        (
+            "on-demand 2-sided",
+            ExchangeStrategy::OnDemand(OnDemandMode::TwoSided),
+        ),
+        (
+            "on-demand 1-sided",
+            ExchangeStrategy::OnDemand(OnDemandMode::OneSided),
+        ),
     ] {
         let mut s = build();
         let ev = s.run_cycles(strategy, &mut LoopbackK, 60);

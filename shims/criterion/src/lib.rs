@@ -1,0 +1,118 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro/API surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `black_box`) but replaces the statistics engine with a simple
+//! fixed-sample wall-clock median, printed per benchmark.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to group functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { times: Vec::new() };
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+    }
+    b.times.sort_by(f64::total_cmp);
+    let median = b.times.get(b.times.len() / 2).copied().unwrap_or(0.0);
+    println!(
+        "  {name}: median {:.3} ms ({} samples)",
+        median * 1e3,
+        b.times.len()
+    );
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    times: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.times.push(t0.elapsed().as_secs_f64());
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

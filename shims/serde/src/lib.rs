@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unavailable in this build environment,
+//! so this shim provides the subset the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] traits, `#[derive(Serialize,
+//! Deserialize)]` (via the sibling `serde_derive` shim), and a simple
+//! [`Value`] tree that `serde_json` renders to and parses from.
+//!
+//! The data model is deliberately tiny: serialization produces a
+//! [`Value`], deserialization consumes one. Derived impls follow
+//! serde's externally-tagged conventions (structs → maps, unit enum
+//! variants → strings, data-carrying variants → single-entry maps) so
+//! JSON written by this shim matches what real serde_json would emit
+//! for the same types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-shaped tree.
+///
+/// Maps preserve insertion order (fields serialize in declaration
+/// order, like real serde).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64`'s positive range
+    /// semantics (kept separate so `u64::MAX` round-trips).
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected vs. what was found.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Constructs an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+/// A type that can render itself into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the shim data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the shim data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Alias mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// In this shim all deserialization is owned.
+    pub use super::Deserialize as DeserializeOwned;
+    pub use super::Deserialize;
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::F64(x) if x.fract() == 0.0 => Ok(*x as $t),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected(stringify!($t), v)),
+                    Value::I64(n) => u64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError::expected(stringify!($t), v)),
+                    Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as $t),
+                    _ => Err(DeError::expected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN), // serde_json emits null for NaN/inf
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Mirrors serde's borrowed-str deserialization for `&'static str`
+/// fields. The shim has no input to borrow from, so the string is
+/// leaked; acceptable for the config-sized structs that use it.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(xs) => xs.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(xs) if xs.len() == N => {
+                let items: Result<Vec<T>, DeError> = xs.iter().map(T::from_value).collect();
+                items?
+                    .try_into()
+                    .map_err(|_| DeError::expected("fixed-size array", v))
+            }
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(xs) => Ok(($($t::from_value(
+                        xs.get($n).ok_or_else(|| DeError::expected("tuple element", v))?
+                    )?,)+)),
+                    _ => Err(DeError::expected("tuple", v)),
+                }
+            }
+        }
+    )*};
+}
+ser_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Support helpers used by the derive macro's generated code.
+pub mod derive_support {
+    use super::{DeError, Value};
+
+    /// Fetches a struct field, treating a missing key as `Null` (so
+    /// `Option` fields tolerate omission, like serde's `default`).
+    pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+        match v {
+            Value::Map(_) => Ok(v.get(name).unwrap_or(&Value::Null)),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+
+    /// Fetches a required struct field.
+    pub fn required_field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+        match v {
+            Value::Map(_) => v
+                .get(name)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            _ => Err(DeError::expected("object", v)),
+        }
+    }
+
+    /// Decodes an externally-tagged enum: either `"Variant"` or
+    /// `{"Variant": payload}`. Returns the variant name and payload.
+    pub fn variant(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+            Value::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), &m[0].1)),
+            _ => Err(DeError::expected("enum variant", v)),
+        }
+    }
+
+    /// Interprets a tuple-variant payload of known arity as a slice of
+    /// values (serde collapses 1-tuples to the bare value).
+    pub fn tuple_payload(v: &Value, arity: usize) -> Result<Vec<&Value>, DeError> {
+        if arity == 1 {
+            return Ok(vec![v]);
+        }
+        match v {
+            Value::Seq(xs) if xs.len() == arity => Ok(xs.iter().collect()),
+            _ => Err(DeError::expected("tuple variant payload", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_value(&42i32.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<[f64; 3]> = vec![[1.0, 2.0, 3.0]];
+        assert_eq!(Vec::<[f64; 3]>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn option_none_is_null_and_missing_field_tolerated() {
+        assert_eq!(Option::<u32>::to_value(&None), Value::Null);
+        let m = Value::Map(vec![]);
+        let f = derive_support::field(&m, "absent").unwrap();
+        assert_eq!(Option::<u32>::from_value(f).unwrap(), None);
+    }
+}

@@ -135,7 +135,11 @@ fn lnl_memory_beats_verlet_on_the_real_structures() {
     let model = MemoryModel::verlet_list();
     // Open (non-periodic) cluster: surface atoms depress the mean below
     // the bulk value of ~86 within cutoff+skin, but it stays dozens.
-    assert!(verlet.mean_neighbors() > 40.0, "{}", verlet.mean_neighbors());
+    assert!(
+        verlet.mean_neighbors() > 40.0,
+        "{}",
+        verlet.mean_neighbors()
+    );
     assert!(model.bytes_per_atom() > lnl_per_atom);
 }
 

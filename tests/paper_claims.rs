@@ -138,7 +138,10 @@ fn claim_scaling_endpoints_project() {
         CommShape::Log2,
         0.74,
     );
-    assert!((p[1].efficiency - 0.881_f64).abs() < 0.08, "interior near paper's 88.1%");
+    assert!(
+        (p[1].efficiency - 0.881_f64).abs() < 0.08,
+        "interior near paper's 88.1%"
+    );
 }
 
 /// §3: the 19.2-day rescaling arithmetic.

@@ -63,7 +63,11 @@ fn kmc_checkpoint_preserves_counts_and_continues() {
     let mut restored = KmcSimulation::load_checkpoint(&tmp("kmc.ckpt.json")).unwrap();
     assert_eq!(restored.lat.state, sim.lat.state);
     restored.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 4);
-    assert_eq!(restored.lat.n_vacancies(), 5, "vacancies conserved over restart");
+    assert_eq!(
+        restored.lat.n_vacancies(),
+        5,
+        "vacancies conserved over restart"
+    );
     let cu = restored
         .lat
         .grid
