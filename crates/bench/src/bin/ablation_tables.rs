@@ -128,7 +128,8 @@ fn main() {
 
     // 4. Compacted resident (the paper's choice): one bulk DMA, then
     //    pure reconstruction arithmetic.
-    let recon_flops = 12 + mmds_eam::compact::RECON_EXTRA_FLOPS;
+    let recon_flops =
+        mmds_eam::LOCATE_FLOPS + mmds_eam::SEG_EVAL_FLOPS + mmds_eam::compact::RECON_EXTRA_FLOPS;
     let t_comp = model.dma_time(40_000) + n as f64 * model.flops_time(recon_flops);
     push(
         "compacted table, LDM-resident (paper)",

@@ -1,0 +1,214 @@
+//! `mdstep` — the persistent MD hot-path benchmark.
+//!
+//! Times full velocity-Verlet steps (both EAM passes + ghost exchange)
+//! under the four host execution strategies of
+//! [`mmds_md::force::PassConfig`]:
+//!
+//! * `serial`          — the seed path: one thread, separate pair and
+//!   density lookups (two segment locates per partner);
+//! * `serial+fused`    — one thread, fused single-locate
+//!   [`mmds_eam::EamPotential::pair_density`] lookups;
+//! * `parallel`        — chunked multi-thread sweeps, separate lookups;
+//! * `parallel+fused`  — the default production path.
+//!
+//! All four configurations produce bitwise-identical trajectories (see
+//! the determinism tests in `mmds-md`), so the comparison is work-fair
+//! by construction. Writes `BENCH_mdstep.json` into the current
+//! directory — committed at the repo root as the persistent baseline —
+//! with per-phase times from `mmds-telemetry` spans.
+//!
+//! Knobs: `--smoke` shrinks the box for CI; `MMDS_MDSTEP_CELLS` /
+//! `MMDS_MDSTEP_STEPS` override the box edge (unit cells) and the
+//! timed step count.
+
+use std::time::Instant;
+
+use mmds_bench::header;
+use mmds_md::domain::Loopback;
+use mmds_md::force::PassConfig;
+use mmds_md::{MdConfig, MdSimulation};
+use mmds_telemetry::Mode;
+use serde::Serialize;
+
+/// Total span seconds of the four hot phases, keyed by leaf span name.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+struct PhaseSeconds {
+    /// ρ accumulation (`md.density`).
+    density: f64,
+    /// Embedding F(ρ) (`md.embed`).
+    embed: f64,
+    /// Force sweep (`md.pair`).
+    pair: f64,
+    /// Ghost exchanges (`md.ghost`).
+    ghost: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ConfigResult {
+    name: &'static str,
+    parallel: bool,
+    fused: bool,
+    wall_s: f64,
+    atoms_steps_per_sec: f64,
+    speedup_vs_serial: f64,
+    phase_s: PhaseSeconds,
+}
+
+#[derive(Debug, Serialize)]
+struct MdstepReport {
+    box_cells: usize,
+    atoms: usize,
+    steps: usize,
+    warmup_steps: usize,
+    host_threads: usize,
+    host_cores: usize,
+    table_form: String,
+    configs: Vec<ConfigResult>,
+    speedup_fused_vs_serial: f64,
+    speedup_parallel_fused_vs_serial: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Sums `total_s` over every span path whose leaf segment is `leaf`
+/// (spans nest, e.g. `md.step/md.force/md.density`).
+fn phase_total(reports: &[mmds_telemetry::SpanReport], leaf: &str) -> f64 {
+    reports
+        .iter()
+        .filter(|r| r.path == leaf || r.path.ends_with(&format!("/{leaf}")))
+        .map(|r| r.total_s)
+        .sum()
+}
+
+fn build_sim(cells: usize, pass_config: PassConfig) -> MdSimulation {
+    let cfg = MdConfig {
+        temperature: 600.0,
+        ..Default::default()
+    };
+    let mut sim = MdSimulation::single_box(cfg, cells);
+    sim.pass_config = pass_config;
+    sim.init_velocities();
+    sim
+}
+
+fn run_config(
+    name: &'static str,
+    pass_config: PassConfig,
+    cells: usize,
+    warmup: usize,
+    steps: usize,
+) -> (f64, usize, PhaseSeconds) {
+    let mut sim = build_sim(cells, pass_config);
+    let atoms = sim.n_atoms();
+    for _ in 0..warmup {
+        sim.step(&mut Loopback);
+    }
+    let tel = mmds_telemetry::global();
+    tel.reset();
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        sim.step(&mut Loopback);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let reports = tel.span_reports();
+    let phases = PhaseSeconds {
+        density: phase_total(&reports, "md.density"),
+        embed: phase_total(&reports, "md.embed"),
+        pair: phase_total(&reports, "md.pair"),
+        ghost: phase_total(&reports, "md.ghost"),
+    };
+    println!(
+        "{name:>16}: {wall:.3} s  ({:.0} atom-steps/s)  [density {:.3} embed {:.3} pair {:.3} ghost {:.3}]",
+        (atoms * steps) as f64 / wall,
+        phases.density,
+        phases.embed,
+        phases.pair,
+        phases.ghost,
+    );
+    (wall, atoms, phases)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cells = env_usize("MMDS_MDSTEP_CELLS", if smoke { 4 } else { 8 });
+    let steps = env_usize("MMDS_MDSTEP_STEPS", if smoke { 3 } else { 10 });
+    let warmup = if smoke { 1 } else { 2 };
+    header("mdstep: MD hot-path baseline (serial/parallel × separate/fused lookups)");
+    // Summary mode records spans without a JSONL sink; per-config
+    // resets isolate each configuration's phase totals.
+    mmds_telemetry::set_mode(Mode::Summary);
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let host_threads = env_usize("RAYON_NUM_THREADS", host_cores);
+
+    let matrix: [(&'static str, PassConfig); 4] = [
+        ("serial", PassConfig::seed_serial()),
+        (
+            "serial+fused",
+            PassConfig {
+                parallel: false,
+                fused: true,
+            },
+        ),
+        (
+            "parallel",
+            PassConfig {
+                parallel: true,
+                fused: false,
+            },
+        ),
+        ("parallel+fused", PassConfig::default()),
+    ];
+
+    let mut configs = Vec::new();
+    let mut serial_wall = 0.0;
+    let mut atoms = 0;
+    for (name, pc) in matrix {
+        let (wall, n, phases) = run_config(name, pc, cells, warmup, steps);
+        atoms = n;
+        if name == "serial" {
+            serial_wall = wall;
+        }
+        configs.push(ConfigResult {
+            name,
+            parallel: pc.parallel,
+            fused: pc.fused,
+            wall_s: wall,
+            atoms_steps_per_sec: (n * steps) as f64 / wall,
+            speedup_vs_serial: serial_wall / wall,
+            phase_s: phases,
+        });
+    }
+
+    let speedup_fused = configs[0].wall_s / configs[1].wall_s;
+    let speedup_pf = configs[0].wall_s / configs[3].wall_s;
+    println!();
+    println!("fused vs serial:          {speedup_fused:.2}x");
+    println!(
+        "parallel+fused vs serial: {speedup_pf:.2}x  ({host_threads} threads, {host_cores} cores)"
+    );
+
+    let report = MdstepReport {
+        box_cells: cells,
+        atoms,
+        steps,
+        warmup_steps: warmup,
+        host_threads,
+        host_cores,
+        table_form: "Compacted".to_string(),
+        configs,
+        speedup_fused_vs_serial: speedup_fused,
+        speedup_parallel_fused_vs_serial: speedup_pf,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_mdstep.json", json + "\n").expect("write BENCH_mdstep.json");
+    println!("\n[artefact] BENCH_mdstep.json");
+}

@@ -105,6 +105,25 @@ impl AlloyEam {
             .1
     }
 
+    /// Fused φ/f lookup for the species pair `(a, b)`:
+    /// `(φ(r), φ'(r), f(r), f'(r))` from ONE segment locate — the pair
+    /// and density tables of a species pair are sampled on the same
+    /// knot grid. Bit-identical to evaluating the two tables
+    /// separately via [`AlloyEam::table`].
+    #[inline]
+    pub fn pair_density(&self, a: Species, b: Species, r: f64) -> (f64, f64, f64, f64) {
+        let pair = self.table(AlloyTableId::Pair(a, b));
+        let density = self.table(AlloyTableId::Density(a, b));
+        pair.eval2(density, r)
+    }
+
+    /// Embedding `F(ρ)` and `F'(ρ)` of species `s` (single-locate by
+    /// construction — one table).
+    #[inline]
+    pub fn embed(&self, s: Species, rho: f64) -> (f64, f64) {
+        self.table(AlloyTableId::Embed(s)).eval_both(rho)
+    }
+
     /// Relative access frequency of a table given the species
     /// concentrations (pair/density tables are hit proportionally to the
     /// product of their species' concentrations; embedding once per atom

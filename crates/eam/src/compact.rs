@@ -21,8 +21,41 @@ use serde::{Deserialize, Serialize};
 /// Extra scalar flops per table access paid for on-the-fly coefficient
 /// reconstruction (5-point stencil ×2 knots + Hermite combination),
 /// compared with [`crate::spline::TraditionalTable`] direct evaluation.
-/// Used by the CPE cost accounting.
+/// Used by the CPE cost accounting. A *fused* two-table lookup
+/// ([`CompactTable::eval2`]) pays this once per table but the segment
+/// locate ([`crate::LOCATE_FLOPS`]) only once.
 pub const RECON_EXTRA_FLOPS: u64 = 28;
+
+/// Cubic Hermite basis values at local coordinate `t ∈ [0,1]`:
+/// `[h00, h10, h01, h11, dh00, dh10, dh01, dh11]` — the value basis and
+/// its derivative basis. Computing these once is what a fused
+/// two-table lookup shares besides the locate.
+#[inline]
+fn hermite_basis(t: f64) -> [f64; 8] {
+    let t2 = t * t;
+    let t3 = t2 * t;
+    [
+        2.0 * t3 - 3.0 * t2 + 1.0,
+        t3 - 2.0 * t2 + t,
+        -2.0 * t3 + 3.0 * t2,
+        t3 - t2,
+        6.0 * t2 - 6.0 * t,
+        3.0 * t2 - 4.0 * t + 1.0,
+        -6.0 * t2 + 6.0 * t,
+        3.0 * t2 - 2.0 * t,
+    ]
+}
+
+/// Segment index and local coordinate for `x` on a knot grid of
+/// `n` values starting at `x0` with spacing `dx` (clamped to range).
+#[inline]
+fn locate_on(n: usize, x0: f64, dx: f64, x: f64) -> (usize, f64) {
+    let u = ((x - x0) / dx).max(0.0);
+    let max_seg = n - 2;
+    let i = (u as usize).min(max_seg);
+    let t = (u - i as f64).clamp(0.0, 1.0);
+    (i, t)
+}
 
 /// A compacted table: sample values only.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -83,11 +116,22 @@ impl CompactTable {
     /// Segment index and local coordinate for `x` (clamped to range).
     #[inline]
     pub fn locate(&self, x: f64) -> (usize, f64) {
-        let u = ((x - self.x0) / self.dx).max(0.0);
-        let max_seg = self.values.len() - 2;
-        let i = (u as usize).min(max_seg);
-        let t = (u - i as f64).clamp(0.0, 1.0);
-        (i, t)
+        locate_on(self.values.len(), self.x0, self.dx, x)
+    }
+
+    /// Value and derivative of the segment `(i, t)` of `values`, given
+    /// a precomputed Hermite basis (reconstruction happens here: two
+    /// 5-point knot-derivative stencils per table).
+    #[inline]
+    fn eval_segment(values: &[f64], i: usize, t_basis: &[f64; 8], dx: f64) -> (f64, f64) {
+        let y0 = values[i];
+        let y1 = values[i + 1];
+        let d0 = Self::knot_deriv(values, i, dx) * dx;
+        let d1 = Self::knot_deriv(values, i + 1, dx) * dx;
+        let [h00, h10, h01, h11, dh00, dh10, dh01, dh11] = *t_basis;
+        let value = h00 * y0 + h10 * d0 + h01 * y1 + h11 * d1;
+        let deriv = (dh00 * y0 + dh10 * d0 + dh01 * y1 + dh11 * d1) / dx;
+        (value, deriv)
     }
 
     /// Value and derivative at `x`, reconstructed on the fly. This is
@@ -95,28 +139,34 @@ impl CompactTable {
     /// live either in local store or main memory.
     #[inline]
     pub fn eval_slice(values: &[f64], x0: f64, dx: f64, x: f64) -> (f64, f64) {
-        let u = ((x - x0) / dx).max(0.0);
-        let max_seg = values.len() - 2;
-        let i = (u as usize).min(max_seg);
-        let t = (u - i as f64).clamp(0.0, 1.0);
-        let y0 = values[i];
-        let y1 = values[i + 1];
-        let d0 = Self::knot_deriv(values, i, dx) * dx;
-        let d1 = Self::knot_deriv(values, i + 1, dx) * dx;
-        // Cubic Hermite on [0,1].
-        let t2 = t * t;
-        let t3 = t2 * t;
-        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
-        let h10 = t3 - 2.0 * t2 + t;
-        let h01 = -2.0 * t3 + 3.0 * t2;
-        let h11 = t3 - t2;
-        let value = h00 * y0 + h10 * d0 + h01 * y1 + h11 * d1;
-        let dh00 = 6.0 * t2 - 6.0 * t;
-        let dh10 = 3.0 * t2 - 4.0 * t + 1.0;
-        let dh01 = -6.0 * t2 + 6.0 * t;
-        let dh11 = 3.0 * t2 - 2.0 * t;
-        let deriv = (dh00 * y0 + dh10 * d0 + dh01 * y1 + dh11 * d1) / dx;
-        (value, deriv)
+        let (i, t) = locate_on(values.len(), x0, dx, x);
+        let basis = hermite_basis(t);
+        Self::eval_segment(values, i, &basis, dx)
+    }
+
+    /// Fused two-table lookup against **slices**: ONE segment locate and
+    /// one Hermite basis serve both `a` and `b`, which must be sampled
+    /// on the same knot grid (`x0`, `dx`, length). Returns
+    /// `(a(x), a'(x), b(x), b'(x))`, bit-identical to two separate
+    /// [`CompactTable::eval_slice`] calls.
+    #[inline]
+    pub fn eval2_slice(a: &[f64], b: &[f64], x0: f64, dx: f64, x: f64) -> (f64, f64, f64, f64) {
+        debug_assert_eq!(a.len(), b.len(), "fused tables must share the knot grid");
+        let (i, t) = locate_on(a.len(), x0, dx, x);
+        let basis = hermite_basis(t);
+        let (va, da) = Self::eval_segment(a, i, &basis, dx);
+        let (vb, db) = Self::eval_segment(b, i, &basis, dx);
+        (va, da, vb, db)
+    }
+
+    /// Fused owned-table lookup: `(self(x), self'(x), other(x),
+    /// other'(x))` from a single locate. `other` must share this
+    /// table's knot grid (the r-indexed pair and density tables do).
+    #[inline]
+    pub fn eval2(&self, other: &CompactTable, x: f64) -> (f64, f64, f64, f64) {
+        debug_assert_eq!(self.x0, other.x0, "fused tables must share x0");
+        debug_assert_eq!(self.dx, other.dx, "fused tables must share dx");
+        Self::eval2_slice(&self.values, &other.values, self.x0, self.dx, x)
     }
 
     /// Value and derivative at `x` from this owned table.
@@ -201,6 +251,24 @@ mod tests {
         let t = CompactTable::build(|x| x, 1.0, 2.0, 64);
         assert!((t.eval(0.5) - 1.0).abs() < 1e-9);
         assert!((t.eval(3.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_eval2_is_bitwise_two_lookups() {
+        let fa = |x: f64| (1.1 * x).sin() + 0.2 * x;
+        let fb = |x: f64| (-0.3 * x).exp() * x;
+        let a = CompactTable::build(fa, 1.0, 5.0, 777);
+        let b = CompactTable::build(fb, 1.0, 5.0, 777);
+        for i in 0..400 {
+            let x = 0.8 + i as f64 * 0.0115; // includes the clamp regions
+            let (va, da, vb, db) = a.eval2(&b, x);
+            let (va1, da1) = a.eval_both(x);
+            let (vb1, db1) = b.eval_both(x);
+            assert_eq!(va, va1, "fused value a at {x}");
+            assert_eq!(da, da1, "fused deriv a at {x}");
+            assert_eq!(vb, vb1, "fused value b at {x}");
+            assert_eq!(db, db1, "fused deriv b at {x}");
+        }
     }
 
     #[test]

@@ -41,3 +41,15 @@ pub use analytic::{AnalyticEam, Species};
 pub use compact::CompactTable;
 pub use potential::{EamPotential, TableForm};
 pub use spline::TraditionalTable;
+
+/// Scalar flops of one table segment locate (offset, scale, floor,
+/// clamp). Both table forms pay it per lookup; a fused two-table
+/// access ([`CompactTable::eval2`], [`TraditionalTable::eval2`]) pays
+/// it once for the pair. Used by the CPE cost accounting.
+pub const LOCATE_FLOPS: u64 = 4;
+
+/// Scalar flops of evaluating one located cubic segment (value +
+/// derivative), excluding the locate and any compacted-table
+/// reconstruction. `LOCATE_FLOPS + SEG_EVAL_FLOPS` matches the cost
+/// previously charged per traditional-table access.
+pub const SEG_EVAL_FLOPS: u64 = 8;

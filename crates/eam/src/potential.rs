@@ -108,12 +108,29 @@ impl EamPotential {
         }
     }
 
-    /// F(ρ) and F'(ρ) via the chosen table form.
+    /// F(ρ) and F'(ρ) via the chosen table form. Already a fused
+    /// single-locate access: one locate yields both the value and the
+    /// derivative of the embedding table.
     #[inline]
     pub fn embed(&self, form: TableForm, rho: f64) -> (f64, f64) {
         match form {
             TableForm::Traditional => self.trad_embed.eval_both(rho),
             TableForm::Compacted => self.comp_embed.eval_both(rho),
+        }
+    }
+
+    /// Fused φ/f lookup: `(φ(r), φ'(r), f(r), f'(r))` from **one**
+    /// segment locate (and, in compacted form, one shared Hermite
+    /// basis) serving both r-indexed tables — the pair and density
+    /// tables are sampled on the same knot grid, so the force pass
+    /// never needs the two independent locates the separate
+    /// [`EamPotential::pair`] + [`EamPotential::density`] calls pay.
+    /// Results are bit-identical to the separate calls.
+    #[inline]
+    pub fn pair_density(&self, form: TableForm, r: f64) -> (f64, f64, f64, f64) {
+        match form {
+            TableForm::Traditional => self.trad_pair.eval2(&self.trad_density, r),
+            TableForm::Compacted => self.comp_pair.eval2(&self.comp_density, r),
         }
     }
 

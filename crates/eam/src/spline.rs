@@ -117,6 +117,28 @@ impl TraditionalTable {
         )
     }
 
+    /// Fused two-table lookup: ONE segment locate serves both this
+    /// table and `other`, which must be sampled on the same knot grid.
+    /// Returns `(self(x), self'(x), other(x), other'(x))`, bit-identical
+    /// to two separate [`TraditionalTable::eval_both`] calls. On a CPE
+    /// this still costs one coefficient-row gather per table, but only
+    /// one locate.
+    #[inline]
+    pub fn eval2(&self, other: &Self, x: f64) -> (f64, f64, f64, f64) {
+        debug_assert_eq!(self.x0, other.x0, "fused tables must share x0");
+        debug_assert_eq!(self.dx, other.dx, "fused tables must share dx");
+        debug_assert_eq!(self.coeff.len(), other.coeff.len());
+        let (i, t) = self.locate(x);
+        let c = &self.coeff[i];
+        let d = &other.coeff[i];
+        (
+            ((c[3] * t + c[4]) * t + c[5]) * t + c[6],
+            (c[0] * t + c[1]) * t + c[2],
+            ((d[3] * t + d[4]) * t + d[5]) * t + d[6],
+            (d[0] * t + d[1]) * t + d[2],
+        )
+    }
+
     /// Bytes of one coefficient row — the per-access DMA payload when the
     /// table cannot be resident (7 × f64).
     pub const ROW_BYTES: usize = 7 * 8;
@@ -201,6 +223,18 @@ mod tests {
         for i in 0..64 {
             let x = t.x0 + i as f64 * t.dx;
             assert!((t.eval(x) - f(x)).abs() < 1e-10, "knot {i}");
+        }
+    }
+
+    #[test]
+    fn fused_eval2_is_bitwise_two_lookups() {
+        let a = TraditionalTable::build(|x| (0.9 * x).cos(), 1.0, 5.0, 600);
+        let b = TraditionalTable::build(|x| x * x - 3.0, 1.0, 5.0, 600);
+        for i in 0..300 {
+            let x = 0.7 + i as f64 * 0.016;
+            let (va, da, vb, db) = a.eval2(&b, x);
+            assert_eq!((va, da), a.eval_both(x), "table a at {x}");
+            assert_eq!((vb, db), b.eval_both(x), "table b at {x}");
         }
     }
 

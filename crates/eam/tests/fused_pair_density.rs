@@ -1,0 +1,67 @@
+//! Property tests for the fused single-locate `pair_density` lookup:
+//! for every radius and both table forms it must reproduce the two
+//! separate lookups, because it replays their exact operation order
+//! from one shared segment locate.
+
+use std::sync::OnceLock;
+
+use mmds_eam::alloy::AlloyEam;
+use mmds_eam::analytic::Species;
+use mmds_eam::{EamPotential, TableForm};
+use proptest::prelude::*;
+
+/// Paper-sized Fe potential, built once (5000-knot tables are ~40 ms).
+fn pot() -> &'static EamPotential {
+    static POT: OnceLock<EamPotential> = OnceLock::new();
+    POT.get_or_init(|| EamPotential::new(Species::Fe, 5000))
+}
+
+/// Fe–Cu alloy table set, built once.
+fn alloy() -> &'static AlloyEam {
+    static ALLOY: OnceLock<AlloyEam> = OnceLock::new();
+    ALLOY.get_or_init(|| AlloyEam::fe_cu(0.05, 3000))
+}
+
+const SPECIES_PAIRS: [(Species, Species); 4] = [
+    (Species::Fe, Species::Fe),
+    (Species::Cu, Species::Cu),
+    (Species::Fe, Species::Cu),
+    (Species::Cu, Species::Fe),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fused = separate for both table forms, across the table domain
+    /// and a margin beyond it (clamping included).
+    #[test]
+    fn fused_matches_separate_lookups(r in 0.8f64..6.0) {
+        let p = pot();
+        for form in [TableForm::Traditional, TableForm::Compacted] {
+            let (phi_f, dphi_f, f_f, df_f) = p.pair_density(form, r);
+            let (phi, dphi) = p.pair(form, r);
+            let (f, df) = p.density(form, r);
+            prop_assert!((phi_f - phi).abs() <= 1e-12, "{form:?} phi at r={r}");
+            prop_assert!((dphi_f - dphi).abs() <= 1e-12, "{form:?} dphi at r={r}");
+            prop_assert!((f_f - f).abs() <= 1e-12, "{form:?} f at r={r}");
+            prop_assert!((df_f - df).abs() <= 1e-12, "{form:?} df at r={r}");
+        }
+    }
+
+    /// The alloy fused lookup matches its per-table path for every
+    /// species pairing (including the canonicalised Cu–Fe order).
+    #[test]
+    fn alloy_fused_matches_tables(r in 0.8f64..6.0) {
+        use mmds_eam::alloy::AlloyTableId;
+        let a = alloy();
+        for (s1, s2) in SPECIES_PAIRS {
+            let (phi_f, dphi_f, f_f, df_f) = a.pair_density(s1, s2, r);
+            let (phi, dphi) = a.table(AlloyTableId::Pair(s1, s2)).eval_both(r);
+            let (f, df) = a.table(AlloyTableId::Density(s1, s2)).eval_both(r);
+            prop_assert!((phi_f - phi).abs() <= 1e-12, "{s1:?}-{s2:?} phi at r={r}");
+            prop_assert!((dphi_f - dphi).abs() <= 1e-12, "{s1:?}-{s2:?} dphi at r={r}");
+            prop_assert!((f_f - f).abs() <= 1e-12, "{s1:?}-{s2:?} f at r={r}");
+            prop_assert!((df_f - df).abs() <= 1e-12, "{s1:?}-{s2:?} df at r={r}");
+        }
+    }
+}

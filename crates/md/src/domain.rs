@@ -242,6 +242,16 @@ fn unpack_slab(
     assert!(u.is_exhausted(), "slab payload size mismatch");
 }
 
+/// Fills the ghost shell of a single-rank periodic box with this
+/// rank's own images: positions + run-away chains, then F' values.
+/// This is the one canonical "mirror" helper — force/offload tests and
+/// single-rank drivers should use it instead of hand-copying site data
+/// onto the ghost shell.
+pub fn fill_periodic_ghosts(l: &mut LatticeNeighborList) {
+    exchange_ghosts(l, &mut Loopback, GhostPhase::Positions);
+    exchange_ghosts(l, &mut Loopback, GhostPhase::Fp);
+}
+
 /// Runs one full ghost exchange (6 staged shifts).
 pub fn exchange_ghosts(l: &mut LatticeNeighborList, t: &mut impl Transport, phase: GhostPhase) {
     if phase == GhostPhase::Positions {

@@ -15,6 +15,68 @@
 
 use mmds_eam::{EamPotential, TableForm};
 use mmds_lattice::lnl::LatticeNeighborList;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Sites per parallel work unit. Chunking is fixed (not derived from
+/// the worker count), so the sweep decomposition — and therefore every
+/// result bit — is identical at any thread count.
+pub const PAR_CHUNK_SITES: usize = 256;
+
+/// How the host-side EAM passes execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassConfig {
+    /// Run the per-site sweeps as chunked multi-thread read-only maps
+    /// over the neighbor list, with ordered write-back. Results are
+    /// bitwise deterministic across thread counts: chunk boundaries are
+    /// fixed, per-site work reads shared state only, and write-back and
+    /// energy reduction happen in site order on the calling thread.
+    pub parallel: bool,
+    /// Use the fused single-locate [`EamPotential::pair_density`]
+    /// lookup in the force pass (one table locate per partner) instead
+    /// of independent `pair` + `density` calls (two locates).
+    pub fused: bool,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            fused: true,
+        }
+    }
+}
+
+impl PassConfig {
+    /// The pre-optimisation host path: serial sweeps, separate lookups.
+    pub fn seed_serial() -> Self {
+        Self {
+            parallel: false,
+            fused: false,
+        }
+    }
+}
+
+/// Maps `f` over `items`, either serially or as fixed-size chunks
+/// distributed over the thread pool. The output order always matches
+/// `items`, and each call of `f` is independent, so both strategies
+/// produce identical bits.
+fn chunked_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+where
+    T: Copy + Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if !parallel || items.len() <= PAR_CHUNK_SITES {
+        return items.iter().map(|&t| f(t)).collect();
+    }
+    let chunks: Vec<&[T]> = items.chunks(PAR_CHUNK_SITES).collect();
+    let mapped: Vec<Vec<R>> = chunks
+        .into_par_iter()
+        .map(|c| c.iter().map(|&t| f(t)).collect())
+        .collect();
+    mapped.into_iter().flatten().collect()
+}
 
 /// Identifies the atom at the centre of a neighbour sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,121 +176,174 @@ pub fn for_each_partner(
 }
 
 /// Pass 1: electron densities for owned atoms and owned run-aways.
+/// Defaults to the parallel, fused execution strategy.
 pub fn density_pass(
     l: &mut LatticeNeighborList,
     pot: &EamPotential,
     form: TableForm,
     interior: &[usize],
 ) {
+    density_pass_with(l, pot, form, interior, PassConfig::default());
+}
+
+/// Pass 1 with an explicit execution strategy: a read-only sweep over
+/// the neighbor list computing each central's ρ, then an ordered
+/// write-back (the gather-then-write staging the serial code already
+/// used, now safe to chunk across threads).
+pub fn density_pass_with(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    interior: &[usize],
+    cfg: PassConfig,
+) {
     let _span = mmds_telemetry::span!("md.density");
     let cutoff = pot.cutoff();
-    let mut site_rho = Vec::with_capacity(interior.len());
-    for &s in interior {
+    let site_rho = chunked_map(interior, cfg.parallel, |s| {
         if l.id[s] < 0 {
-            site_rho.push(0.0);
-            continue;
+            return 0.0;
         }
         let mut rho = 0.0;
         for_each_partner(l, Central::Site(s), cutoff, |p| {
             rho += pot.density(form, p.r).0;
         });
-        site_rho.push(rho);
-    }
+        rho
+    });
     for (&s, rho) in interior.iter().zip(site_rho) {
         l.rho[s] = rho;
     }
     let runaways = l.live_runaways();
-    let mut ra_rho = Vec::with_capacity(runaways.len());
-    for &i in &runaways {
+    let ra_rho = chunked_map(&runaways, cfg.parallel, |i| {
         let mut rho = 0.0;
         for_each_partner(l, Central::Runaway(i), cutoff, |p| {
             rho += pot.density(form, p.r).0;
         });
-        ra_rho.push(rho);
-    }
+        rho
+    });
     for (&i, rho) in runaways.iter().zip(ra_rho) {
         l.runaway_mut(i).rho = rho;
     }
 }
 
 /// Embedding pass: F'(ρ) for owned atoms/run-aways, returning Σ F(ρ).
+/// Defaults to the parallel execution strategy.
 pub fn embedding_pass(
     l: &mut LatticeNeighborList,
     pot: &EamPotential,
     form: TableForm,
     interior: &[usize],
 ) -> f64 {
+    embedding_pass_with(l, pot, form, interior, PassConfig::default())
+}
+
+/// Embedding pass with an explicit execution strategy. The Σ F(ρ)
+/// reduction runs in site order on the calling thread, so the energy is
+/// identical at any thread count.
+pub fn embedding_pass_with(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    interior: &[usize],
+    cfg: PassConfig,
+) -> f64 {
     let _span = mmds_telemetry::span!("md.embed");
-    let mut e = 0.0;
-    for &s in interior {
+    let site_embed = chunked_map(interior, cfg.parallel, |s| {
         if l.id[s] < 0 {
-            l.fp[s] = 0.0;
-            continue;
+            return (0.0, 0.0);
         }
-        let (f_val, f_der) = pot.embed(form, l.rho[s]);
+        pot.embed(form, l.rho[s])
+    });
+    let mut e = 0.0;
+    for (&s, (f_val, f_der)) in interior.iter().zip(site_embed) {
         e += f_val;
         l.fp[s] = f_der;
     }
-    for i in l.live_runaways() {
-        let rho = l.runaway(i).rho;
-        let (f_val, f_der) = pot.embed(form, rho);
+    let runaways = l.live_runaways();
+    let ra_embed = chunked_map(&runaways, cfg.parallel, |i| {
+        pot.embed(form, l.runaway(i).rho)
+    });
+    for (&i, (f_val, f_der)) in runaways.iter().zip(ra_embed) {
         e += f_val;
         l.runaway_mut(i).fp = f_der;
     }
     e
 }
 
+/// Accumulates one central's force and pair-energy contribution.
+#[inline]
+fn force_on_central(
+    l: &LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    central: Central,
+    cutoff: f64,
+    fp_c: f64,
+    fused: bool,
+) -> ([f64; 3], f64) {
+    let mut fv = [0.0; 3];
+    let mut pair_e = 0.0;
+    for_each_partner(l, central, cutoff, |p| {
+        let (phi, dphi, df) = if fused {
+            let (phi, dphi, _f, df) = pot.pair_density(form, p.r);
+            (phi, dphi, df)
+        } else {
+            let (phi, dphi) = pot.pair(form, p.r);
+            let (_, df) = pot.density(form, p.r);
+            (phi, dphi, df)
+        };
+        pair_e += 0.5 * phi;
+        let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
+        for ax in 0..3 {
+            fv[ax] += scale * p.dx[ax];
+        }
+    });
+    (fv, pair_e)
+}
+
 /// Pass 2: forces on owned atoms/run-aways, returning the pair energy.
 /// Ghost F' values must be current (exchange between the passes).
+/// Defaults to the parallel, fused execution strategy.
 pub fn force_pass(
     l: &mut LatticeNeighborList,
     pot: &EamPotential,
     form: TableForm,
     interior: &[usize],
 ) -> f64 {
+    force_pass_with(l, pot, form, interior, PassConfig::default())
+}
+
+/// Pass 2 with an explicit execution strategy. Each central's force and
+/// pair-energy contribution are computed in a read-only sweep; the
+/// write-back and the ½Σφ reduction run in site order on the calling
+/// thread, keeping both bitwise deterministic across thread counts.
+pub fn force_pass_with(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    interior: &[usize],
+    cfg: PassConfig,
+) -> f64 {
     let _span = mmds_telemetry::span!("md.pair");
     let cutoff = pot.cutoff();
-    let mut pair_energy = 0.0;
-    let mut site_force = Vec::with_capacity(interior.len());
-    for &s in interior {
+    let site_force = chunked_map(interior, cfg.parallel, |s| {
         if l.id[s] < 0 {
-            site_force.push([0.0; 3]);
-            continue;
+            return ([0.0; 3], 0.0);
         }
-        let fp_c = l.fp[s];
-        let mut fv = [0.0; 3];
-        for_each_partner(l, Central::Site(s), cutoff, |p| {
-            let (phi, dphi) = pot.pair(form, p.r);
-            let (_, df) = pot.density(form, p.r);
-            pair_energy += 0.5 * phi;
-            let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
-            for ax in 0..3 {
-                fv[ax] += scale * p.dx[ax];
-            }
-        });
-        site_force.push(fv);
-    }
-    for (&s, fv) in interior.iter().zip(site_force) {
+        force_on_central(l, pot, form, Central::Site(s), cutoff, l.fp[s], cfg.fused)
+    });
+    let mut pair_energy = 0.0;
+    for (&s, (fv, pe)) in interior.iter().zip(site_force) {
         l.force[s] = fv;
+        pair_energy += pe;
     }
     let runaways = l.live_runaways();
-    let mut ra_force = Vec::with_capacity(runaways.len());
-    for &i in &runaways {
+    let ra_force = chunked_map(&runaways, cfg.parallel, |i| {
         let fp_c = l.runaway(i).fp;
-        let mut fv = [0.0; 3];
-        for_each_partner(l, Central::Runaway(i), cutoff, |p| {
-            let (phi, dphi) = pot.pair(form, p.r);
-            let (_, df) = pot.density(form, p.r);
-            pair_energy += 0.5 * phi;
-            let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
-            for ax in 0..3 {
-                fv[ax] += scale * p.dx[ax];
-            }
-        });
-        ra_force.push(fv);
-    }
-    for (&i, fv) in runaways.iter().zip(ra_force) {
+        force_on_central(l, pot, form, Central::Runaway(i), cutoff, fp_c, cfg.fused)
+    });
+    for (&i, (fv, pe)) in runaways.iter().zip(ra_force) {
         l.runaway_mut(i).force = fv;
+        pair_energy += pe;
     }
     pair_energy
 }
@@ -248,43 +363,13 @@ mod tests {
         (l, pot, interior)
     }
 
-    /// Copies interior data onto the ghost shell (single-rank periodic
-    /// images) — duplicated tiny helper; the real one lives in `domain`.
-    fn mirror(l: &mut LatticeNeighborList) {
-        let d = l.grid.dims();
-        for k in 0..d[2] {
-            for j in 0..d[1] {
-                for i in 0..d[0] {
-                    if l.grid.is_interior(i, j, k) {
-                        continue;
-                    }
-                    let g = l.grid.global_cell(i, j, k);
-                    let gh = l.grid.ghost;
-                    let (si, sj, sk) = (g[0] + gh, g[1] + gh, g[2] + gh);
-                    for b in 0..2 {
-                        let dst = l.grid.site_id(i, j, k, b);
-                        let src = l.grid.site_id(si, sj, sk, b);
-                        let off = {
-                            let a = l.grid.site_position(i, j, k, b);
-                            let c = l.grid.site_position(si, sj, sk, b);
-                            [a[0] - c[0], a[1] - c[1], a[2] - c[2]]
-                        };
-                        l.id[dst] = l.id[src];
-                        let sp = l.pos[src];
-                        l.pos[dst] = [sp[0] + off[0], sp[1] + off[1], sp[2] + off[2]];
-                        l.rho[dst] = l.rho[src];
-                        l.fp[dst] = l.fp[src];
-                    }
-                }
-            }
-        }
-    }
+    use crate::domain::fill_periodic_ghosts;
 
     fn eval(l: &mut LatticeNeighborList, pot: &EamPotential, interior: &[usize]) -> EnergySample {
-        mirror(l);
+        fill_periodic_ghosts(l);
         density_pass(l, pot, TableForm::Compacted, interior);
         let embed = embedding_pass(l, pot, TableForm::Compacted, interior);
-        mirror(l);
+        fill_periodic_ghosts(l);
         let pair = force_pass(l, pot, TableForm::Compacted, interior);
         EnergySample { pair, embed }
     }
@@ -397,11 +482,35 @@ mod tests {
     }
 
     #[test]
+    fn serial_unfused_and_parallel_fused_agree_bitwise() {
+        // The old (seed) path — serial sweeps, separate pair/density
+        // lookups — and the new default — chunked parallel sweeps,
+        // fused single-locate lookup — must produce identical bits.
+        let run = |cfg: PassConfig| {
+            let (mut l, pot, interior) = setup(5);
+            let s = l.grid.site_id(4, 4, 4, 0);
+            l.pos[s] = [l.pos[s][0] + 0.21, l.pos[s][1] - 0.13, l.pos[s][2] + 0.07];
+            fill_periodic_ghosts(&mut l);
+            density_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            let e = embedding_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            fill_periodic_ghosts(&mut l);
+            let pair = force_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            (l.rho, l.force, e, pair)
+        };
+        let old = run(PassConfig::seed_serial());
+        let new = run(PassConfig::default());
+        assert_eq!(old.0, new.0, "rho arrays differ");
+        assert_eq!(old.1, new.1, "force arrays differ");
+        assert_eq!(old.2, new.2, "embedding energy differs");
+        assert_eq!(old.3, new.3, "pair energy differs");
+    }
+
+    #[test]
     fn table_forms_agree() {
         let (mut l, pot, interior) = setup(4);
         let s = l.grid.site_id(3, 3, 3, 0);
         l.pos[s][0] += 0.2;
-        mirror(&mut l);
+        fill_periodic_ghosts(&mut l);
         density_pass(&mut l, &pot, TableForm::Compacted, &interior);
         let rho_c = l.rho[s];
         density_pass(&mut l, &pot, TableForm::Traditional, &interior);

@@ -13,7 +13,11 @@
 //! In compacted mode the three tables "are accessed sequentially"
 //! (paper): the force computation runs as two one-table-resident sweeps
 //! (pair sweep, then density-gradient sweep), because two 39 KiB tables
-//! plus block buffers cannot coexist in the 64 KB local store.
+//! plus block buffers cannot coexist in the 64 KB local store. The
+//! traditional force sweep instead evaluates pair and density in one
+//! fused lookup — the tables share a knot grid, so one segment locate
+//! serves both rows ([`EamPotential::pair_density`] on the host,
+//! `charge_table_access(LOCATE, SEG_EVAL, 2)` here).
 //!
 //! The three optimisation axes of Fig. 9:
 //! * [`mmds_eam::TableForm`]: `Traditional` gathers one 56 B coefficient
@@ -28,7 +32,7 @@ use std::collections::HashSet;
 
 use mmds_eam::compact::{CompactTable, RECON_EXTRA_FLOPS};
 use mmds_eam::spline::TraditionalTable;
-use mmds_eam::{EamPotential, TableForm};
+use mmds_eam::{EamPotential, TableForm, LOCATE_FLOPS, SEG_EVAL_FLOPS};
 use mmds_lattice::lnl::LatticeNeighborList;
 use mmds_sunway::{ClusterReport, CpeCluster, CpeCtx};
 use serde::{Deserialize, Serialize};
@@ -37,8 +41,6 @@ use crate::force::{for_each_partner, Central};
 
 /// Flops charged for computing one pair separation (r², √).
 const R_FLOPS: u64 = 18;
-/// Flops for evaluating one cubic segment (value + derivative).
-const EVAL_FLOPS: u64 = 12;
 /// Per-atom bookkeeping flops.
 const ATOM_FLOPS: u64 = 6;
 
@@ -234,22 +236,28 @@ fn slab_kernel(
                     Pass::Density => {
                         let f_r = match &resident {
                             Some((buf, x0, dx)) => {
-                                ctx.charge_flops(EVAL_FLOPS + RECON_EXTRA_FLOPS);
+                                ctx.charge_table_access(
+                                    LOCATE_FLOPS,
+                                    SEG_EVAL_FLOPS + RECON_EXTRA_FLOPS,
+                                    1,
+                                );
                                 CompactTable::eval_slice(buf, *x0, *dx, p.r).0
                             }
                             None => {
                                 ctx.charge_dma_gather(TraditionalTable::ROW_BYTES);
-                                ctx.charge_flops(EVAL_FLOPS);
+                                ctx.charge_table_access(LOCATE_FLOPS, SEG_EVAL_FLOPS, 1);
                                 pot.trad_density.eval(p.r)
                             }
                         };
                         rho += f_r;
                     }
                     Pass::ForceBoth => {
+                        // Fused lookup: the pair and density rows are
+                        // still two gathers, but ONE locate serves both
+                        // segment evaluations (host parity).
                         ctx.charge_dma_gather(2 * TraditionalTable::ROW_BYTES);
-                        ctx.charge_flops(2 * EVAL_FLOPS);
-                        let (phi, dphi) = pot.trad_pair.eval_both(p.r);
-                        let (_, df) = pot.trad_density.eval_both(p.r);
+                        ctx.charge_table_access(LOCATE_FLOPS, SEG_EVAL_FLOPS, 2);
+                        let (phi, dphi, _, df) = pot.trad_pair.eval2(&pot.trad_density, p.r);
                         pair_e += 0.5 * phi;
                         let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
                         for ax in 0..3 {
@@ -258,7 +266,11 @@ fn slab_kernel(
                     }
                     Pass::ForcePair => {
                         let (buf, x0, dx) = resident.as_ref().expect("pair table resident");
-                        ctx.charge_flops(EVAL_FLOPS + RECON_EXTRA_FLOPS);
+                        ctx.charge_table_access(
+                            LOCATE_FLOPS,
+                            SEG_EVAL_FLOPS + RECON_EXTRA_FLOPS,
+                            1,
+                        );
                         let (phi, dphi) = CompactTable::eval_slice(buf, *x0, *dx, p.r);
                         pair_e += 0.5 * phi;
                         let scale = -dphi / p.r;
@@ -268,7 +280,11 @@ fn slab_kernel(
                     }
                     Pass::ForceDensity => {
                         let (buf, x0, dx) = resident.as_ref().expect("density table resident");
-                        ctx.charge_flops(EVAL_FLOPS + RECON_EXTRA_FLOPS);
+                        ctx.charge_table_access(
+                            LOCATE_FLOPS,
+                            SEG_EVAL_FLOPS + RECON_EXTRA_FLOPS,
+                            1,
+                        );
                         let (_, df) = CompactTable::eval_slice(buf, *x0, *dx, p.r);
                         let scale = -((fp_c + p.fp) * df) / p.r;
                         for ax in 0..3 {
@@ -460,8 +476,7 @@ pub fn offload_compute_forces(
         let fp_c = l.runaway(i).fp;
         let mut fv = [0.0; 3];
         for_each_partner(l, Central::Runaway(i), cutoff, |p| {
-            let (phi, dphi) = pot.pair(cfg.form, p.r);
-            let (_, df) = pot.density(cfg.form, p.r);
+            let (phi, dphi, _, df) = pot.pair_density(cfg.form, p.r);
             pair_energy += 0.5 * phi;
             let scale = -(dphi + (fp_c + p.fp) * df) / p.r;
             for ax in 0..3 {

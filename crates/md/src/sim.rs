@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 use crate::config::MdConfig;
 use crate::defects::{count, DefectCount};
 use crate::domain::{exchange_ghosts, migrate_runaways, GhostPhase, Loopback, Transport};
-use crate::force::{density_pass, embedding_pass, force_pass, EnergySample};
+use crate::force::{
+    density_pass_with, embedding_pass_with, force_pass_with, EnergySample, PassConfig,
+};
 use crate::integrate::{drift, kick, kinetic_energy, maxwell_boltzmann, temperature};
 use crate::runaway::{apply_transitions, TransitionStats};
 use crate::thermostat::berendsen;
@@ -62,6 +64,9 @@ pub struct MdSimulation {
     pub interior: Vec<usize>,
     /// Which table machinery evaluates the potential.
     pub table_form: TableForm,
+    /// Host execution strategy for the EAM passes (parallel + fused by
+    /// default; benchmarks flip the flags to measure the seed path).
+    pub pass_config: PassConfig,
     /// Simulated time (ps).
     pub time_ps: f64,
     /// Accumulated transition statistics.
@@ -82,6 +87,7 @@ impl MdSimulation {
             lnl,
             interior,
             table_form: TableForm::Compacted,
+            pass_config: PassConfig::default(),
             time_ps: 0.0,
             transitions: TransitionStats::default(),
             forces_current: false,
@@ -126,13 +132,31 @@ impl MdSimulation {
             let _g = mmds_telemetry::span!("md.ghost");
             exchange_ghosts(&mut self.lnl, t, GhostPhase::Positions);
         }
-        density_pass(&mut self.lnl, &self.pot, self.table_form, &self.interior);
-        let embed = embedding_pass(&mut self.lnl, &self.pot, self.table_form, &self.interior);
+        density_pass_with(
+            &mut self.lnl,
+            &self.pot,
+            self.table_form,
+            &self.interior,
+            self.pass_config,
+        );
+        let embed = embedding_pass_with(
+            &mut self.lnl,
+            &self.pot,
+            self.table_form,
+            &self.interior,
+            self.pass_config,
+        );
         {
             let _g = mmds_telemetry::span!("md.ghost");
             exchange_ghosts(&mut self.lnl, t, GhostPhase::Fp);
         }
-        let pair = force_pass(&mut self.lnl, &self.pot, self.table_form, &self.interior);
+        let pair = force_pass_with(
+            &mut self.lnl,
+            &self.pot,
+            self.table_form,
+            &self.interior,
+            self.pass_config,
+        );
         self.forces_current = true;
         EnergySample { pair, embed }
     }

@@ -1,0 +1,88 @@
+//! The parallel EAM passes must be bitwise deterministic: identical
+//! ρ/force/energy at any worker-thread count, and identical to the
+//! seed's serial separate-lookup path.
+//!
+//! The sweeps rely on fixed-size chunking (independent of the thread
+//! count) plus ordered write-back on the calling thread, and the fused
+//! `pair_density` lookup replays the exact operation order of the two
+//! separate lookups — so every comparison below is `assert_eq`, not a
+//! tolerance.
+
+use mmds_md::domain::Loopback;
+use mmds_md::force::PassConfig;
+use mmds_md::{MdConfig, MdSimulation};
+
+/// A full bitwise state snapshot after a few MD steps.
+struct Snapshot {
+    rho: Vec<f64>,
+    force: Vec<[f64; 3]>,
+    pos: Vec<[f64; 3]>,
+    pair: f64,
+    embed: f64,
+}
+
+fn run(pass_config: PassConfig, steps: usize) -> Snapshot {
+    let cfg = MdConfig {
+        temperature: 700.0,
+        table_knots: 2000,
+        ..Default::default()
+    };
+    let mut sim = MdSimulation::single_box(cfg, 5);
+    sim.pass_config = pass_config;
+    sim.init_velocities();
+    // A displaced atom makes the force field strongly anisotropic.
+    let a = sim.lnl.grid.site_id(3, 3, 3, 0);
+    sim.lnl.pos[a][0] += 0.3;
+    let mut last = None;
+    for _ in 0..steps {
+        last = Some(sim.step(&mut Loopback));
+    }
+    let s = last.expect("at least one step");
+    Snapshot {
+        rho: sim.lnl.rho.clone(),
+        force: sim.lnl.force.clone(),
+        pos: sim.lnl.pos.clone(),
+        pair: s.pair,
+        embed: s.embed,
+    }
+}
+
+fn assert_bitwise(a: &Snapshot, b: &Snapshot, what: &str) {
+    assert_eq!(a.rho, b.rho, "{what}: rho");
+    assert_eq!(a.force, b.force, "{what}: force");
+    assert_eq!(a.pos, b.pos, "{what}: positions");
+    assert_eq!(a.pair.to_bits(), b.pair.to_bits(), "{what}: pair energy");
+    assert_eq!(a.embed.to_bits(), b.embed.to_bits(), "{what}: embed energy");
+}
+
+/// One test (not several) so the `RAYON_NUM_THREADS` sweep cannot race
+/// against itself under the parallel test harness.
+#[test]
+fn passes_are_bitwise_deterministic_across_thread_counts() {
+    let steps = 3;
+    let reference = run(PassConfig::default(), steps);
+
+    // Thread-count sweep: the shim honours RAYON_NUM_THREADS, so this
+    // exercises 1, 2, and 8 workers even on a single-core host.
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let got = run(PassConfig::default(), steps);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_bitwise(&reference, &got, &format!("{threads} threads"));
+    }
+
+    // The seed's serial separate-lookup path is the ground truth the
+    // whole matrix must reproduce exactly.
+    let seed = run(PassConfig::seed_serial(), steps);
+    assert_bitwise(&reference, &seed, "seed serial path");
+
+    // And the two mixed configurations agree too.
+    for (parallel, fused) in [(false, true), (true, false)] {
+        let got = run(PassConfig { parallel, fused }, steps);
+        assert_bitwise(
+            &reference,
+            &got,
+            &format!("parallel={parallel} fused={fused}"),
+        );
+    }
+}

@@ -116,6 +116,15 @@ impl CpeCtx {
         self.charge_compute_time(t);
     }
 
+    /// Charges one interpolation-table access: one segment locate plus
+    /// `segments` segment evaluations. A fused lookup evaluates several
+    /// tables sharing a knot grid from ONE locate, so passing
+    /// `segments > 1` amortises the locate cost — the accounting twin of
+    /// the host's fused `pair_density` path.
+    pub fn charge_table_access(&mut self, locate_flops: u64, seg_flops: u64, segments: u64) {
+        self.charge_flops(locate_flops + segments * seg_flops);
+    }
+
     /// DMA get: copies `src` (main memory) into `dst` (local store) and
     /// charges one transaction.
     pub fn dma_get_f64(&mut self, src: &[f64], dst: &mut LsVec<f64>) {

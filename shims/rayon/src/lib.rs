@@ -7,11 +7,19 @@
 //! contiguous chunks, one per available core, and results are
 //! reassembled in order, so `collect()` is deterministic.
 
-/// Number of worker threads used for a parallel call.
+/// Number of worker threads used for a parallel call. Like real rayon,
+/// `RAYON_NUM_THREADS` overrides the detected core count (useful for
+/// determinism tests that sweep thread counts on any machine).
 fn n_workers(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let cores = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
     cores.min(items).max(1)
 }
 
@@ -162,6 +170,17 @@ mod tests {
         let v = vec!["a", "b", "c"];
         let out: Vec<(usize, &str)> = v.into_par_iter().enumerate().collect();
         assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn thread_count_override_preserves_results() {
+        // 3 (not 1) so a concurrently running thread-count assertion in
+        // this binary cannot be starved by the override.
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        let v: Vec<u64> = (0..997).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 3 + 1).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0..997).map(|x| x * 3 + 1).collect::<Vec<u64>>());
     }
 
     #[test]
