@@ -1,0 +1,139 @@
+//! `mmds-inspect` — rank-resolved run inspector.
+//!
+//! ```text
+//! mmds-inspect summary <report.telemetry.json | trace.jsonl>
+//! mmds-inspect trace   <trace.jsonl> [-o out.perfetto.json]
+//! mmds-inspect diff    <baseline.json> <fresh.json> [--tolerance 0.15]
+//! ```
+//!
+//! * `summary` prints the per-phase imbalance table, comm-matrix
+//!   heatline (with pairwise symmetry verdict), critical-path
+//!   breakdown, and physics-health counters.
+//! * `trace` converts a JSONL event stream to Chrome `trace_event`
+//!   JSON for <https://ui.perfetto.dev>.
+//! * `diff` compares two artefacts. For bench artefacts
+//!   (`BENCH_mdstep.json`) it is the regression gate: exit code 1 when
+//!   any configuration's `atoms_steps_per_sec` drops by more than the
+//!   tolerance, a warning for smaller regressions. For telemetry
+//!   reports it prints a span-by-span comparison.
+
+use mmds_bench::inspect::{
+    diff_bench, diff_reports, load_bench, load_records, load_report, report_from_records, summary,
+    DEFAULT_TOLERANCE,
+};
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mmds-inspect: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mmds-inspect summary <report.telemetry.json | trace.jsonl>\n  \
+         mmds-inspect trace <trace.jsonl> [-o out.json]\n  \
+         mmds-inspect diff <baseline.json> <fresh.json> [--tolerance 0.15]"
+    );
+    std::process::exit(2);
+}
+
+fn cmd_summary(path: &str) {
+    let text = read(path);
+    let report = if path.ends_with(".jsonl") {
+        report_from_records(&load_records(&text))
+    } else {
+        match load_report(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mmds-inspect: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    print!("{}", summary(&report));
+}
+
+fn cmd_trace(path: &str, out: Option<&str>) {
+    let text = read(path);
+    let json = mmds_telemetry::perfetto::export_jsonl(&text);
+    match out {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &json) {
+                eprintln!("mmds-inspect: cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {out} — open it at https://ui.perfetto.dev");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_diff(base_path: &str, fresh_path: &str, tolerance: f64) -> i32 {
+    let base_text = read(base_path);
+    let fresh_text = read(fresh_path);
+    // Bench artefacts have a `configs` table; telemetry reports don't.
+    match (load_bench(&base_text), load_bench(&fresh_text)) {
+        (Ok(base), Ok(fresh)) => {
+            let (gate, text) = diff_bench(&base, &fresh, tolerance);
+            print!("{text}");
+            gate.exit_code()
+        }
+        _ => match (load_report(&base_text), load_report(&fresh_text)) {
+            (Ok(a), Ok(b)) => {
+                print!("{}", diff_reports(&a, &b));
+                0
+            }
+            _ => {
+                eprintln!(
+                    "mmds-inspect: {base_path} / {fresh_path} are neither bench artefacts \
+                     nor telemetry reports"
+                );
+                2
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("summary") => {
+            let Some(path) = args.get(1) else { usage() };
+            cmd_summary(path);
+            0
+        }
+        Some("trace") => {
+            let Some(path) = args.get(1) else { usage() };
+            let out = match args.get(2).map(String::as_str) {
+                Some("-o") => match args.get(3) {
+                    Some(o) => Some(o.as_str()),
+                    None => usage(),
+                },
+                Some(_) => usage(),
+                None => None,
+            };
+            cmd_trace(path, out);
+            0
+        }
+        Some("diff") => {
+            let (Some(base), Some(fresh)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let tolerance = match args.get(3).map(String::as_str) {
+                Some("--tolerance") => match args.get(4).and_then(|s| s.parse().ok()) {
+                    Some(t) => t,
+                    None => usage(),
+                },
+                Some(_) => usage(),
+                None => DEFAULT_TOLERANCE,
+            };
+            cmd_diff(base, fresh, tolerance)
+        }
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

@@ -141,8 +141,11 @@ fn main() {
     let warmup = if smoke { 1 } else { 2 };
     header("mdstep: MD hot-path baseline (serial/parallel × separate/fused lookups)");
     // Summary mode records spans without a JSONL sink; per-config
-    // resets isolate each configuration's phase totals.
-    mmds_telemetry::set_mode(Mode::Summary);
+    // resets isolate each configuration's phase totals. An explicit
+    // MMDS_TELEMETRY (e.g. jsonl: for the CI trace artefact) wins.
+    if mmds_telemetry::Mode::from_env() == Mode::Off {
+        mmds_telemetry::set_mode(Mode::Summary);
+    }
 
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -1,0 +1,527 @@
+//! Run-inspector logic behind the `mmds-inspect` binary.
+//!
+//! Loads a [`RunReport`] (`<stem>.telemetry.json`) or a raw JSONL
+//! trace, and renders the rank-resolved views the paper's evaluation
+//! leans on: per-phase load-imbalance, the pairwise communication
+//! matrix, and the critical-path breakdown. Also implements the bench
+//! regression gate that CI runs over `BENCH_mdstep.json`.
+
+use std::fmt::Write as _;
+
+use mmds_telemetry::{Event, PhaseImbalance, Record, RunReport, SpanReport};
+use serde::{Deserialize, Serialize};
+
+/// Default relative throughput loss tolerated by [`diff_bench`].
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Outcome of the bench regression gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// No configuration regressed.
+    Pass,
+    /// Some configuration regressed, within tolerance.
+    Warn,
+    /// At least one configuration regressed beyond tolerance.
+    Fail,
+}
+
+impl Gate {
+    /// Process exit code the CLI maps this outcome to.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Gate::Fail => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// Loads a [`RunReport`] from pretty or compact JSON.
+pub fn load_report(text: &str) -> Result<RunReport, String> {
+    serde_json::from_str(text).map_err(|e| format!("not a RunReport: {e}"))
+}
+
+/// Parses a JSONL trace (tolerating a torn final line).
+pub fn load_records(text: &str) -> Vec<Record> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Record::from_jsonl(l).ok())
+        .collect()
+}
+
+/// Reconstructs a [`RunReport`] from a JSONL record stream: span
+/// totals are re-accumulated from `SpanClose` events per (rank, path),
+/// samples from the MD/KMC events, named counters from counter events.
+/// Comm stats are not in the stream, so `ranks[*].comm` stays empty.
+pub fn report_from_records(records: &[Record]) -> RunReport {
+    use std::collections::HashMap;
+    let mut acc: HashMap<(Option<u32>, String), (u64, u64)> = HashMap::new();
+    let registry = mmds_telemetry::CounterRegistry::default();
+    for r in records {
+        match &r.event {
+            Event::SpanClose { path, dur_ns } => {
+                let e = acc.entry((r.rank, path.clone())).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += dur_ns;
+            }
+            Event::Md(s) => registry.push_md(*s),
+            Event::Kmc(s) => registry.push_kmc(*s),
+            Event::Counter { name, value } => registry.add_named(name, *value),
+            Event::SpanOpen { .. } => {}
+        }
+    }
+    // Without open/close pairing we cannot attribute child time, so
+    // self time is left equal to total (the imbalance views only use
+    // totals).
+    let rank_spans: Vec<(Option<u32>, SpanReport)> = acc
+        .into_iter()
+        .map(|((rank, path), (count, total_ns))| {
+            (
+                rank,
+                SpanReport {
+                    path,
+                    count,
+                    total_s: total_ns as f64 * 1e-9,
+                    self_s: total_ns as f64 * 1e-9,
+                },
+            )
+        })
+        .collect();
+    let mut merged: std::collections::HashMap<String, SpanReport> = Default::default();
+    for (_, s) in &rank_spans {
+        let e = merged.entry(s.path.clone()).or_insert_with(|| SpanReport {
+            path: s.path.clone(),
+            count: 0,
+            total_s: 0.0,
+            self_s: 0.0,
+        });
+        e.count += s.count;
+        e.total_s += s.total_s;
+        e.self_s += s.self_s;
+    }
+    let mut spans: Vec<SpanReport> = merged.into_values().collect();
+    spans.sort_by(|a, b| a.path.cmp(&b.path));
+    mmds_telemetry::report::build_run_report(spans, rank_spans, &registry)
+}
+
+/// Renders the per-phase load-imbalance table (worst ratio first).
+pub fn imbalance_table(imbalance: &[PhaseImbalance]) -> String {
+    if imbalance.is_empty() {
+        return "no rank-tagged spans (serial run?)\n".to_string();
+    }
+    let mut rows = Vec::new();
+    for p in imbalance {
+        rows.push(vec![
+            p.path.clone(),
+            p.ranks.to_string(),
+            format!("{:.4}", p.max_s),
+            format!("{:.4}", p.avg_s),
+            format!("{:.4}", p.min_s),
+            format!("{:.2}", p.ratio),
+        ]);
+    }
+    mmds_analysis::io::render_table(
+        &["phase", "ranks", "max_s", "avg_s", "min_s", "max/avg"],
+        &rows,
+    )
+}
+
+/// Renders the pairwise communication matrix as a heatline block, with
+/// the pairwise send/recv symmetry verdict.
+pub fn comm_matrix_view(report: &RunReport) -> String {
+    let Some(w) = report.world_matrix() else {
+        return "no comm matrices deposited\n".to_string();
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "src→dst bytes ({} ranks):", w.n_ranks());
+    out.push_str(&w.heatline());
+    match w.validate_symmetry() {
+        Ok(()) => {
+            let _ = writeln!(out, "pairwise symmetry: OK ({} B total)", w.total_bytes());
+        }
+        Err(errs) => {
+            let _ = writeln!(out, "pairwise symmetry: {} VIOLATION(S)", errs.len());
+            for e in errs.iter().take(8) {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+    }
+    out
+}
+
+/// The chain of spans from a root to a leaf, following the child with
+/// the largest total at each level — the run's critical path by
+/// aggregate wall time.
+pub fn critical_path(spans: &[SpanReport]) -> Vec<SpanReport> {
+    let mut path = Vec::new();
+    let Some(mut cur) = spans
+        .iter()
+        .filter(|s| !s.path.contains('/'))
+        .max_by(|a, b| a.total_s.total_cmp(&b.total_s))
+    else {
+        return path;
+    };
+    path.push(cur.clone());
+    loop {
+        let prefix = format!("{}/", cur.path);
+        let next = spans
+            .iter()
+            .filter(|s| s.path.starts_with(&prefix) && !s.path[prefix.len()..].contains('/'))
+            .max_by(|a, b| a.total_s.total_cmp(&b.total_s));
+        match next {
+            Some(n) => {
+                path.push(n.clone());
+                cur = n;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+/// Renders the critical path with each hop's share of the root total.
+pub fn critical_path_view(spans: &[SpanReport]) -> String {
+    let path = critical_path(spans);
+    let Some(root) = path.first() else {
+        return "no spans recorded\n".to_string();
+    };
+    let root_s = root.total_s.max(1e-12);
+    let mut out = String::new();
+    for (depth, s) in path.iter().enumerate() {
+        let leaf = s.path.rsplit('/').next().unwrap_or(&s.path);
+        let _ = writeln!(
+            out,
+            "{:indent$}{leaf:<24} {:>10.4} s  {:>5.1}%  ×{}",
+            "",
+            s.total_s,
+            100.0 * s.total_s / root_s,
+            s.count,
+            indent = depth * 2,
+        );
+    }
+    out
+}
+
+/// Health counters (`*.health.*`) with non-zero values, one per line.
+pub fn health_view(report: &RunReport) -> String {
+    let mut out = String::new();
+    for (name, v) in &report.counters.named {
+        if name.contains(".health.") && *v > 0.0 {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  all clear\n");
+    }
+    out
+}
+
+/// The full `mmds-inspect summary` rendering.
+pub fn summary(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run: {} span paths, {} tagged ranks, {} MD samples, {} KMC samples",
+        report.spans.len(),
+        report.ranks.len(),
+        report.samples.md.len(),
+        report.samples.kmc.len(),
+    );
+    let _ = writeln!(out, "root wall time: {:.4} s", report.root_total_s());
+    out.push_str("\n-- per-phase imbalance (max/avg over ranks) --\n");
+    out.push_str(&imbalance_table(&report.imbalance));
+    out.push_str("\n-- comm matrix --\n");
+    out.push_str(&comm_matrix_view(report));
+    out.push_str("\n-- critical path --\n");
+    out.push_str(&critical_path_view(&report.spans));
+    out.push_str("\n-- physics health --\n");
+    out.push_str(&health_view(report));
+    out
+}
+
+/// One configuration row of `BENCH_mdstep.json`, as the gate reads it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchConfigRow {
+    /// Configuration name (e.g. `parallel+fused`).
+    pub name: String,
+    /// Throughput, atom·steps per second — the gated metric.
+    pub atoms_steps_per_sec: f64,
+    /// Wall seconds (context in the diff rendering).
+    pub wall_s: f64,
+}
+
+/// The slice of `BENCH_mdstep.json` the regression gate consumes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchDoc {
+    /// Per-configuration results.
+    pub configs: Vec<BenchConfigRow>,
+}
+
+/// Parses a bench artefact; errors if it has no `configs` table.
+pub fn load_bench(text: &str) -> Result<BenchDoc, String> {
+    let doc: BenchDoc =
+        serde_json::from_str(text).map_err(|e| format!("not a bench artefact: {e}"))?;
+    if doc.configs.is_empty() {
+        return Err("bench artefact has no configs".to_string());
+    }
+    Ok(doc)
+}
+
+/// Compares a fresh bench artefact against the committed baseline.
+/// A configuration regressing by more than `tolerance` (relative
+/// `atoms_steps_per_sec` loss) fails the gate; any smaller regression
+/// warns. Configurations present on only one side are reported but do
+/// not gate.
+pub fn diff_bench(baseline: &BenchDoc, fresh: &BenchDoc, tolerance: f64) -> (Gate, String) {
+    let mut gate = Gate::Pass;
+    let mut rows = Vec::new();
+    for b in &baseline.configs {
+        let pad = |name: &str, note: &str| {
+            vec![
+                name.to_string(),
+                note.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]
+        };
+        let Some(f) = fresh.configs.iter().find(|c| c.name == b.name) else {
+            rows.push(pad(&b.name, "MISSING in fresh run"));
+            continue;
+        };
+        if b.atoms_steps_per_sec <= 0.0 || b.atoms_steps_per_sec.is_nan() {
+            rows.push(pad(&b.name, "baseline throughput is 0"));
+            continue;
+        }
+        let rel = f.atoms_steps_per_sec / b.atoms_steps_per_sec - 1.0;
+        let verdict = if rel < -tolerance {
+            gate = Gate::Fail;
+            "FAIL"
+        } else if rel < 0.0 {
+            if gate == Gate::Pass {
+                gate = Gate::Warn;
+            }
+            "warn"
+        } else {
+            "ok"
+        };
+        rows.push(vec![
+            b.name.clone(),
+            format!("{:.0}", b.atoms_steps_per_sec),
+            format!("{:.0}", f.atoms_steps_per_sec),
+            format!("{:+.1}%", 100.0 * rel),
+            verdict.to_string(),
+        ]);
+    }
+    for f in &fresh.configs {
+        if !baseline.configs.iter().any(|c| c.name == f.name) {
+            rows.push(vec![
+                f.name.clone(),
+                "new (no baseline)".to_string(),
+                format!("{:.0}", f.atoms_steps_per_sec),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+    }
+    let mut out = mmds_analysis::io::render_table(
+        &["config", "base a·s/s", "fresh a·s/s", "delta", "gate"],
+        &rows,
+    );
+    let _ = writeln!(
+        out,
+        "gate: {:?} (tolerance {:.0}%)",
+        gate,
+        100.0 * tolerance
+    );
+    (gate, out)
+}
+
+/// Side-by-side diff of two telemetry [`RunReport`]s: per-path span
+/// totals and the headline counters.
+pub fn diff_reports(a: &RunReport, b: &RunReport) -> String {
+    let mut paths: Vec<&str> = a
+        .spans
+        .iter()
+        .chain(b.spans.iter())
+        .map(|s| s.path.as_str())
+        .collect();
+    paths.sort_unstable();
+    paths.dedup();
+    let total = |r: &RunReport, p: &str| {
+        r.spans
+            .iter()
+            .find(|s| s.path == p)
+            .map(|s| s.total_s)
+            .unwrap_or(0.0)
+    };
+    let mut rows = Vec::new();
+    for p in paths {
+        let ta = total(a, p);
+        let tb = total(b, p);
+        let delta = if ta > 0.0 {
+            format!("{:+.1}%", 100.0 * (tb / ta - 1.0))
+        } else {
+            "-".to_string()
+        };
+        rows.push(vec![
+            p.to_string(),
+            format!("{ta:.4}"),
+            format!("{tb:.4}"),
+            delta,
+        ]);
+    }
+    let mut out =
+        mmds_analysis::io::render_table(&["span path", "A total_s", "B total_s", "delta"], &rows);
+    let _ = writeln!(
+        out,
+        "comm bytes moved: A {} / B {}   ranks: A {} / B {}",
+        a.counters.comm.bytes_moved(),
+        b.counters.comm.bytes_moved(),
+        a.counters.comm_ranks,
+        b.counters.comm_ranks,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(pairs: &[(&str, f64)]) -> BenchDoc {
+        BenchDoc {
+            configs: pairs
+                .iter()
+                .map(|(n, v)| BenchConfigRow {
+                    name: n.to_string(),
+                    atoms_steps_per_sec: *v,
+                    wall_s: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn gate_passes_when_fresh_is_not_slower() {
+        let (gate, _) = diff_bench(
+            &bench(&[("serial", 1000.0)]),
+            &bench(&[("serial", 1100.0)]),
+            0.15,
+        );
+        assert_eq!(gate, Gate::Pass);
+        assert_eq!(gate.exit_code(), 0);
+    }
+
+    #[test]
+    fn gate_warns_inside_tolerance() {
+        let (gate, text) = diff_bench(
+            &bench(&[("serial", 1000.0)]),
+            &bench(&[("serial", 950.0)]),
+            0.15,
+        );
+        assert_eq!(gate, Gate::Warn);
+        assert_eq!(gate.exit_code(), 0);
+        assert!(text.contains("warn"));
+    }
+
+    #[test]
+    fn gate_fails_on_injected_2x_slowdown() {
+        // The acceptance scenario: a 2× slowdown halves throughput,
+        // far beyond any sane tolerance.
+        let (gate, text) = diff_bench(
+            &bench(&[("serial", 1000.0), ("parallel+fused", 4000.0)]),
+            &bench(&[("serial", 1000.0), ("parallel+fused", 2000.0)]),
+            DEFAULT_TOLERANCE,
+        );
+        assert_eq!(gate, Gate::Fail);
+        assert_eq!(gate.exit_code(), 1);
+        assert!(text.contains("FAIL"));
+        // Also fails at the looser CI tolerance.
+        let (gate_ci, _) = diff_bench(
+            &bench(&[("parallel+fused", 4000.0)]),
+            &bench(&[("parallel+fused", 2000.0)]),
+            0.45,
+        );
+        assert_eq!(gate_ci, Gate::Fail);
+    }
+
+    #[test]
+    fn missing_config_does_not_gate() {
+        let (gate, text) = diff_bench(
+            &bench(&[("serial", 1000.0), ("gone", 5.0)]),
+            &bench(&[("serial", 1000.0), ("new", 7.0)]),
+            0.15,
+        );
+        assert_eq!(gate, Gate::Pass);
+        assert!(text.contains("MISSING"));
+        assert!(text.contains("new (no baseline)"));
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_child() {
+        let mk = |p: &str, t: f64| SpanReport {
+            path: p.into(),
+            count: 1,
+            total_s: t,
+            self_s: t,
+        };
+        let spans = vec![
+            mk("run", 10.0),
+            mk("run/md", 7.0),
+            mk("run/kmc", 3.0),
+            mk("run/md/force", 6.0),
+            mk("run/md/ghost", 1.0),
+        ];
+        let path = critical_path(&spans);
+        let names: Vec<_> = path.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(names, vec!["run", "run/md", "run/md/force"]);
+        let view = critical_path_view(&spans);
+        assert!(view.contains("force"));
+    }
+
+    #[test]
+    fn report_from_records_rebuilds_rank_spans() {
+        let rec = |seq, rank, event| Record {
+            seq,
+            t_ns: seq * 10,
+            rank,
+            tid: Some(0),
+            event,
+        };
+        let records = vec![
+            rec(
+                0,
+                Some(0),
+                Event::SpanClose {
+                    path: "md.phase".into(),
+                    dur_ns: 2_000_000_000,
+                },
+            ),
+            rec(
+                1,
+                Some(1),
+                Event::SpanClose {
+                    path: "md.phase".into(),
+                    dur_ns: 1_000_000_000,
+                },
+            ),
+            rec(
+                2,
+                None,
+                Event::Counter {
+                    name: "kmc.health.conservation_warn".into(),
+                    value: 1.0,
+                },
+            ),
+        ];
+        let report = report_from_records(&records);
+        assert_eq!(report.ranks.len(), 2);
+        let md = report
+            .imbalance
+            .iter()
+            .find(|p| p.path == "md.phase")
+            .unwrap();
+        assert_eq!(md.max_s, 2.0);
+        assert_eq!(md.avg_s, 1.5);
+        assert!(summary(&report).contains("kmc.health.conservation_warn"));
+    }
+}

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod inspect;
+
 use std::path::PathBuf;
 
 use serde::Serialize;
@@ -50,8 +52,10 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
 /// The single exit point of every figure binary: writes the figure's
 /// JSON artefact, and — when `MMDS_TELEMETRY` is on — a sibling
 /// `<stem>.telemetry.json` holding the run-wide
-/// [`mmds_telemetry::RunReport`] (spans, merged comm/CPE counters,
-/// samples), plus the flamegraph-style self-time tree on stdout.
+/// [`mmds_telemetry::RunReport`] (spans, per-rank comm/CPE counters,
+/// imbalance table, samples), plus the flamegraph-style self-time tree
+/// on stdout. In `jsonl:` mode, also converts the event stream to a
+/// sibling `<stem>.perfetto.json` Chrome trace.
 pub fn emit_report<T: Serialize>(name: &str, value: &T) {
     emit_json(name, value);
     let tel = mmds_telemetry::global();
@@ -59,6 +63,19 @@ pub fn emit_report<T: Serialize>(name: &str, value: &T) {
         let stem = name.strip_suffix(".json").unwrap_or(name);
         emit_json(&format!("{stem}.telemetry.json"), &tel.run_report());
         println!("{}", tel.render_tree());
+        if let Some(trace_path) = tel.jsonl_path() {
+            tel.flush_sink();
+            if let Ok(text) = std::fs::read_to_string(&trace_path) {
+                let perfetto = mmds_telemetry::perfetto::export_jsonl(&text);
+                let out = results_dir().join(format!("{stem}.perfetto.json"));
+                if std::fs::write(&out, perfetto).is_ok() {
+                    println!(
+                        "[artefact] {} (open at https://ui.perfetto.dev)",
+                        out.display()
+                    );
+                }
+            }
+        }
     }
 }
 

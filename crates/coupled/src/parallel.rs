@@ -61,6 +61,7 @@ pub fn run_coupled_parallel(
 ) -> Vec<RankOutput<CoupledRankSummary>> {
     let grid3 = CartGrid::for_ranks(ranks);
     let out = world.run(ranks, |comm| {
+        let _rank_tag = mmds_telemetry::rank_scope(comm.rank() as u32);
         let _rank_span = mmds_telemetry::span!("coupled.rank");
         // ---- MD phase ------------------------------------------------
         let mut md_cfg = params.md;
@@ -127,8 +128,8 @@ pub fn run_coupled_parallel(
         }
     });
     if mmds_telemetry::enabled() {
-        for r in &out {
-            mmds_telemetry::absorb_comm_stats(&r.stats);
+        for (rank, r) in out.iter().enumerate() {
+            mmds_telemetry::absorb_comm_rank(rank as u32, &r.stats, Some(&r.matrix));
         }
     }
     out

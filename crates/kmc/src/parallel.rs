@@ -72,6 +72,7 @@ pub fn run_parallel_kmc(
 ) -> Vec<RankOutput<KmcRankSummary>> {
     let grid3 = CartGrid::for_ranks(ranks);
     let out = world.run(ranks, |comm| {
+        let _rank_tag = mmds_telemetry::rank_scope(comm.rank() as u32);
         let mut cfg = params.kmc;
         cfg.seed = params.kmc.rank_seed(comm.rank());
         let grid = kmc_rank_grid(&cfg, params.global_cells, grid3, comm.rank());
@@ -109,8 +110,20 @@ pub fn run_parallel_kmc(
         }
     });
     if mmds_telemetry::enabled() {
-        for r in &out {
-            mmds_telemetry::absorb_comm_stats(&r.stats);
+        for (rank, r) in out.iter().enumerate() {
+            mmds_telemetry::absorb_comm_rank(rank as u32, &r.stats, Some(&r.matrix));
+        }
+        // Defect-conservation health gate: vacancies only migrate, so
+        // the world total must still equal what was seeded.
+        let total_sites =
+            2 * params.global_cells[0] * params.global_cells[1] * params.global_cells[2];
+        let seeded = (params.vacancy_concentration * total_sites as f64).round() as usize;
+        let total_vac: usize = out.iter().map(|r| r.result.vacancies).sum();
+        if total_vac != seeded {
+            mmds_telemetry::add_counter("kmc.health.conservation_warn", 1.0);
+            eprintln!(
+                "[telemetry] KMC vacancy conservation violated: seeded {seeded}, final {total_vac}"
+            );
         }
     }
     out

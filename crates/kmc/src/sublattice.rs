@@ -99,6 +99,7 @@ impl KmcSimulation {
             return 0;
         }
         let evals_before = self.stats.rate.site_evals;
+        let vac_before = self.lat.n_vacancies() as u64;
         let mut events = 0;
         let mut ghost_bytes = 0u64;
         let mut last_sector = 0u8;
@@ -122,11 +123,14 @@ impl KmcSimulation {
         let evals = self.stats.rate.site_evals - evals_before;
         t.tick_compute(evals as f64 * SITE_EVAL_SECONDS);
         if mmds_telemetry::enabled() {
+            let vac_after = self.lat.n_vacancies() as u64;
             let sample = mmds_telemetry::KmcCycleSample {
                 cycle: self.stats.cycles,
                 events,
                 dirty_ghost_bytes: ghost_bytes,
                 sector: last_sector,
+                vacancies: vac_after,
+                vacancy_delta: vac_after as i64 - vac_before as i64,
             };
             mmds_telemetry::global().counters().push_kmc(sample);
             mmds_telemetry::emit(mmds_telemetry::Event::Kmc(sample));

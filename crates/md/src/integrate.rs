@@ -63,6 +63,29 @@ pub fn n_moving(l: &LatticeNeighborList, interior: &[usize]) -> usize {
     interior.iter().filter(|&&s| l.id[s] >= 0).count() + l.n_runaways()
 }
 
+/// L2 norm of total linear momentum over owned atoms (amu·Å/ps).
+/// An isolated (loopback) system conserves this; drift flags an
+/// integrator or force-pass bug before energy shows it.
+pub fn momentum_norm(l: &LatticeNeighborList, interior: &[usize], mass: f64) -> f64 {
+    let mut p = [0.0f64; 3];
+    for &s in interior {
+        if l.id[s] < 0 {
+            continue;
+        }
+        let v = l.vel[s];
+        for k in 0..3 {
+            p[k] += mass * v[k];
+        }
+    }
+    for i in l.live_runaways() {
+        let v = l.runaway(i).vel;
+        for k in 0..3 {
+            p[k] += mass * v[k];
+        }
+    }
+    (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()
+}
+
 /// Instantaneous kinetic temperature (K).
 pub fn temperature(l: &LatticeNeighborList, interior: &[usize], mass: f64) -> f64 {
     let n = n_moving(l, interior);

@@ -145,6 +145,7 @@ pub fn run_parallel_md(
 ) -> Vec<RankOutput<RankMdSummary>> {
     let grid3 = CartGrid::for_ranks(ranks);
     let out = world.run(ranks, |comm| {
+        let _rank_tag = mmds_telemetry::rank_scope(comm.rank() as u32);
         let mut md = params.md;
         md.seed = params.md.rank_seed(comm.rank());
         let grid = rank_grid(&md, params.global_cells, grid3, comm.rank());
@@ -181,8 +182,8 @@ pub fn run_parallel_md(
         }
     });
     if mmds_telemetry::enabled() {
-        for r in &out {
-            mmds_telemetry::absorb_comm_stats(&r.stats);
+        for (rank, r) in out.iter().enumerate() {
+            mmds_telemetry::absorb_comm_rank(rank as u32, &r.stats, Some(&r.matrix));
         }
     }
     out

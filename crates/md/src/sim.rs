@@ -13,7 +13,9 @@ use crate::domain::{exchange_ghosts, migrate_runaways, GhostPhase, Loopback, Tra
 use crate::force::{
     density_pass_with, embedding_pass_with, force_pass_with, EnergySample, PassConfig,
 };
-use crate::integrate::{drift, kick, kinetic_energy, maxwell_boltzmann, temperature};
+use crate::integrate::{
+    drift, kick, kinetic_energy, maxwell_boltzmann, momentum_norm, n_moving, temperature,
+};
 use crate::runaway::{apply_transitions, TransitionStats};
 use crate::thermostat::berendsen;
 
@@ -75,6 +77,10 @@ pub struct MdSimulation {
 }
 
 impl MdSimulation {
+    /// Relative total-energy drift beyond which an NVE run increments
+    /// `md.health.energy_drift_warn`.
+    pub const ENERGY_DRIFT_WARN: f64 = 0.05;
+
     /// Builds a rank's simulation from its local grid.
     pub fn from_grid(cfg: MdConfig, grid: LocalGrid) -> Self {
         let pot = EamPotential::new(Species::Fe, cfg.table_knots);
@@ -199,12 +205,26 @@ impl MdSimulation {
         let _span = mmds_telemetry::span!("md.run");
         let observe = mmds_telemetry::enabled();
         let mut samples = Vec::with_capacity(n);
+        // Physics-health baselines, fixed at the first observed step.
+        let mut e0: Option<f64> = None;
+        let mut p0 = 0.0f64;
         for i in 0..n {
             let s = self.step(t);
             if observe {
                 // The defect census is O(sites); only pay for it when
                 // somebody is listening.
                 let d = count(&self.lnl);
+                let total = s.total();
+                let e0 = *e0.get_or_insert(total);
+                let energy_drift = if e0.abs() > 0.0 {
+                    (total - e0) / e0.abs()
+                } else {
+                    0.0
+                };
+                let p = momentum_norm(&self.lnl, &self.interior, self.mass);
+                if i == 0 {
+                    p0 = p;
+                }
                 let sample = mmds_telemetry::MdStepSample {
                     step: i as u64,
                     kinetic: s.kinetic,
@@ -212,7 +232,21 @@ impl MdSimulation {
                     runaways: self.lnl.n_runaways() as u64,
                     vacancies: d.vacancies as u64,
                     interstitials: d.interstitials as u64,
+                    energy_drift,
+                    momentum_norm: p,
                 };
+                // Health gates. Energy drift is only a conservation
+                // statement without a thermostat (NVE); momentum may
+                // legitimately move when atoms migrate between ranks,
+                // so the bound is loose and scale-aware.
+                if self.cfg.thermostat_tau.is_none() && energy_drift.abs() > Self::ENERGY_DRIFT_WARN
+                {
+                    mmds_telemetry::add_counter("md.health.energy_drift_warn", 1.0);
+                }
+                let p_bound = (10.0 * p0).max(1e-6 * n_moving(&self.lnl, &self.interior) as f64);
+                if p > p_bound {
+                    mmds_telemetry::add_counter("md.health.momentum_warn", 1.0);
+                }
                 mmds_telemetry::global().counters().push_md(sample);
                 mmds_telemetry::emit(mmds_telemetry::Event::Md(sample));
             }

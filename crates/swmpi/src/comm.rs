@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::collectives::{Acc, CollectiveHub};
 use crate::mailbox::{Envelope, Mailbox, MsgInfo, Source};
+use crate::matrix::{CommMatrix, MatrixRecorder};
 use crate::model::MachineModel;
 use crate::onesided::{PutRecord, WindowHub};
 use crate::stats::CommStats;
@@ -29,6 +30,7 @@ pub struct Comm {
     shared: Arc<Shared>,
     clock: Cell<f64>,
     stats: RefCell<CommStats>,
+    matrix: RefCell<MatrixRecorder>,
 }
 
 impl Comm {
@@ -39,6 +41,7 @@ impl Comm {
             shared,
             clock: Cell::new(0.0),
             stats: RefCell::new(CommStats::default()),
+            matrix: RefCell::new(MatrixRecorder::default()),
         }
     }
 
@@ -67,11 +70,18 @@ impl Comm {
         *self.stats.borrow()
     }
 
-    /// Resets counters and clock (e.g. after a warm-up phase, so a
-    /// measured window excludes initialisation — as benchmark papers do).
+    /// Snapshot of this rank's pairwise communication matrix.
+    pub fn comm_matrix(&self) -> CommMatrix {
+        self.matrix.borrow().snapshot(self.rank)
+    }
+
+    /// Resets counters, the comm matrix, and clock (e.g. after a
+    /// warm-up phase, so a measured window excludes initialisation — as
+    /// benchmark papers do).
     pub fn reset_accounting(&self) {
         self.clock.set(0.0);
         *self.stats.borrow_mut() = CommStats::default();
+        self.matrix.borrow_mut().reset();
     }
 
     /// Charges `seconds` of computation to the virtual clock.
@@ -105,6 +115,9 @@ impl Comm {
             s.bytes_sent += payload.len() as u64;
             s.comm_time += overhead;
         }
+        self.matrix
+            .borrow_mut()
+            .record_send(dst, payload.len() as u64);
         self.clock.set(depart);
         self.shared.mailboxes[dst].deliver(Envelope {
             src: self.rank,
@@ -133,6 +146,9 @@ impl Comm {
         s.msgs_recv += 1;
         s.bytes_recv += env.payload.len() as u64;
         drop(s);
+        self.matrix
+            .borrow_mut()
+            .record_recv(env.src, env.payload.len() as u64);
         env.payload
     }
 
@@ -252,6 +268,9 @@ impl Comm {
             s.bytes_put += payload.len() as u64;
             s.comm_time += overhead;
         }
+        self.matrix
+            .borrow_mut()
+            .record_put(dst, payload.len() as u64);
         self.clock.set(depart);
         self.shared.windows.put(
             dst,
@@ -278,6 +297,12 @@ impl Comm {
         let recs = self.shared.windows.drain(self.rank);
         // Charge arrival bandwidth for what landed in our window.
         let mut latest = self.clock.get();
+        {
+            let mut m = self.matrix.borrow_mut();
+            for r in &recs {
+                m.record_put_in(r.src, r.payload.len() as u64);
+            }
+        }
         for r in &recs {
             let t = r.depart_time + self.shared.model.p2p_time(r.payload.len(), self.size);
             latest = latest.max(t);

@@ -23,6 +23,10 @@
 //!   (bytes/messages — exact, machine-independent) and advances a
 //!   per-rank virtual clock through a LogP-style [`model::MachineModel`]
 //!   (time — modelled, calibrated to TaihuLight-like constants).
+//! * **Pairwise tracing** ([`matrix::CommMatrix`]): every rank also
+//!   records *who* it talked to — the src→dst message/byte matrix that
+//!   [`matrix::WorldMatrix`] assembles and validates for pairwise
+//!   send/recv symmetry.
 //!
 //! Communication *volume* results (paper Fig. 12) read the exact counters;
 //! communication *time* results (Figs. 10–16) read the virtual clocks, and
@@ -34,6 +38,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod mailbox;
+pub mod matrix;
 pub mod model;
 pub mod onesided;
 pub mod stats;
@@ -42,6 +47,7 @@ pub mod wire;
 pub mod world;
 
 pub use comm::Comm;
+pub use matrix::{CommMatrix, PairFlow, WorldMatrix};
 pub use model::MachineModel;
 pub use stats::CommStats;
 pub use topology::CartGrid;

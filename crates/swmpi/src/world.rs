@@ -5,6 +5,7 @@ use std::sync::Arc;
 use crate::collectives::CollectiveHub;
 use crate::comm::{Comm, Shared};
 use crate::mailbox::Mailbox;
+use crate::matrix::CommMatrix;
 use crate::model::MachineModel;
 use crate::onesided::WindowHub;
 use crate::stats::CommStats;
@@ -35,6 +36,8 @@ pub struct RankOutput<R> {
     pub result: R,
     /// Final accounting counters.
     pub stats: CommStats,
+    /// Final pairwise communication matrix.
+    pub matrix: CommMatrix,
     /// Final virtual clock (seconds).
     pub clock: f64,
 }
@@ -92,6 +95,7 @@ impl World {
                             RankOutput {
                                 result,
                                 stats: comm.stats(),
+                                matrix: comm.comm_matrix(),
                                 clock: comm.clock(),
                             }
                         })
@@ -150,6 +154,23 @@ mod tests {
         });
         assert_eq!(out[0].stats.bytes_sent, 64);
         assert_eq!(out[1].stats.bytes_recv, 64);
+    }
+
+    #[test]
+    fn comm_matrix_collected_and_symmetric() {
+        let out = World::default_world().run(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.sendrecv(next, prev, 0, vec![0u8; 32 * (comm.rank() + 1)]);
+            comm.win_put(prev, 0, vec![0u8; 8]);
+            comm.win_fence();
+        });
+        let matrices: Vec<_> = out.iter().map(|r| r.matrix.clone()).collect();
+        assert_eq!(matrices[0].sent[0].peer, 1);
+        assert_eq!(matrices[0].sent[0].bytes, 32);
+        let w = crate::matrix::WorldMatrix::from_ranks(&matrices);
+        w.validate_symmetry().expect("ring exchange is symmetric");
+        assert_eq!(w.bytes(1, 2), 64); // rank 1 sent 2×32 B to rank 2
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub struct MdStepSample {
     pub vacancies: u64,
     /// Interstitial count from the defect census.
     pub interstitials: u64,
+    /// Relative total-energy drift vs. the first sampled step
+    /// (`(E - E0) / |E0|`; 0 at the first step). NVE integration should
+    /// keep this small; thermostat phases legitimately move it.
+    pub energy_drift: f64,
+    /// L2 norm of total linear momentum (amu·Å/ps). Should stay near
+    /// its initial value for an isolated system.
+    pub momentum_norm: f64,
 }
 
 /// One per-cycle KMC observation (the quantities Figs. 12–15 report).
@@ -34,6 +41,12 @@ pub struct KmcCycleSample {
     pub dirty_ghost_bytes: u64,
     /// Last sector executed (0–7); 255 when aggregated over sectors.
     pub sector: u8,
+    /// Owned vacancies after the cycle (conservation tracer).
+    pub vacancies: u64,
+    /// Net change in owned vacancies over the cycle. Non-zero values
+    /// are expected only from inter-rank walker migration; a world-wide
+    /// sum that drifts indicates lost or duplicated defects.
+    pub vacancy_delta: i64,
 }
 
 /// Everything the telemetry layer can observe.
@@ -71,6 +84,12 @@ pub struct Record {
     pub seq: u64,
     /// Nanoseconds since the telemetry epoch.
     pub t_ns: u64,
+    /// Simulated rank the emitting thread was tagged with via
+    /// [`crate::rank_scope`]; `None` for driver/untagged threads.
+    pub rank: Option<u32>,
+    /// Small stable id of the emitting OS thread (assigned on first
+    /// emit, dense from 0). `None` only in records predating tagging.
+    pub tid: Option<u32>,
     /// The event.
     pub event: Event,
 }
@@ -190,6 +209,8 @@ mod tests {
             Record {
                 seq: 0,
                 t_ns: 17,
+                rank: None,
+                tid: Some(0),
                 event: Event::SpanOpen {
                     path: "coupled.run/md.phase".into(),
                 },
@@ -197,6 +218,8 @@ mod tests {
             Record {
                 seq: 1,
                 t_ns: 42,
+                rank: Some(3),
+                tid: Some(1),
                 event: Event::Md(MdStepSample {
                     step: 3,
                     kinetic: 12.5,
@@ -204,21 +227,29 @@ mod tests {
                     runaways: 2,
                     vacancies: 4,
                     interstitials: 2,
+                    energy_drift: 1.25e-6,
+                    momentum_norm: 0.03125,
                 }),
             },
             Record {
                 seq: 2,
                 t_ns: 99,
+                rank: Some(0),
+                tid: Some(2),
                 event: Event::Kmc(KmcCycleSample {
                     cycle: 7,
                     events: 31,
                     dirty_ghost_bytes: 1024,
                     sector: 5,
+                    vacancies: 12,
+                    vacancy_delta: -2,
                 }),
             },
             Record {
                 seq: 3,
                 t_ns: 100,
+                rank: None,
+                tid: None,
                 event: Event::Counter {
                     name: "md.ghost_bytes".into(),
                     value: 4096.0,
@@ -227,6 +258,8 @@ mod tests {
             Record {
                 seq: 4,
                 t_ns: 120,
+                rank: None,
+                tid: Some(0),
                 event: Event::SpanClose {
                     path: "coupled.run/md.phase".into(),
                     dur_ns: 103,
@@ -252,6 +285,8 @@ mod tests {
                 sink.record(&Record {
                     seq,
                     t_ns: seq * 10,
+                    rank: Some(seq as u32),
+                    tid: Some(0),
                     event: Event::Counter {
                         name: "x".into(),
                         value: seq as f64,

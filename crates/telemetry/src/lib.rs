@@ -15,6 +15,14 @@
 //!   per-rank [`mmds_swmpi::CommStats`] and per-CPE
 //!   [`mmds_sunway::CpeCounters`] so a run ends with one merged
 //!   [`report::RunReport`] serializable to JSON.
+//! * **Rank dimension** — worker threads tag themselves with their
+//!   simulated rank ([`rank_scope`]); spans, streamed events, and comm
+//!   deposits keep the tag, so the report carries a per-rank breakdown
+//!   ([`report::RankReport`]) and per-phase load-imbalance table
+//!   ([`report::PhaseImbalance`]).
+//! * **Perfetto export** ([`perfetto::export`]) — the JSONL stream
+//!   converts to Chrome `trace_event` JSON (rank→process,
+//!   thread→track) viewable at <https://ui.perfetto.dev>.
 //!
 //! Configuration comes from `MMDS_TELEMETRY`:
 //!
@@ -38,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod perfetto;
 pub mod render;
 pub mod report;
 pub mod span;
@@ -45,8 +54,10 @@ pub mod span;
 use std::sync::OnceLock;
 
 pub use event::{Event, EventSink, FileSink, KmcCycleSample, MdStepSample, MemorySink, Record};
-pub use report::{CounterRegistry, RunReport, SpanReport};
-pub use span::{SpanGuard, Telemetry};
+pub use report::{CounterRegistry, PhaseImbalance, RankComm, RankReport, RunReport, SpanReport};
+pub use span::{
+    current_rank, rank_scope, set_thread_rank, thread_tid, RankScope, SpanGuard, Telemetry,
+};
 
 /// What the telemetry layer does with what it observes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +145,18 @@ pub fn add_counter(name: &str, value: f64) {
 /// Absorbs per-rank communication stats into the global registry.
 pub fn absorb_comm_stats(stats: &mmds_swmpi::CommStats) {
     global().counters().absorb_comm(stats);
+}
+
+/// Absorbs one identified rank's communication stats — and, when
+/// captured, its pairwise flow matrix — into the global registry.
+/// Prefer this over [`absorb_comm_stats`]: the per-rank detail feeds
+/// the [`report::RankReport`] breakdown and comm-matrix validation.
+pub fn absorb_comm_rank(
+    rank: u32,
+    stats: &mmds_swmpi::CommStats,
+    matrix: Option<&mmds_swmpi::CommMatrix>,
+) {
+    global().counters().absorb_comm_rank(rank, stats, matrix);
 }
 
 /// Absorbs per-CPE counters into the global registry.

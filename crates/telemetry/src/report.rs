@@ -27,6 +27,10 @@ pub struct SpanReport {
 }
 
 /// Aggregated counters at one point in time.
+///
+/// `comm` is *derived* at snapshot time from the retained per-rank
+/// entries (see [`CounterRegistry::comm_entries`]), so consumers of the
+/// sum are unchanged while the per-rank detail is no longer lost.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
     /// Element-wise sum of every absorbed per-rank [`mmds_swmpi::CommStats`].
@@ -41,6 +45,18 @@ pub struct CounterSnapshot {
     pub named: BTreeMap<String, f64>,
 }
 
+/// One absorbed rank's communication record, kept un-merged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankComm {
+    /// Rank id when the depositor identified itself; `None` for legacy
+    /// [`CounterRegistry::absorb_comm`] calls.
+    pub rank: Option<u32>,
+    /// The rank's exact byte/message counters and virtual times.
+    pub stats: mmds_swmpi::CommStats,
+    /// Pairwise src→dst flows, when the depositor captured them.
+    pub matrix: Option<mmds_swmpi::CommMatrix>,
+}
+
 /// Retained MD/KMC samples, in deposit order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SampleLog {
@@ -50,15 +66,53 @@ pub struct SampleLog {
     pub kmc: Vec<KmcCycleSample>,
 }
 
-/// Everything a run produced: span timings, merged counters, samples.
+/// One simulated rank's view of the run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: u32,
+    /// Span statistics of work tagged to this rank, sorted by path.
+    pub spans: Vec<SpanReport>,
+    /// The rank's communication counters, when deposited.
+    pub comm: Option<mmds_swmpi::CommStats>,
+    /// The rank's pairwise flows, when deposited.
+    pub matrix: Option<mmds_swmpi::CommMatrix>,
+}
+
+/// Load balance of one span path across tagged ranks. A rank that
+/// never entered the phase contributes 0 to `avg_s`/`min_s`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseImbalance {
+    /// Full `a/b/c` span path.
+    pub path: String,
+    /// Tagged ranks considered (the whole observed world).
+    pub ranks: u64,
+    /// Slowest rank's total wall time in this phase (s).
+    pub max_s: f64,
+    /// Mean over all tagged ranks (s).
+    pub avg_s: f64,
+    /// Fastest rank's total (s); 0 when some rank skipped the phase.
+    pub min_s: f64,
+    /// `max_s / avg_s`; 1.0 is perfectly balanced.
+    pub ratio: f64,
+}
+
+/// Everything a run produced: span timings, merged counters, samples,
+/// and the per-rank breakdown.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
-    /// Span statistics sorted by path.
+    /// Span statistics aggregated over ranks, sorted by path.
     pub spans: Vec<SpanReport>,
     /// Merged counters.
     pub counters: CounterSnapshot,
     /// Retained samples.
     pub samples: SampleLog,
+    /// Per-rank breakdowns, sorted by rank id. Empty when nothing was
+    /// rank-tagged (serial runs).
+    pub ranks: Vec<RankReport>,
+    /// Per-phase load-balance table over the tagged ranks, sorted by
+    /// descending `max_s`.
+    pub imbalance: Vec<PhaseImbalance>,
 }
 
 impl RunReport {
@@ -77,12 +131,128 @@ impl RunReport {
             .map(|s| s.total_s)
             .sum()
     }
+
+    /// Assembles the per-rank [`mmds_swmpi::WorldMatrix`] from the rank
+    /// reports, or `None` when no rank deposited a matrix. Ranks are
+    /// placed by their id, so gaps become empty rows.
+    pub fn world_matrix(&self) -> Option<mmds_swmpi::WorldMatrix> {
+        let n = self
+            .ranks
+            .iter()
+            .filter(|r| r.matrix.is_some())
+            .map(|r| r.rank + 1)
+            .max()? as usize;
+        let mut mats = vec![mmds_swmpi::CommMatrix::default(); n];
+        for r in &self.ranks {
+            if let Some(m) = &r.matrix {
+                mats[r.rank as usize] = m.clone();
+            }
+        }
+        Some(mmds_swmpi::WorldMatrix::from_ranks(&mats))
+    }
+}
+
+/// Builds the final report from the two span views plus the registry.
+/// Used by [`crate::Telemetry::run_report`]; public so tests can drive
+/// it directly.
+pub fn build_run_report(
+    spans: Vec<SpanReport>,
+    rank_spans: Vec<(Option<u32>, SpanReport)>,
+    counters: &CounterRegistry,
+) -> RunReport {
+    let comm_entries = counters.comm_entries();
+
+    // Gather the set of tagged ranks seen by either subsystem.
+    let mut rank_ids: Vec<u32> = rank_spans
+        .iter()
+        .filter_map(|(r, _)| *r)
+        .chain(comm_entries.iter().filter_map(|e| e.rank))
+        .collect();
+    rank_ids.sort_unstable();
+    rank_ids.dedup();
+
+    let ranks: Vec<RankReport> = rank_ids
+        .iter()
+        .map(|&rank| {
+            let spans: Vec<SpanReport> = rank_spans
+                .iter()
+                .filter(|(r, _)| *r == Some(rank))
+                .map(|(_, s)| s.clone())
+                .collect();
+            // A rank id can deposit several times when one process runs
+            // several worlds (weak-scaling sweeps); merge, don't pick.
+            let mut comm: Option<mmds_swmpi::CommStats> = None;
+            let mut matrix: Option<mmds_swmpi::CommMatrix> = None;
+            for e in comm_entries.iter().filter(|e| e.rank == Some(rank)) {
+                comm = Some(match comm {
+                    Some(c) => c.merge(&e.stats),
+                    None => e.stats,
+                });
+                if let Some(m) = &e.matrix {
+                    match &mut matrix {
+                        Some(acc) => acc.merge(m),
+                        None => matrix = Some(m.clone()),
+                    }
+                }
+            }
+            RankReport {
+                rank,
+                spans,
+                comm,
+                matrix,
+            }
+        })
+        .collect();
+
+    // Per-phase imbalance over the tagged ranks.
+    let n = rank_ids.len() as u64;
+    let mut imbalance: Vec<PhaseImbalance> = Vec::new();
+    if n > 0 {
+        let mut paths: Vec<&str> = rank_spans
+            .iter()
+            .filter(|(r, _)| r.is_some())
+            .map(|(_, s)| s.path.as_str())
+            .collect();
+        paths.sort_unstable();
+        paths.dedup();
+        for path in paths {
+            let mut per_rank = vec![0.0f64; rank_ids.len()];
+            for (r, s) in &rank_spans {
+                if s.path == path {
+                    if let Some(r) = r {
+                        if let Ok(i) = rank_ids.binary_search(r) {
+                            per_rank[i] += s.total_s;
+                        }
+                    }
+                }
+            }
+            let max_s = per_rank.iter().copied().fold(0.0, f64::max);
+            let min_s = per_rank.iter().copied().fold(f64::INFINITY, f64::min);
+            let avg_s = per_rank.iter().sum::<f64>() / n as f64;
+            imbalance.push(PhaseImbalance {
+                path: path.to_string(),
+                ranks: n,
+                max_s,
+                avg_s,
+                min_s,
+                ratio: if avg_s > 0.0 { max_s / avg_s } else { 1.0 },
+            });
+        }
+        imbalance.sort_by(|a, b| b.max_s.total_cmp(&a.max_s));
+    }
+
+    RunReport {
+        spans,
+        counters: counters.snapshot(),
+        samples: counters.samples(),
+        ranks,
+        imbalance,
+    }
 }
 
 #[derive(Debug, Default)]
 struct RegistryInner {
-    comm: mmds_swmpi::CommStats,
-    comm_ranks: u64,
+    comm_entries: Vec<RankComm>,
     cpe: mmds_sunway::CpeCounters,
     cpe_sets: u64,
     named: BTreeMap<String, f64>,
@@ -98,11 +268,35 @@ pub struct CounterRegistry {
 }
 
 impl CounterRegistry {
-    /// Folds one rank's communication stats into the aggregate.
+    /// Retains one rank's communication stats (anonymously — prefer
+    /// [`CounterRegistry::absorb_comm_rank`], which keeps the rank id).
     pub fn absorb_comm(&self, stats: &mmds_swmpi::CommStats) {
-        let mut g = self.inner.lock().unwrap();
-        g.comm = g.comm.merge(stats);
-        g.comm_ranks += 1;
+        self.inner.lock().unwrap().comm_entries.push(RankComm {
+            rank: None,
+            stats: *stats,
+            matrix: None,
+        });
+    }
+
+    /// Retains one identified rank's communication stats and, when
+    /// available, its pairwise flow matrix.
+    pub fn absorb_comm_rank(
+        &self,
+        rank: u32,
+        stats: &mmds_swmpi::CommStats,
+        matrix: Option<&mmds_swmpi::CommMatrix>,
+    ) {
+        self.inner.lock().unwrap().comm_entries.push(RankComm {
+            rank: Some(rank),
+            stats: *stats,
+            matrix: matrix.cloned(),
+        });
+    }
+
+    /// Copies out the retained per-rank communication entries, in
+    /// deposit order.
+    pub fn comm_entries(&self) -> Vec<RankComm> {
+        self.inner.lock().unwrap().comm_entries.clone()
     }
 
     /// Folds one CPE counter set into the aggregate.
@@ -128,12 +322,16 @@ impl CounterRegistry {
         self.inner.lock().unwrap().kmc.push(s);
     }
 
-    /// Copies out the current aggregates.
+    /// Copies out the current aggregates. The communication sum is
+    /// derived from the retained per-rank entries on each call.
     pub fn snapshot(&self) -> CounterSnapshot {
         let g = self.inner.lock().unwrap();
         CounterSnapshot {
-            comm: g.comm,
-            comm_ranks: g.comm_ranks,
+            comm: g
+                .comm_entries
+                .iter()
+                .fold(mmds_swmpi::CommStats::default(), |a, e| a.merge(&e.stats)),
+            comm_ranks: g.comm_entries.len() as u64,
             cpe: g.cpe,
             cpe_sets: g.cpe_sets,
             named: g.named.clone(),
@@ -211,10 +409,142 @@ mod tests {
                 }],
                 kmc: vec![],
             },
+            ranks: vec![RankReport {
+                rank: 2,
+                spans: vec![],
+                comm: Some(mmds_swmpi::CommStats {
+                    bytes_sent: 99,
+                    ..Default::default()
+                }),
+                matrix: None,
+            }],
+            imbalance: vec![PhaseImbalance {
+                path: "coupled.run".into(),
+                ranks: 4,
+                max_s: 1.0,
+                avg_s: 0.5,
+                min_s: 0.25,
+                ratio: 2.0,
+            }],
         };
         let json = report.to_json();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert_eq!(report.root_total_s(), 1.5);
+    }
+
+    #[test]
+    fn per_rank_comm_entries_are_retained_not_folded() {
+        let reg = CounterRegistry::default();
+        reg.absorb_comm_rank(
+            0,
+            &mmds_swmpi::CommStats {
+                bytes_sent: 100,
+                ..Default::default()
+            },
+            None,
+        );
+        reg.absorb_comm_rank(
+            1,
+            &mmds_swmpi::CommStats {
+                bytes_sent: 300,
+                ..Default::default()
+            },
+            None,
+        );
+        let entries = reg.comm_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rank, Some(0));
+        assert_eq!(entries[1].stats.bytes_sent, 300);
+        // The derived sum is what legacy consumers saw before.
+        let snap = reg.snapshot();
+        assert_eq!(snap.comm.bytes_sent, 400);
+        assert_eq!(snap.comm_ranks, 2);
+    }
+
+    #[test]
+    fn repeated_rank_deposits_merge_in_rank_report() {
+        // One process, two worlds: rank 0 deposits twice (as a
+        // weak-scaling sweep does). The report must merge, not pick
+        // the first deposit.
+        let reg = CounterRegistry::default();
+        let mut rec_a = mmds_swmpi::matrix::MatrixRecorder::default();
+        rec_a.record_send(0, 50);
+        rec_a.record_recv(0, 50);
+        reg.absorb_comm_rank(
+            0,
+            &mmds_swmpi::CommStats {
+                bytes_sent: 50,
+                ..Default::default()
+            },
+            Some(&rec_a.snapshot(0)),
+        );
+        let mut rec_b = mmds_swmpi::matrix::MatrixRecorder::default();
+        rec_b.record_send(1, 100);
+        reg.absorb_comm_rank(
+            0,
+            &mmds_swmpi::CommStats {
+                bytes_sent: 100,
+                ..Default::default()
+            },
+            Some(&rec_b.snapshot(0)),
+        );
+        let mut rec_c = mmds_swmpi::matrix::MatrixRecorder::default();
+        rec_c.record_recv(0, 100);
+        reg.absorb_comm_rank(1, &Default::default(), Some(&rec_c.snapshot(1)));
+
+        let report = build_run_report(vec![], vec![], &reg);
+        assert_eq!(report.ranks.len(), 2);
+        assert_eq!(report.ranks[0].comm.unwrap().bytes_sent, 150);
+        let m = report.ranks[0].matrix.as_ref().unwrap();
+        assert_eq!(m.bytes_out(), 150);
+        // The merged world view stays pairwise symmetric.
+        let w = report.world_matrix().unwrap();
+        w.validate_symmetry().expect("merged deposits symmetric");
+        assert_eq!(w.bytes(0, 1), 100);
+    }
+
+    #[test]
+    fn build_run_report_computes_imbalance() {
+        let reg = CounterRegistry::default();
+        reg.absorb_comm_rank(0, &Default::default(), None);
+        reg.absorb_comm_rank(1, &Default::default(), None);
+        let mk = |path: &str, total_s: f64| SpanReport {
+            path: path.into(),
+            count: 1,
+            total_s,
+            self_s: total_s,
+        };
+        let rank_spans = vec![
+            (Some(0), mk("md.phase", 3.0)),
+            (Some(1), mk("md.phase", 1.0)),
+            (Some(0), mk("kmc.phase", 0.5)),
+            (None, mk("driver.io", 9.0)), // untagged: excluded
+        ];
+        let report = build_run_report(vec![], rank_spans, &reg);
+        assert_eq!(report.ranks.len(), 2);
+        assert_eq!(report.ranks[0].rank, 0);
+        assert_eq!(report.ranks[0].spans.len(), 2);
+        let md = report
+            .imbalance
+            .iter()
+            .find(|p| p.path == "md.phase")
+            .unwrap();
+        assert_eq!(md.ranks, 2);
+        assert_eq!(md.max_s, 3.0);
+        assert_eq!(md.avg_s, 2.0);
+        assert_eq!(md.min_s, 1.0);
+        assert!((md.ratio - 1.5).abs() < 1e-12);
+        // Rank 1 never entered kmc.phase: min is 0, avg counts it.
+        let kmc = report
+            .imbalance
+            .iter()
+            .find(|p| p.path == "kmc.phase")
+            .unwrap();
+        assert_eq!(kmc.min_s, 0.0);
+        assert_eq!(kmc.avg_s, 0.25);
+        assert!(!report.imbalance.iter().any(|p| p.path == "driver.io"));
+        // Sorted by descending max_s.
+        assert_eq!(report.imbalance[0].path, "md.phase");
     }
 }

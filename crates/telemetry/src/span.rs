@@ -18,9 +18,9 @@
 //! stay on in release builds for the per-phase (not per-atom)
 //! granularity used across this workspace.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -42,9 +42,12 @@ pub(crate) struct SpanStat {
 /// construct private instances for isolation.
 pub struct Telemetry {
     enabled: AtomicBool,
-    spans: Mutex<HashMap<String, SpanStat>>,
+    /// Keyed by (emitting rank, full span path). `None` is the driver
+    /// (untagged) dimension, so pre-rank callers keep working.
+    spans: Mutex<HashMap<(Option<u32>, String), SpanStat>>,
     counters: CounterRegistry,
     sink: Mutex<Option<Box<dyn EventSink>>>,
+    jsonl_path: Mutex<Option<String>>,
     seq: AtomicU64,
     epoch: Instant,
 }
@@ -52,6 +55,62 @@ pub struct Telemetry {
 thread_local! {
     /// Per-thread stack of open spans: (full path, start, child time).
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    /// Simulated rank this thread reports as (see [`rank_scope`]).
+    static RANK: Cell<Option<u32>> = const { Cell::new(None) };
+    /// Dense per-process thread id, assigned on first use.
+    static TID: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+/// Next dense thread id (process-wide).
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// Small stable id of the calling OS thread, assigned densely from 0
+/// on first use. Trace consumers use it as the Perfetto `tid`.
+pub fn thread_tid() -> u32 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+/// The rank the calling thread is currently tagged with.
+pub fn current_rank() -> Option<u32> {
+    RANK.with(|r| r.get())
+}
+
+/// Tags the calling thread with a simulated rank (or clears the tag
+/// with `None`). Spans and events emitted afterwards carry the tag.
+/// Prefer [`rank_scope`], which restores the previous tag on drop.
+pub fn set_thread_rank(rank: Option<u32>) {
+    RANK.with(|r| r.set(rank));
+}
+
+/// RAII rank tag: tags the calling thread for the guard's lifetime and
+/// restores the previous tag on drop.
+///
+/// ```
+/// let _tag = mmds_telemetry::rank_scope(3);
+/// assert_eq!(mmds_telemetry::current_rank(), Some(3));
+/// ```
+pub fn rank_scope(rank: u32) -> RankScope {
+    let prev = current_rank();
+    set_thread_rank(Some(rank));
+    RankScope { prev }
+}
+
+/// Guard returned by [`rank_scope`]; restores the previous tag on drop.
+pub struct RankScope {
+    prev: Option<u32>,
+}
+
+impl Drop for RankScope {
+    fn drop(&mut self) {
+        set_thread_rank(self.prev);
+    }
 }
 
 struct Frame {
@@ -74,6 +133,7 @@ impl Telemetry {
             spans: Mutex::new(HashMap::new()),
             counters: CounterRegistry::default(),
             sink: Mutex::new(None),
+            jsonl_path: Mutex::new(None),
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
         };
@@ -87,13 +147,17 @@ impl Telemetry {
             Mode::Off => {
                 self.enabled.store(false, Ordering::Relaxed);
                 *self.sink.lock().unwrap() = None;
+                *self.jsonl_path.lock().unwrap() = None;
             }
             Mode::Summary => {
                 self.enabled.store(true, Ordering::Relaxed);
             }
             Mode::Jsonl(path) => {
                 match crate::event::FileSink::create(&path) {
-                    Ok(s) => *self.sink.lock().unwrap() = Some(Box::new(s)),
+                    Ok(s) => {
+                        *self.sink.lock().unwrap() = Some(Box::new(s));
+                        *self.jsonl_path.lock().unwrap() = Some(path.clone());
+                    }
                     Err(e) => eprintln!("[telemetry] cannot open {path}: {e}; events disabled"),
                 }
                 self.enabled.store(true, Ordering::Relaxed);
@@ -109,7 +173,22 @@ impl Telemetry {
 
     /// Removes the sink, returning it.
     pub fn take_sink(&self) -> Option<Box<dyn EventSink>> {
+        *self.jsonl_path.lock().unwrap() = None;
         self.sink.lock().unwrap().take()
+    }
+
+    /// Path of the JSONL stream when the sink is a [`Mode::Jsonl`]
+    /// file sink; `None` otherwise.
+    pub fn jsonl_path(&self) -> Option<String> {
+        self.jsonl_path.lock().unwrap().clone()
+    }
+
+    /// Flushes the installed sink (no-op without one). Call before
+    /// reading the JSONL file back while the process is still alive.
+    pub fn flush_sink(&self) {
+        if let Some(sink) = self.sink.lock().unwrap().as_mut() {
+            sink.flush();
+        }
     }
 
     /// True when spans are being recorded.
@@ -156,7 +235,9 @@ impl Telemetry {
         });
         {
             let mut spans = self.spans.lock().unwrap();
-            let e = spans.entry(frame.path.clone()).or_default();
+            let e = spans
+                .entry((current_rank(), frame.path.clone()))
+                .or_default();
             e.count += 1;
             e.total_ns += elapsed;
             e.child_ns += frame.child_ns;
@@ -171,21 +252,39 @@ impl Telemetry {
     /// get a process-ordered sequence number under the sink lock, so
     /// concurrent emitters produce a consistent total order.
     pub fn emit(&self, event: Event) {
+        // Resolve thread identity before taking the sink lock.
+        let rank = current_rank();
+        let tid = Some(thread_tid());
         let mut sink = self.sink.lock().unwrap();
         if let Some(sink) = sink.as_mut() {
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
             let t_ns = self.epoch.elapsed().as_nanos() as u64;
-            sink.record(&Record { seq, t_ns, event });
+            sink.record(&Record {
+                seq,
+                t_ns,
+                rank,
+                tid,
+                event,
+            });
         }
     }
 
-    /// Snapshot of all span statistics, sorted by path.
+    /// Snapshot of all span statistics aggregated over ranks, sorted by
+    /// path. This is the pre-rank-dimension view existing consumers
+    /// (the tree renderer, figure binaries) expect.
     pub fn span_reports(&self) -> Vec<crate::report::SpanReport> {
         let spans = self.spans.lock().unwrap();
-        let mut out: Vec<_> = spans
-            .iter()
+        let mut merged: HashMap<&str, SpanStat> = HashMap::new();
+        for ((_, path), s) in spans.iter() {
+            let e = merged.entry(path.as_str()).or_default();
+            e.count += s.count;
+            e.total_ns += s.total_ns;
+            e.child_ns += s.child_ns;
+        }
+        let mut out: Vec<_> = merged
+            .into_iter()
             .map(|(path, s)| crate::report::SpanReport {
-                path: path.clone(),
+                path: path.to_string(),
                 count: s.count,
                 total_s: s.total_ns as f64 * 1e-9,
                 self_s: s.total_ns.saturating_sub(s.child_ns) as f64 * 1e-9,
@@ -195,14 +294,36 @@ impl Telemetry {
         out
     }
 
-    /// Merges spans, counters, and retained samples into the final
-    /// run-wide report.
+    /// Span statistics split by emitting rank, sorted by (rank, path);
+    /// the `None` (driver) dimension comes first.
+    pub fn rank_span_reports(&self) -> Vec<(Option<u32>, crate::report::SpanReport)> {
+        let spans = self.spans.lock().unwrap();
+        let mut out: Vec<_> = spans
+            .iter()
+            .map(|((rank, path), s)| {
+                (
+                    *rank,
+                    crate::report::SpanReport {
+                        path: path.clone(),
+                        count: s.count,
+                        total_s: s.total_ns as f64 * 1e-9,
+                        self_s: s.total_ns.saturating_sub(s.child_ns) as f64 * 1e-9,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| (a.0, &a.1.path).cmp(&(b.0, &b.1.path)));
+        out
+    }
+
+    /// Merges spans, counters, retained samples, and the per-rank
+    /// breakdown into the final run-wide report.
     pub fn run_report(&self) -> RunReport {
-        RunReport {
-            spans: self.span_reports(),
-            counters: self.counters.snapshot(),
-            samples: self.counters.samples(),
-        }
+        crate::report::build_run_report(
+            self.span_reports(),
+            self.rank_span_reports(),
+            &self.counters,
+        )
     }
 
     /// Renders the flamegraph-style self-time tree of this instance.

@@ -103,6 +103,8 @@ fn jsonl_file_round_trips_a_full_event_stream() {
             runaways: 1,
             vacancies: 2,
             interstitials: 1,
+            energy_drift: 0.0,
+            momentum_norm: 0.5,
         }));
         drop(_b);
         drop(_a);
