@@ -1,0 +1,28 @@
+//! # mmds-attrs — marker attributes for the `mmds-audit` passes
+//!
+//! The `mmds-audit` determinism linter scans physics-facing crates
+//! (`md`, `kmc`, `coupled`) for nondeterminism hazards: iteration over
+//! hash containers, wall-clock or thread-identity values flowing into
+//! state, unordered parallel float reductions. Telemetry-only code
+//! paths legitimately do some of these; marking the item with
+//! [`macro@nondeterministic_ok`] tells the linter the nondeterminism
+//! is confined to observability output and never reaches physics
+//! state.
+//!
+//! The attribute expands to nothing — it exists purely as a
+//! machine-readable allowlist marker (the linter also accepts the
+//! comment form `// mmds: nondeterministic_ok` for positions where an
+//! attribute cannot appear, e.g. on statements).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Marks an item as intentionally nondeterministic (telemetry-only
+/// path). The `mmds-audit` determinism linter suppresses findings
+/// inside the item; the attribute itself is a no-op passthrough.
+#[proc_macro_attribute]
+pub fn nondeterministic_ok(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -1,0 +1,22 @@
+//! Lint fixture (never compiled): genuine hazards confined to
+//! telemetry output, allowlisted with the attribute and comment
+//! markers — the linter must suppress both.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[mmds_attrs::nondeterministic_ok]
+pub fn histogram_total(samples: &HashMap<String, u64>) -> u64 {
+    // Integer sum over an unordered map: order-independent, and the
+    // result only feeds a telemetry line, never physics state.
+    let mut total = 0;
+    for (_k, v) in samples.iter() {
+        total += v;
+    }
+    total
+}
+
+// mmds: nondeterministic_ok
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,15 @@
+//! Lint fixture (never compiled): the deterministic rewrite of
+//! `hashmap_in_force.rs` — per-species partials in a dense `Vec`
+//! indexed by species id, accumulated and drained in index order. The
+//! linter must report nothing here.
+
+pub fn accumulate_forces(species: &[usize], contrib: &[f64], force: &mut [f64]) {
+    let n_species = species.iter().copied().max().map_or(0, |m| m + 1);
+    let mut by_species = vec![0.0f64; n_species];
+    for (&s, &c) in species.iter().zip(contrib) {
+        by_species[s] += c;
+    }
+    for (s, partial) in by_species.iter().enumerate() {
+        force[s % force.len()] += partial;
+    }
+}

@@ -1,0 +1,18 @@
+//! Lint fixture (never compiled): a force pass that accumulates
+//! per-species partials in a `HashMap` and iterates it into the force
+//! array — iteration order feeds physics state, the exact hazard the
+//! determinism linter must catch.
+
+use std::collections::HashMap;
+
+pub fn accumulate_forces(species: &[usize], contrib: &[f64], force: &mut [f64]) {
+    let mut by_species: HashMap<usize, f64> = HashMap::new();
+    for (&s, &c) in species.iter().zip(contrib) {
+        *by_species.entry(s).or_insert(0.0) += c;
+    }
+    // BUG: map iteration order is randomized per process; the float
+    // additions below land in a different order every run.
+    for (s, partial) in by_species.iter() {
+        force[*s % force.len()] += partial;
+    }
+}

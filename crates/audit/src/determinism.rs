@@ -1,0 +1,329 @@
+//! Determinism linter.
+//!
+//! The MD/KMC/coupled crates promise bitwise-identical results at any
+//! rank or thread count (the paper's Table 3 conservation checks rely
+//! on it, and so does every regression baseline in `crates/bench`).
+//! This pass scans their **live** (non-test) sources lexically for the
+//! three hazard families that historically break that promise:
+//!
+//! * **A — hash-container iteration.** `HashMap`/`HashSet` iteration
+//!   order is randomized per process; iterating one into physics state
+//!   makes runs unrepeatable. Insert/lookup are fine — only
+//!   `.iter()`/`.keys()`/`.values()`/`.drain()`/`for … in` trip the
+//!   lint.
+//! * **B — environment-derived values.** `Instant::now` /
+//!   `SystemTime::now` (wall clock), `thread::current` (thread
+//!   identity), `as *const` / `as *mut` / `addr_of` (address-derived
+//!   numbers) must not reach physics code; timing belongs in
+//!   `mmds-telemetry`.
+//! * **C — unordered parallel float reduction.** A rayon chain that
+//!   ends in `.sum()` / `.reduce()` / `.fold()` accumulates floats in
+//!   nondeterministic order. The sanctioned pattern is
+//!   `chunked_map`-style: parallel map into ordered chunks, then a
+//!   sequential, fixed-order reduction.
+//!
+//! Telemetry-only paths opt out with
+//! `#[mmds_attrs::nondeterministic_ok]` on the item (or
+//! `// mmds: nondeterministic_ok` where an attribute cannot sit); the
+//! marker suppresses findings through the following brace block.
+
+use std::path::Path;
+
+use crate::findings::{Finding, Pass};
+use crate::workspace::{self, SourceFile};
+
+/// Directories whose live code must be deterministic.
+const PHYSICS_DIRS: [&str; 3] = ["crates/md/src", "crates/kmc/src", "crates/coupled/src"];
+
+/// Lints every live physics source under `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    workspace::load_sources(root, &PHYSICS_DIRS)
+        .iter()
+        .flat_map(lint_file)
+        .collect()
+}
+
+/// Lints one source file. Findings inside `#[cfg(test)]` items or
+/// allowlisted regions are suppressed.
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let live = workspace::strip_test_blocks(&file.scrubbed);
+    let suppressed = suppressed_ranges(file);
+    let mut findings = Vec::new();
+
+    hash_iteration(file, &live, &mut findings);
+    environment_values(file, &live, &mut findings);
+    parallel_reduction(file, &live, &mut findings);
+
+    findings.retain(|f| !suppressed.iter().any(|&(a, b)| (a..=b).contains(&f.line)));
+    findings.sort_by_key(|f| f.line);
+    findings.dedup();
+    findings
+}
+
+/// Line ranges covered by a `nondeterministic_ok` marker: from the
+/// marker through the end of the following brace block (or statement).
+fn suppressed_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let scrubbed = file.scrubbed.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = file.raw[from..].find("nondeterministic_ok") {
+        let at = from + pos;
+        from = at + "nondeterministic_ok".len();
+        let start_line = file.line_of(at);
+        // Walk the *scrubbed* text (no braces hiding in strings) to the
+        // end of the next brace block, or the next `;` if none opens.
+        let mut i = from.min(scrubbed.len());
+        let mut end = i;
+        let mut depth = 0usize;
+        while i < scrubbed.len() {
+            match scrubbed[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        ranges.push((start_line, file.line_of(end)));
+    }
+    ranges
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Rule A: track identifiers bound to hash containers, flag iteration.
+fn hash_iteration(file: &SourceFile, live: &str, findings: &mut Vec<Finding>) {
+    let bytes = live.as_bytes();
+    let mut tracked: Vec<String> = Vec::new();
+    for container in ["HashMap", "HashSet"] {
+        let mut from = 0;
+        while let Some(pos) = live[from..].find(container) {
+            let at = from + pos;
+            from = at + container.len();
+            if at > 0 && is_ident(bytes[at - 1]) {
+                continue;
+            }
+            // `name: HashMap<…>` / `name: &HashMap<…>` (binding,
+            // parameter or struct field) or `name = HashMap::new()`.
+            let mut i = at;
+            loop {
+                while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                    i -= 1;
+                }
+                if i > 0 && (bytes[i - 1] == b'&' || bytes[i - 1] == b'\'') {
+                    i -= 1;
+                    continue;
+                }
+                if i >= 3 && bytes[i - 3..i] == *b"mut" && (i < 4 || !is_ident(bytes[i - 4])) {
+                    i -= 3;
+                    continue;
+                }
+                break;
+            }
+            if i == 0 {
+                continue;
+            }
+            let sep = bytes[i - 1];
+            let binder = match sep {
+                b':' if i < 2 || bytes[i - 2] != b':' => true,
+                b'=' if i < 2 || !matches!(bytes[i - 2], b'=' | b'<' | b'>' | b'!') => true,
+                _ => false,
+            };
+            if !binder {
+                continue;
+            }
+            let mut j = i - 1;
+            while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            let end = j;
+            while j > 0 && is_ident(bytes[j - 1]) {
+                j -= 1;
+            }
+            let name = &live[j..end];
+            if !name.is_empty() && name != "mut" && !tracked.iter().any(|t| t == name) {
+                tracked.push(name.to_string());
+            }
+        }
+    }
+
+    for name in &tracked {
+        let mut from = 0;
+        while let Some(pos) = live[from..].find(name.as_str()) {
+            let at = from + pos;
+            from = at + name.len();
+            let end = at + name.len();
+            let bounded = (at == 0 || !is_ident(bytes[at - 1]))
+                && (end >= bytes.len() || !is_ident(bytes[end]));
+            if !bounded {
+                continue;
+            }
+            let after = &live[end..];
+            let ordered_call = [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("]
+                .iter()
+                .any(|m| after.starts_with(m));
+            let preceded_by_in = {
+                // `for … in name` / `in &name` / `in &mut name`: walk
+                // back over `&`, `mut` and whitespace to the keyword.
+                let mut k = at;
+                loop {
+                    while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+                        k -= 1;
+                    }
+                    if k > 0 && bytes[k - 1] == b'&' {
+                        k -= 1;
+                        continue;
+                    }
+                    if k >= 3 && bytes[k - 3..k] == *b"mut" && (k < 4 || !is_ident(bytes[k - 4])) {
+                        k -= 3;
+                        continue;
+                    }
+                    break;
+                }
+                k >= 2 && bytes[k - 2..k] == *b"in" && (k < 3 || !is_ident(bytes[k - 3]))
+            };
+            if ordered_call || preceded_by_in {
+                findings.push(Finding::at(
+                    Pass::Determinism,
+                    file.rel.clone(),
+                    file.line_of(at),
+                    format!(
+                        "iteration over hash container `{name}` — order is \
+                         nondeterministic; use a BTree container, sort first, or mark \
+                         the item #[mmds_attrs::nondeterministic_ok]"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule B: wall-clock / thread-identity / address-derived values.
+fn environment_values(file: &SourceFile, live: &str, findings: &mut Vec<Finding>) {
+    const NEEDLES: [(&str, &str); 6] = [
+        ("Instant::now(", "wall-clock value (`Instant::now`)"),
+        ("SystemTime::now(", "wall-clock value (`SystemTime::now`)"),
+        (
+            "thread::current(",
+            "thread-identity value (`thread::current`)",
+        ),
+        ("as *const", "address-derived value (`as *const`)"),
+        ("as *mut", "address-derived value (`as *mut`)"),
+        ("::addr_of", "address-derived value (`addr_of`)"),
+    ];
+    for (needle, what) in NEEDLES {
+        let mut from = 0;
+        while let Some(pos) = live[from..].find(needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            findings.push(Finding::at(
+                Pass::Determinism,
+                file.rel.clone(),
+                file.line_of(at),
+                format!(
+                    "{what} in physics code — route timing/identity through \
+                     mmds-telemetry or mark the item #[mmds_attrs::nondeterministic_ok]"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule C: a parallel chain reduced with `.sum()`/`.reduce()`/`.fold()`
+/// in the same statement accumulates floats in nondeterministic order.
+fn parallel_reduction(file: &SourceFile, live: &str, findings: &mut Vec<Finding>) {
+    const PAR: [&str; 4] = ["into_par_iter(", "par_iter(", "par_chunks", "par_bridge("];
+    const RED: [&str; 3] = [".sum(", ".reduce(", ".fold("];
+    let mut offset = 0;
+    for stmt in live.split(';') {
+        let par_at = PAR.iter().filter_map(|p| stmt.find(p)).min();
+        if let Some(p) = par_at {
+            if RED.iter().any(|r| stmt[p..].contains(r)) {
+                findings.push(Finding::at(
+                    Pass::Determinism,
+                    file.rel.clone(),
+                    file.line_of(offset + p),
+                    "parallel float reduction — accumulation order depends on the \
+                     schedule; map into ordered chunks and reduce sequentially \
+                     (see md::force::chunked_map)"
+                        .to_string(),
+                ));
+            }
+        }
+        offset += stmt.len() + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "crates/md/src/fake.rs".into(),
+            raw: src.to_string(),
+            scrubbed: workspace::scrub(src),
+        }
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged() {
+        let src = "fn f() {\n    let mut acc = HashMap::new();\n    acc.insert(1, 2.0);\n    for (k, v) in acc.iter() { use_it(k, v); }\n}\n";
+        let findings = lint_file(&file(src));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 4);
+        assert!(findings[0].message.contains("`acc`"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_set_is_flagged() {
+        let src = "fn f(seen: HashSet<usize>) {\n    for s in &seen { touch(s); }\n}\n";
+        let findings = lint_file(&file(src));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn insert_and_contains_are_fine() {
+        let src = "fn f() {\n    let mut seen: HashSet<usize> = HashSet::new();\n    seen.insert(3);\n    assert!(seen.contains(&3));\n}\n";
+        assert!(lint_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_and_allowlist_suppresses() {
+        let bad = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(lint_file(&file(bad)).len(), 1);
+        let ok = "#[mmds_attrs::nondeterministic_ok]\nfn f() { let t = Instant::now(); }\n";
+        assert!(lint_file(&file(ok)).is_empty(), "attribute allowlists");
+        let ok2 = "// mmds: nondeterministic_ok\nfn f() { let t = Instant::now(); }\n";
+        assert!(lint_file(&file(ok2)).is_empty(), "comment allowlists");
+    }
+
+    #[test]
+    fn parallel_reduction_flagged_sequential_fine() {
+        let bad = "fn f(v: &[f64]) -> f64 { v.par_iter().map(|x| x * x).sum() }\n";
+        assert_eq!(lint_file(&file(bad)).len(), 1);
+        let ok = "fn f(v: &[f64]) -> f64 { v.iter().map(|x| x * x).sum() }\n";
+        assert!(lint_file(&file(ok)).is_empty());
+        let ok2 = "fn f(v: &[f64]) -> Vec<f64> { v.par_iter().map(|x| x * x).collect() }\n";
+        assert!(lint_file(&file(ok2)).is_empty(), "ordered collect is fine");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n";
+        assert!(lint_file(&file(src)).is_empty());
+    }
+}

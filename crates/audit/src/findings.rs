@@ -1,0 +1,76 @@
+//! Audit findings: one violation, attributed to a pass and a source
+//! position.
+
+/// Which analysis pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// LDM budget prover (including the hard-coded-literal scan).
+    LdmBudget,
+    /// Determinism linter.
+    Determinism,
+    /// Flop-ledger cross-checker.
+    FlopLedger,
+    /// `forbid(unsafe_code)` / unsafe-token audit.
+    UnsafeAudit,
+}
+
+impl Pass {
+    /// Short tag used in rendered findings.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Pass::LdmBudget => "ldm-budget",
+            Pass::Determinism => "determinism",
+            Pass::FlopLedger => "flop-ledger",
+            Pass::UnsafeAudit => "unsafe-audit",
+        }
+    }
+}
+
+/// One audit violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Producing pass.
+    pub pass: Pass,
+    /// Workspace-relative file path (empty for whole-workspace facts).
+    pub file: String,
+    /// 1-based line, 0 when the finding has no line anchor.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding anchored to `file:line`.
+    pub fn at(
+        pass: Pass,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            pass,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.file.is_empty() {
+            write!(f, "[{}] {}", self.pass.tag(), self.message)
+        } else if self.line == 0 {
+            write!(f, "[{}] {}: {}", self.pass.tag(), self.file, self.message)
+        } else {
+            write!(
+                f,
+                "[{}] {}:{}: {}",
+                self.pass.tag(),
+                self.file,
+                self.line,
+                self.message
+            )
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! LDM budget prover.
+//!
+//! Walks every registered CPE kernel plan and proves — symbolically,
+//! from the declared plan constants, before anything runs — that its
+//! worst-case simultaneous-live footprint fits the SW26010 64 KB local
+//! store. The registered plans are:
+//!
+//! * the four Fig. 9 MD offload variants
+//!   ([`mmds_md::offload::OffloadConfig::ldm_plans`]): resident
+//!   compacted table + (double-buffered) block in/out buffers +
+//!   ghost-reuse margin, per sweep;
+//! * the Fe–Cu alloy table placement
+//!   ([`mmds_eam::alloy::LdmPlacement::plan`]) under the optimized
+//!   sweep's block-buffer reservation;
+//! * the register-mesh distributed-table slice
+//!   ([`mmds_sunway::register::distributed_table_plan`]) for the
+//!   traditional 280 kB table spread across 64 CPEs.
+//!
+//! A second, textual check keeps the capacity itself honest: the
+//! number 65536 may be spelled only in `crates/sunway/src/arch.rs`
+//! (the single source of truth, [`SwModel::sw26010`]); a hard-coded
+//! `65536` / `64 * 1024` / `0x10000` anywhere else is a finding.
+
+use std::path::Path;
+
+use mmds_eam::alloy::{AlloyEam, LdmPlacement};
+use mmds_eam::spline::PAPER_TABLE_N;
+use mmds_md::offload::{OffloadConfig, STAGE_BYTES_PER_SITE};
+use mmds_sunway::register::distributed_table_plan;
+use mmds_sunway::{budget::render_budget_table, LdmPlan, SwModel};
+
+use crate::findings::{Finding, Pass};
+use crate::workspace;
+
+/// Every CPE kernel plan the workspace registers, in report order.
+pub fn collect_plans() -> Vec<LdmPlan> {
+    let ldm = SwModel::sw26010().ldm_bytes;
+    let mut plans = Vec::new();
+
+    // MD offload: all four Fig. 9 variants, every sweep each launches.
+    for (label, cfg) in OffloadConfig::fig9_variants() {
+        plans.extend(cfg.ldm_plans(label, PAPER_TABLE_N));
+    }
+
+    // Fe–Cu alloy: table residency planned around the optimized
+    // sweep's block buffers; resident tables + buffers must co-exist.
+    let opt = OffloadConfig::optimized();
+    let copies = if opt.double_buffer { 2 } else { 1 };
+    let per_site = copies * 2 * STAGE_BYTES_PER_SITE
+        + if opt.data_reuse {
+            STAGE_BYTES_PER_SITE
+        } else {
+            0
+        };
+    let buffer_bytes = opt.block_sites * per_site;
+    let alloy = AlloyEam::fe_cu(0.015, PAPER_TABLE_N);
+    let placement = LdmPlacement::plan(&alloy, ldm - buffer_bytes);
+    let mut plan = LdmPlan::new("eam.alloy/fe_cu/placement", ldm).with(
+        "atom block buffers",
+        opt.block_sites,
+        per_site,
+    );
+    for id in &placement.resident {
+        plan = plan.with(
+            format!("resident {:?}", id),
+            alloy.table(*id).memory_bytes(),
+            1,
+        );
+    }
+    plans.push(plan);
+
+    // Register mesh: each CPE's slice of the distributed traditional
+    // table, alongside one optimized sweep's block buffers.
+    let traditional_bytes = PAPER_TABLE_N * 7 * 8;
+    let (slice, _) = distributed_table_plan(traditional_bytes, 64);
+    plans.push(
+        LdmPlan::new("sunway.register/distributed_table", ldm)
+            .with("table slice (280000 B / 64 CPEs)", slice, 1)
+            .with("atom block buffers", opt.block_sites, per_site),
+    );
+
+    plans
+}
+
+/// Substrings that spell the LDM capacity as a literal.
+const LITERALS: [&str; 4] = ["65536", "64 * 1024", "64*1024", "0x10000"];
+
+/// The one file allowed to spell the capacity.
+const SOURCE_OF_TRUTH: &str = "crates/sunway/src/arch.rs";
+
+/// Runs the prover: checks every registered plan, scans for hard-coded
+/// capacity literals, and returns the rendered budget table plus any
+/// findings.
+pub fn run(root: &Path) -> (String, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let plans = collect_plans();
+    for plan in &plans {
+        if let Err(e) = plan.check() {
+            findings.push(Finding::at(Pass::LdmBudget, "", 0, e.to_string()));
+        }
+    }
+    let table = render_budget_table(&plans);
+
+    for file in workspace::load_sources(root, &["crates", "src"]) {
+        if file.rel == SOURCE_OF_TRUTH
+            || !file.rel.contains("/src/") && !file.rel.starts_with("src/")
+        {
+            continue;
+        }
+        for lit in LITERALS {
+            let mut from = 0;
+            while let Some(pos) = file.scrubbed[from..].find(lit) {
+                let at = from + pos;
+                findings.push(Finding::at(
+                    Pass::LdmBudget,
+                    file.rel.clone(),
+                    file.line_of(at),
+                    format!(
+                        "hard-coded LDM capacity literal `{lit}`; use \
+                         SwModel::sw26010().ldm_bytes (defined once in {SOURCE_OF_TRUTH})"
+                    ),
+                ));
+                from = at + lit.len();
+            }
+        }
+    }
+
+    (table, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registered_plans_fit() {
+        for plan in collect_plans() {
+            plan.check().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn oversized_plan_is_rejected_with_breakdown() {
+        // A deliberately oversized kernel plan: the traditional
+        // 5000 × 7 × 8 B table resident in a single local store — the
+        // layout the paper rejects in §2.1.2.
+        let plan = LdmPlan::new("md.offload/naive/resident_traditional", 65_536)
+            .with("resident traditional table", PAPER_TABLE_N * 7, 8)
+            .with("block in", 448 * 3, 8);
+        let err = plan.check().expect_err("280000 B cannot fit 64 KB");
+        let msg = err.to_string();
+        assert!(msg.contains("resident traditional table"), "{msg}");
+        assert!(msg.contains("280000 B"), "per-kernel byte breakdown: {msg}");
+        assert!(msg.contains("over by"), "{msg}");
+    }
+
+    #[test]
+    fn alloy_placement_keeps_a_table_resident() {
+        let plans = collect_plans();
+        let alloy = plans
+            .iter()
+            .find(|p| p.kernel.contains("eam.alloy"))
+            .expect("alloy placement plan registered");
+        assert!(
+            alloy.items.iter().any(|i| i.name.starts_with("resident")),
+            "placement admits at least one resident table under the \
+             optimized sweep's buffer reservation"
+        );
+    }
+
+    #[test]
+    fn literal_scan_flags_hardcoded_capacity() {
+        let dir = std::env::temp_dir().join("mmds_audit_ldm_scan_test");
+        let src = dir.join("crates/fake/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn cap() -> usize { 64 * 1024 }\n// comment 65536 is fine\n",
+        )
+        .unwrap();
+        let (_, findings) = run(&dir);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("64 * 1024"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! `mmds-audit` — run the workspace static-analysis passes from the
+//! command line (CI gates on the exit status).
+//!
+//! ```text
+//! mmds-audit [--all | --ldm --determinism --flops --unsafe-audit]
+//!            [--root PATH] [--quiet]
+//! ```
+//!
+//! Exit status 0 = clean, 1 = findings, 2 = usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mmds_audit::{determinism, findings::Finding, flops, ldm, unsafe_audit, workspace};
+
+const USAGE: &str = "mmds-audit: workspace static-analysis passes
+
+USAGE:
+    mmds-audit [PASSES] [OPTIONS]
+
+PASSES (default: --all):
+    --all             run every pass
+    --ldm             LDM budget prover + capacity-literal scan
+    --determinism     determinism linter (md, kmc, coupled)
+    --flops           flop-ledger cross-checker
+    --unsafe-audit    forbid(unsafe_code) + unsafe-token audit
+
+OPTIONS:
+    --root PATH       workspace root (default: nearest [workspace] above cwd)
+    --quiet           findings only, no budget table
+    --help            this text";
+
+struct Options {
+    ldm: bool,
+    determinism: bool,
+    flops: bool,
+    unsafe_audit: bool,
+    root: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        ldm: false,
+        determinism: false,
+        flops: false,
+        unsafe_audit: false,
+        root: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {
+                opts.ldm = true;
+                opts.determinism = true;
+                opts.flops = true;
+                opts.unsafe_audit = true;
+            }
+            "--ldm" => opts.ldm = true,
+            "--determinism" => opts.determinism = true,
+            "--flops" => opts.flops = true,
+            "--unsafe-audit" => opts.unsafe_audit = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                let path = it.next().ok_or("--root requires a PATH")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !(opts.ldm || opts.determinism || opts.flops || opts.unsafe_audit) {
+        opts.ldm = true;
+        opts.determinism = true;
+        opts.flops = true;
+        opts.unsafe_audit = true;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no Cargo workspace found above the current directory (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    if opts.ldm {
+        let (table, f) = ldm::run(&root);
+        if !opts.quiet {
+            println!("{table}");
+        }
+        findings.extend(f);
+    }
+    if opts.determinism {
+        findings.extend(determinism::run(&root));
+    }
+    if opts.flops {
+        findings.extend(flops::run(&root));
+    }
+    if opts.unsafe_audit {
+        findings.extend(unsafe_audit::run(&root));
+    }
+
+    if findings.is_empty() {
+        if !opts.quiet {
+            println!("mmds-audit: clean ({})", passes_run(&opts));
+        }
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("mmds-audit: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn passes_run(opts: &Options) -> String {
+    let mut names = Vec::new();
+    if opts.ldm {
+        names.push("ldm");
+    }
+    if opts.determinism {
+        names.push("determinism");
+    }
+    if opts.flops {
+        names.push("flops");
+    }
+    if opts.unsafe_audit {
+        names.push("unsafe-audit");
+    }
+    names.join(", ")
+}

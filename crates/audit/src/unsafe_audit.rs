@@ -1,0 +1,128 @@
+//! Unsafe audit.
+//!
+//! The whole workspace is a *simulation* of the Sunway machine — no
+//! FFI, no athread runtime, no MMIO — so there is no reason for
+//! `unsafe` anywhere, and every crate root carries
+//! `#![forbid(unsafe_code)]` to keep it that way. This pass verifies
+//! both halves so the guarantee survives refactors:
+//!
+//! 1. every crate root (`crates/*/src/lib.rs` and the facade
+//!    `src/lib.rs`) still declares `#![forbid(unsafe_code)]`;
+//! 2. no `unsafe` keyword appears in any source under `crates/`,
+//!    `src/` or `shims/` (the forbid attribute alone would not cover
+//!    proc-macro expansion or a crate that silently dropped the
+//!    attribute — the token scan is the belt to the attribute's
+//!    braces).
+
+use std::path::Path;
+
+use crate::findings::{Finding, Pass};
+use crate::workspace::{self, rel};
+
+/// The attribute every crate root must carry.
+const FORBID: &str = "#![forbid(unsafe_code)]";
+
+/// Runs the unsafe audit against the workspace at `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // 1. Every crate root keeps the forbid attribute.
+    let mut roots = vec![root.join("src/lib.rs")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let lib = dir.join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    for lib in roots {
+        let display = rel(root, &lib);
+        match std::fs::read_to_string(&lib) {
+            Ok(raw) if raw.contains(FORBID) => {}
+            Ok(_) => findings.push(Finding::at(
+                Pass::UnsafeAudit,
+                display,
+                0,
+                format!("crate root lacks `{FORBID}`"),
+            )),
+            Err(_) => findings.push(Finding::at(
+                Pass::UnsafeAudit,
+                display,
+                0,
+                "crate root unreadable",
+            )),
+        }
+    }
+
+    // 2. No `unsafe` keyword anywhere (comments/strings excluded).
+    for file in workspace::load_sources(root, &["crates", "src", "shims"]) {
+        let bytes = file.scrubbed.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = file.scrubbed[from..].find("unsafe") {
+            let at = from + pos;
+            from = at + "unsafe".len();
+            let end = at + "unsafe".len();
+            let bounded =
+                (at == 0 || !ident(bytes[at - 1])) && (end >= bytes.len() || !ident(bytes[end]));
+            if bounded {
+                findings.push(Finding::at(
+                    Pass::UnsafeAudit,
+                    file.rel.clone(),
+                    file.line_of(at),
+                    "`unsafe` keyword in a forbid(unsafe_code) workspace",
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+fn ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_unsafe_free() {
+        let findings = run(&crate::built_workspace_root());
+        assert!(
+            findings.is_empty(),
+            "{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn missing_forbid_and_unsafe_token_are_flagged() {
+        let dir = std::env::temp_dir().join("mmds_audit_unsafe_test");
+        let src = dir.join("crates/fake/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn ok() {}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )
+        .unwrap();
+        let findings = run(&dir);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("lacks")));
+        assert!(findings.iter().any(|f| f.message.contains("keyword")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! Golden test for the LDM budget table: the registered plans and
+//! their fitted block sizes are load-bearing numbers (they encode the
+//! paper's §2.1.2 trade-offs), so any drift must show up as a reviewed
+//! diff of `tests/golden/budget_table.txt`, not a silent change.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! cargo run -p mmds-audit --bin mmds-audit -- --ldm \
+//!   | grep -v '^mmds-audit: clean' > crates/audit/tests/golden/budget_table.txt
+//! ```
+
+use mmds_audit::ldm::collect_plans;
+use mmds_sunway::budget::render_budget_table;
+
+#[test]
+fn budget_table_matches_golden() {
+    let table = render_budget_table(&collect_plans());
+    let golden = include_str!("golden/budget_table.txt");
+    assert_eq!(
+        table.trim_end(),
+        golden.trim_end(),
+        "budget table drifted from tests/golden/budget_table.txt — if the \
+         change is intentional, regenerate per the header of this test"
+    );
+}
+
+#[test]
+fn golden_has_the_paper_numbers() {
+    let golden = include_str!("golden/budget_table.txt");
+    // Compacted table: 5000 knots × 8 B resident per CPE.
+    assert!(golden.contains("40000 B"));
+    // The optimized variant trades block size (448 → 208) for reuse +
+    // double buffering and still clears 64 KB.
+    assert!(golden.contains("DataReuse+DoubleBuffer"));
+    assert!(!golden.contains("OVER"), "no plan may exceed the budget");
+}

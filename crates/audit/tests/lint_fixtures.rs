@@ -1,0 +1,74 @@
+//! Determinism-linter fixture suite (trybuild-style, but lint-only:
+//! the fixtures are plain source files the linter reads, never
+//! compiled into the workspace).
+
+use mmds_audit::determinism;
+use mmds_audit::workspace::{scrub, SourceFile};
+
+fn fixture(name: &str) -> SourceFile {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    SourceFile {
+        rel: format!("crates/md/src/{name}"),
+        scrubbed: scrub(&raw),
+        raw,
+    }
+}
+
+#[test]
+fn hashmap_iteration_in_force_pass_is_caught() {
+    let findings = determinism::lint_file(&fixture("hashmap_in_force.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert!(f.message.contains("`by_species`"), "{f}");
+    assert!(f.message.contains("nondeterministic"), "{f}");
+    assert_eq!(f.line, 15, "anchored to the iterating for-loop: {f}");
+}
+
+#[test]
+fn deterministic_rewrite_is_clean() {
+    let findings = determinism::lint_file(&fixture("clean_force.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn allowlist_markers_suppress_both_forms() {
+    let findings = determinism::lint_file(&fixture("allowlisted.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn without_markers_the_allowlisted_hazards_would_fire() {
+    // Strip the markers and the same file must produce findings —
+    // proves the suppression is doing the work, not a blind spot.
+    let original = fixture("allowlisted.rs");
+    let raw = original
+        .raw
+        .replace("#[mmds_attrs::nondeterministic_ok]", "")
+        .replace("// mmds: nondeterministic_ok", "");
+    let stripped = SourceFile {
+        rel: original.rel.clone(),
+        scrubbed: scrub(&raw),
+        raw,
+    };
+    let findings = determinism::lint_file(&stripped);
+    assert!(
+        findings.len() >= 2,
+        "hash iteration + wall clock both fire unmarked: {findings:?}"
+    );
+}
+
+/// The attribute itself must compile as a no-op passthrough on real
+/// items (this is the workspace's one guaranteed expansion site).
+#[mmds_attrs::nondeterministic_ok]
+fn timing_helper() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[test]
+fn attribute_expands_to_passthrough() {
+    let earlier = timing_helper();
+    assert!(timing_helper() >= earlier);
+}

@@ -229,10 +229,11 @@ mod tests {
     #[test]
     fn paper_policy_fe_dominates() {
         // Paper-sized tables: each 39 KiB; 8 tables = 312 KiB ≫ 64 KB.
+        let ldm = mmds_sunway::SwModel::sw26010().ldm_bytes;
         let a = AlloyEam::fe_cu(0.01, 5000);
-        assert!(a.total_bytes() > 64 * 1024);
+        assert!(a.total_bytes() > ldm);
         // Budget: LDM minus 24 KB of block buffers.
-        let plan = LdmPlacement::plan(&a, 64 * 1024 - 24 * 1024);
+        let plan = LdmPlacement::plan(&a, ldm - 24 * 1024);
         // The most frequent table is Fe-Fe density/pair; exactly one
         // 39 KiB table fits in a 40 KB budget.
         assert_eq!(plan.resident.len(), 1);

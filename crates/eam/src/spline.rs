@@ -80,6 +80,8 @@ impl TraditionalTable {
     }
 
     /// Segment index and local coordinate for `x` (clamped to range).
+    // flops: LOCATE_FLOPS = 4 (sub, div, floor/min, clamp — charged once
+    // per lookup; a fused eval2 pays it once for both tables)
     #[inline]
     pub fn locate(&self, x: f64) -> (usize, f64) {
         let u = ((x - self.x0) / self.dx).max(0.0);
@@ -107,6 +109,8 @@ impl TraditionalTable {
 
     /// Value and derivative together (one row fetch — what the CPE
     /// kernel DMA-streams per neighbour in the traditional scheme).
+    // flops: SEG_EVAL_FLOPS = 8 (Horner value 3·fma + Horner derivative
+    // 2·fma, counted as 8 scalar ops per located segment)
     #[inline]
     pub fn eval_both(&self, x: f64) -> (f64, f64) {
         let (i, t) = self.locate(x);

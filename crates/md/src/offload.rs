@@ -31,10 +31,10 @@
 use std::collections::HashSet;
 
 use mmds_eam::compact::{CompactTable, RECON_EXTRA_FLOPS};
-use mmds_eam::spline::TraditionalTable;
+use mmds_eam::spline::{TraditionalTable, PAPER_TABLE_N};
 use mmds_eam::{EamPotential, TableForm, LOCATE_FLOPS, SEG_EVAL_FLOPS};
 use mmds_lattice::lnl::LatticeNeighborList;
-use mmds_sunway::{ClusterReport, CpeCluster, CpeCtx};
+use mmds_sunway::{ClusterReport, CpeCluster, CpeCtx, LdmPlan, SwModel};
 use serde::{Deserialize, Serialize};
 
 use crate::force::{for_each_partner, Central};
@@ -43,6 +43,10 @@ use crate::force::{for_each_partner, Central};
 const R_FLOPS: u64 = 18;
 /// Per-atom bookkeeping flops.
 const ATOM_FLOPS: u64 = 6;
+
+/// Bytes staged into the local store per block site (x, y, z as f64) —
+/// the unit every block-buffer term of the LDM plan is expressed in.
+pub const STAGE_BYTES_PER_SITE: usize = 24;
 
 /// Offload configuration (the Fig. 9 ablation axes).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -53,18 +57,31 @@ pub struct OffloadConfig {
     pub data_reuse: bool,
     /// Overlap staging DMA with compute.
     pub double_buffer: bool,
-    /// Sites per block (sized so table + block buffers fit in 64 KB).
+    /// Sites per block. [`OffloadConfig::fit_block_sites`] derives the
+    /// largest value whose declared LDM plan (table + block buffers +
+    /// reuse margin) fits the 64 KB local store.
     pub block_sites: usize,
 }
 
 impl OffloadConfig {
-    /// The paper's best configuration.
+    /// Upper bound on block sites regardless of spare LDM (the paper's
+    /// block granularity; larger blocks stop paying off once staging
+    /// startup is amortised).
+    pub const MAX_BLOCK_SITES: usize = 448;
+
+    /// The paper's best configuration, with the block size fitted to
+    /// the paper's 5000-knot tables by [`OffloadConfig::fit_block_sites`].
     pub fn optimized() -> Self {
+        Self::optimized_for(PAPER_TABLE_N)
+    }
+
+    /// The best configuration for tables of `knots` samples.
+    pub fn optimized_for(knots: usize) -> Self {
         Self {
             form: TableForm::Compacted,
             data_reuse: true,
             double_buffer: true,
-            block_sites: 448,
+            block_sites: Self::fit_block_sites(TableForm::Compacted, true, true, knots),
         }
     }
 
@@ -75,32 +92,97 @@ impl OffloadConfig {
             form: TableForm::Traditional,
             data_reuse: false,
             double_buffer: false,
-            block_sites: 448,
+            block_sites: Self::fit_block_sites(TableForm::Traditional, false, false, PAPER_TABLE_N),
         }
     }
 
-    /// The four Fig. 9 variants in presentation order.
+    /// The four Fig. 9 variants in presentation order, each with its
+    /// block size fitted to its own LDM plan (reuse and double
+    /// buffering consume local store, so later variants run smaller
+    /// blocks — the trade the prover makes explicit).
     pub fn fig9_variants() -> [(&'static str, Self); 4] {
         let t = Self::traditional();
+        let fit = |data_reuse, double_buffer| Self {
+            form: TableForm::Compacted,
+            data_reuse,
+            double_buffer,
+            block_sites: Self::fit_block_sites(
+                TableForm::Compacted,
+                data_reuse,
+                double_buffer,
+                PAPER_TABLE_N,
+            ),
+        };
         [
             ("TraditionalTable", t),
-            (
-                "CompactedTable",
-                Self {
-                    form: TableForm::Compacted,
-                    ..t
-                },
-            ),
-            (
-                "CompactedTable+DataReuse",
-                Self {
-                    form: TableForm::Compacted,
-                    data_reuse: true,
-                    ..t
-                },
-            ),
-            ("CompactedTable+DataReuse+DoubleBuffer", Self::optimized()),
+            ("CompactedTable", fit(false, false)),
+            ("CompactedTable+DataReuse", fit(true, false)),
+            ("CompactedTable+DataReuse+DoubleBuffer", fit(true, true)),
         ]
+    }
+
+    /// The largest block size (a multiple of 16, capped at
+    /// [`OffloadConfig::MAX_BLOCK_SITES`]) whose worst sweep fits the
+    /// SW26010 local store: resident table + (double-buffered) in/out
+    /// block buffers + ghost-reuse margin, all per the declared plan.
+    pub fn fit_block_sites(
+        form: TableForm,
+        data_reuse: bool,
+        double_buffer: bool,
+        knots: usize,
+    ) -> usize {
+        let ldm = SwModel::sw26010().ldm_bytes;
+        let table = match form {
+            TableForm::Compacted => knots * 8,
+            TableForm::Traditional => 0,
+        };
+        // Worst sweep stages positions in and 3 force words out.
+        let copies = if double_buffer { 2 } else { 1 };
+        let per_site =
+            copies * 2 * STAGE_BYTES_PER_SITE + if data_reuse { STAGE_BYTES_PER_SITE } else { 0 };
+        let fit = ldm.saturating_sub(table) / per_site;
+        (fit & !15).clamp(16, Self::MAX_BLOCK_SITES)
+    }
+
+    /// The worst-case LDM footprint of every CPE sweep this
+    /// configuration launches, declared symbolically from the plan
+    /// constants (`knots`, `block_sites`, the buffering flags). The
+    /// `mmds-audit` budget prover checks these against
+    /// [`SwModel::sw26010`]`.ldm_bytes`; the kernels below allocate the
+    /// same buffers for real, so [`ClusterReport::ldm_high_water`] can
+    /// never exceed the declared plan.
+    pub fn ldm_plans(&self, label: &str, knots: usize) -> Vec<LdmPlan> {
+        let sweep = |name: &str, resident: bool, out_words_per_site: usize| {
+            let mut plan = LdmPlan::new(
+                format!("md.offload/{label}/{name}"),
+                SwModel::sw26010().ldm_bytes,
+            );
+            if resident {
+                plan = plan.with("resident table", knots, 8);
+            }
+            plan = plan.with("block in", self.block_sites * 3, 8);
+            if self.double_buffer {
+                plan = plan.with("block in shadow", self.block_sites * 3, 8);
+            }
+            plan = plan.with("block out", self.block_sites * out_words_per_site, 8);
+            if self.double_buffer {
+                plan = plan.with("block out shadow", self.block_sites * out_words_per_site, 8);
+            }
+            if self.data_reuse {
+                plan = plan.with("ghost-reuse margin", self.block_sites * 3, 8);
+            }
+            plan
+        };
+        match self.form {
+            TableForm::Traditional => {
+                vec![sweep("density", false, 1), sweep("force_both", false, 3)]
+            }
+            TableForm::Compacted => vec![
+                sweep("density", true, 1),
+                sweep("force_pair", true, 3),
+                sweep("force_density", true, 3),
+            ],
+        }
     }
 }
 
@@ -192,6 +274,22 @@ fn slab_kernel(
     let _out_buf = ctx
         .alloc_f64(out_words)
         .expect("block output buffer fits in the local store");
+    // Double buffering really owns a second staging pair (ping-pong),
+    // and ghost reuse retains up to one block's worth of edge sites —
+    // allocated so the capacity-enforced store proves the declared
+    // `OffloadConfig::ldm_plans` budget is honest.
+    let _in_shadow = cfg.double_buffer.then(|| {
+        ctx.alloc_f64(cfg.block_sites * 3)
+            .expect("double-buffer input shadow fits in the local store")
+    });
+    let _out_shadow = cfg.double_buffer.then(|| {
+        ctx.alloc_f64(out_words)
+            .expect("double-buffer output shadow fits in the local store")
+    });
+    let _reuse_edge = cfg.data_reuse.then(|| {
+        ctx.alloc_f64(reach.min(cfg.block_sites) * 3)
+            .expect("ghost-reuse margin fits in the local store")
+    });
 
     let mut halo_seen: HashSet<usize> = HashSet::new();
     ctx.begin_blocks(cfg.double_buffer);
@@ -405,6 +503,7 @@ fn merge_reports(a: ClusterReport, b: ClusterReport) -> ClusterReport {
         time: a.time + b.time,
         counters: a.counters.merge(&b.counters),
         active_cpes: a.active_cpes.max(b.active_cpes),
+        ldm_high_water: a.ldm_high_water.max(b.ldm_high_water),
     }
 }
 
@@ -596,6 +695,54 @@ mod tests {
         let out = offload_forces(&mut s, &OffloadConfig::traditional());
         // Every neighbour interaction paid table-row gathers.
         assert!(out.density.counters.dma_gets > s.interior.len() as u64 * 10);
+    }
+
+    #[test]
+    fn ldm_high_water_within_declared_plan() {
+        // Every Fig. 9 variant's declared symbolic plan must (a) pass
+        // the budget prover and (b) upper-bound what the kernels
+        // actually kept live in the capacity-enforced store.
+        for (name, ocfg) in OffloadConfig::fig9_variants() {
+            let plans = ocfg.ldm_plans(name, 5000);
+            let worst = plans
+                .iter()
+                .map(|p| p.total_bytes())
+                .max()
+                .expect("every config has sweeps");
+            for plan in &plans {
+                plan.check().unwrap_or_else(|e| panic!("{e}"));
+            }
+            let mut s = sim();
+            let out = offload_forces(&mut s, &ocfg);
+            assert!(
+                out.density.ldm_high_water <= worst,
+                "{name}: density high-water {} exceeds declared plan {worst}",
+                out.density.ldm_high_water
+            );
+            assert!(
+                out.force.ldm_high_water <= worst,
+                "{name}: force high-water {} exceeds declared plan {worst}",
+                out.force.ldm_high_water
+            );
+            if matches!(ocfg.form, TableForm::Compacted) {
+                // Nontrivial bound: the resident table really was live.
+                assert!(out.force.ldm_high_water >= 5000 * 8, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_block_sites_track_ldm_pressure() {
+        let fit = |reuse, db| OffloadConfig::fit_block_sites(TableForm::Compacted, reuse, db, 5000);
+        // Each added optimisation consumes LDM, shrinking the block.
+        assert!(fit(false, false) >= fit(true, false));
+        assert!(fit(true, false) > fit(true, true));
+        assert_eq!(fit(false, false) % 16, 0);
+        // Traditional tables leave the whole store to block buffers.
+        assert_eq!(
+            OffloadConfig::fit_block_sites(TableForm::Traditional, false, false, 5000),
+            OffloadConfig::MAX_BLOCK_SITES
+        );
     }
 
     #[test]

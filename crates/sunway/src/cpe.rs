@@ -210,6 +210,10 @@ pub struct ClusterReport {
     pub counters: CpeCounters,
     /// Number of CPEs that did any work.
     pub active_cpes: usize,
+    /// Maximum bytes any CPE kept simultaneously live in its local
+    /// store — compared against the kernel's declared
+    /// [`crate::LdmPlan`] by the `mmds-audit` budget prover.
+    pub ldm_high_water: usize,
 }
 
 /// The 8×8 CPE mesh of one core group.
@@ -247,7 +251,7 @@ impl CpeCluster {
         for (i, item) in items.into_iter().enumerate() {
             buckets[i % n].push(item);
         }
-        let results: Vec<(f64, CpeCounters, bool)> = buckets
+        let results: Vec<(f64, CpeCounters, bool, usize)> = buckets
             .into_par_iter()
             .enumerate()
             .map(|(id, batch)| {
@@ -256,14 +260,20 @@ impl CpeCluster {
                 for item in batch {
                     kernel(&mut ctx, item);
                 }
-                (ctx.time(), ctx.counters(), active)
+                (
+                    ctx.time(),
+                    ctx.counters(),
+                    active,
+                    ctx.local_store().high_water(),
+                )
             })
             .collect();
         let mut report = ClusterReport::default();
-        for (t, c, active) in results {
+        for (t, c, active, hw) in results {
             report.time = report.time.max(t);
             report.counters = report.counters.merge(&c);
             report.active_cpes += usize::from(active);
+            report.ldm_high_water = report.ldm_high_water.max(hw);
         }
         report
     }

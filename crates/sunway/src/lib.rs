@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod budget;
 pub mod counters;
 pub mod cpe;
 pub mod ldm_cache;
@@ -38,6 +39,7 @@ pub mod pipeline;
 pub mod register;
 
 pub use arch::SwModel;
+pub use budget::{LdmBudgetError, LdmItem, LdmPlan};
 pub use counters::CpeCounters;
 pub use cpe::{ClusterReport, CpeCluster, CpeCtx};
 pub use ldm_cache::SoftCache;

@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn overflow_is_rejected() {
-        let ls = LocalStore::new(64 * 1024);
+        let ls = LocalStore::new(crate::SwModel::sw26010().ldm_bytes);
         // The paper's traditional interpolation table: 5000*7 f64 = 280 kB.
         let err = ls.alloc_f64(5000 * 7).unwrap_err();
         assert_eq!(err.requested, 5000 * 7 * 8);

@@ -140,6 +140,9 @@ mod tests {
         let (slice, p_local) = distributed_table_plan(280_000, 64);
         assert_eq!(slice, 4375);
         assert!((p_local - 1.0 / 64.0).abs() < 1e-12);
-        assert!(slice < 64 * 1024, "slices fit trivially in the LDM");
+        assert!(
+            slice < crate::SwModel::sw26010().ldm_bytes,
+            "slices fit trivially in the LDM"
+        );
     }
 }

@@ -27,4 +27,6 @@
 //! println!("Frenkel pairs: {}", report.md_vacancies);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mmds_core::*;
