@@ -1,0 +1,134 @@
+//! Property tests: union-find and the cell-binned cluster sweep
+//! against brute-force oracles.
+//!
+//! The in-situ defect observatory trusts `cluster_sizes` for every
+//! census pass, so the cell-binning + periodic minimum-image shortcut
+//! is checked here against an O(N²) connected-components oracle on
+//! small random lattices — every vacancy pattern, box shape and
+//! linking radius the sampler produces must agree exactly.
+
+use proptest::prelude::*;
+
+use mmds_analysis::clusters::cluster_sizes;
+use mmds_analysis::union_find::UnionFind;
+
+/// Brute-force connected components over an explicit edge list.
+fn oracle_components(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut label: Vec<usize> = (0..n).collect();
+    // Label propagation to fixpoint: slow and obviously correct.
+    loop {
+        let mut changed = false;
+        for &(a, b) in edges {
+            let m = label[a].min(label[b]);
+            if label[a] != m || label[b] != m {
+                label[a] = m;
+                label[b] = m;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut sizes = std::collections::BTreeMap::new();
+    for x in 0..n {
+        // Chase to the representative (labels may lag by one hop).
+        let mut r = x;
+        while label[r] != r {
+            r = label[r];
+        }
+        *sizes.entry(r).or_insert(0usize) += 1;
+    }
+    let mut out: Vec<usize> = sizes.into_values().collect();
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Periodic minimum-image squared distance.
+fn min_image_d2(a: [f64; 3], b: [f64; 3], box_len: [f64; 3]) -> f64 {
+    let mut d2 = 0.0;
+    for ax in 0..3 {
+        let mut d = a[ax] - b[ax];
+        d -= (d / box_len[ax]).round() * box_len[ax];
+        d2 += d * d;
+    }
+    d2
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union-find agrees with label-propagation on random edge sets:
+    /// same component count, same sorted size multiset, and `find`
+    /// equality exactly for connected pairs.
+    #[test]
+    fn union_find_matches_oracle(
+        n in 1usize..40,
+        edge_picks in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edge_picks.iter().map(|&(a, b)| (a % n, b % n)).collect();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        let oracle = oracle_components(n, &edges);
+        prop_assert_eq!(uf.components(), oracle.len());
+        prop_assert_eq!(uf.component_sizes(), oracle.clone());
+        prop_assert_eq!(
+            oracle.iter().sum::<usize>(), n,
+            "oracle partitions all elements"
+        );
+        for &(a, b) in &edges {
+            prop_assert_eq!(uf.find(a), uf.find(b));
+        }
+    }
+
+    /// The cell-binned periodic cluster sweep finds exactly the same
+    /// clusters as the O(N²) oracle on random vacancy patterns over a
+    /// small lattice with jitter.
+    #[test]
+    fn cluster_sweep_matches_brute_force(
+        cells in 3usize..7,
+        occupancy in prop::collection::vec((0usize..6, 0usize..6, 0usize..6), 1..30),
+        jitter in prop::collection::vec(-0.3f64..0.3, 90..91),
+        r_link in 2.0f64..5.5,
+    ) {
+        let a0 = 2.855;
+        let box_len = [cells as f64 * a0; 3];
+        // Random distinct lattice sites (duplicates collapse).
+        let mut sites: Vec<(usize, usize, usize)> = occupancy
+            .iter()
+            .map(|&(i, j, k)| (i % cells, j % cells, k % cells))
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        let points: Vec<[f64; 3]> = sites
+            .iter()
+            .enumerate()
+            .map(|(idx, &(i, j, k))| {
+                [
+                    i as f64 * a0 + jitter[(3 * idx) % jitter.len()],
+                    j as f64 * a0 + jitter[(3 * idx + 1) % jitter.len()],
+                    k as f64 * a0 + jitter[(3 * idx + 2) % jitter.len()],
+                ]
+            })
+            .collect();
+
+        let mut edges = Vec::new();
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if min_image_d2(points[i], points[j], box_len) <= r_link * r_link {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let oracle = oracle_components(points.len(), &edges);
+
+        let report = cluster_sizes(&points, box_len, r_link);
+        prop_assert_eq!(report.n_points, points.len());
+        prop_assert_eq!(report.n_clusters, oracle.len());
+        prop_assert_eq!(report.sizes, oracle.clone());
+        prop_assert_eq!(report.largest, oracle.first().copied().unwrap_or(0));
+    }
+}

@@ -1,0 +1,322 @@
+//! Telemetry counter-manifest cross-checker.
+//!
+//! The observability layer is only trustworthy if every counter and
+//! series name the physics crates charge is *known*: dashboards, the
+//! `mmds-inspect timeline` views and the bench artefacts all key on
+//! these strings, so a typo'd or drive-by name silently drops data.
+//! This pass keeps the names honest against the checked-in registry
+//! manifest (`TELEMETRY_MANIFEST.md` at the workspace root):
+//!
+//! 1. every name charged from live (non-test) code in `crates/md`,
+//!    `crates/kmc`, `crates/coupled` — via
+//!    `mmds_telemetry::add_counter(…)`, `emit_series(…)` or
+//!    `add_named(…)`, or spelled in a `const …_SERIES` /
+//!    `const …_COUNTERS` name array — must appear in the manifest;
+//! 2. every manifest entry must still be charged somewhere (no stale
+//!    rows that make readers look for data that never arrives).
+//!
+//! Like the other lexical passes, the scan runs over scrubbed text, so
+//! names mentioned in comments or test modules don't count as charges;
+//! the literal itself is recovered from the raw line (scrubbing blanks
+//! string contents but preserves per-line character positions).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::findings::{Finding, Pass};
+use crate::workspace::{self, SourceFile};
+
+/// The checked-in registry manifest, relative to the workspace root.
+pub const MANIFEST: &str = "TELEMETRY_MANIFEST.md";
+
+/// The crates whose charges the manifest must cover.
+const CHARGED_DIRS: [&str; 3] = ["crates/md", "crates/kmc", "crates/coupled"];
+
+/// Call tokens that charge a name as their first argument.
+const CALL_TOKENS: [&str; 3] = ["add_counter(", "emit_series(", "add_named("];
+
+/// One charged telemetry name found in live code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Charge {
+    /// The dotted counter/series name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the name literal.
+    pub line: usize,
+}
+
+/// Extracts the backticked dotted names from manifest text.
+pub fn parse_manifest(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for piece in text.split('`').skip(1).step_by(2) {
+        if piece.contains('.')
+            && !piece.is_empty()
+            && !piece.ends_with(".rs") // file paths in prose, not names
+            && piece
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+        {
+            names.insert(piece.to_string());
+        }
+    }
+    names
+}
+
+/// Scans one file's live (non-test) code for charged names.
+///
+/// Works line-by-line on scrubbed text (so comments and test modules
+/// never match) and recovers each literal from the raw line at the
+/// same character position — scrubbing preserves per-line character
+/// counts, so the indices line up even in files with non-ASCII
+/// comments.
+pub fn charged_names(file: &SourceFile) -> Vec<Charge> {
+    let live = workspace::strip_test_blocks(&file.scrubbed);
+    let live_lines: Vec<&str> = live.lines().collect();
+    let raw_lines: Vec<&str> = file.raw.lines().collect();
+    let mut out = Vec::new();
+
+    // Call sites: the name is the first string literal inside the
+    // argument list (possibly wrapped onto a following line); calls
+    // passing a variable instead (e.g. a loop over a name array) have
+    // no literal before the closing paren and are skipped here — the
+    // array scan below picks their names up.
+    for (ln, line) in live_lines.iter().enumerate() {
+        for token in CALL_TOKENS {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(token) {
+                let at = from + p;
+                from = at + token.len();
+                if line[..at].trim_end().ends_with("fn") {
+                    continue; // the definition, not a charge
+                }
+                if let Some(c) = literal_in_call(&live_lines, &raw_lines, ln, at + token.len()) {
+                    out.push(Charge {
+                        name: c.0,
+                        file: file.rel.clone(),
+                        line: c.1,
+                    });
+                }
+            }
+        }
+    }
+
+    // Name arrays: `const FOO_SERIES: … = [ "a.b", … ];` (and
+    // `…_COUNTERS`) declare names charged indirectly through loops.
+    for (ln, line) in live_lines.iter().enumerate() {
+        let is_decl =
+            line.trim_start().starts_with("pub const") || line.trim_start().starts_with("const");
+        if is_decl && (line.contains("_SERIES") || line.contains("_COUNTERS")) {
+            out.extend(array_literals(&live_lines, &raw_lines, ln).into_iter().map(
+                |(name, line)| Charge {
+                    name,
+                    file: file.rel.clone(),
+                    line,
+                },
+            ));
+        }
+    }
+
+    out.retain(|c| c.name.contains('.'));
+    out
+}
+
+/// From the character just after a call token's `(`, finds the first
+/// string literal before the call's closing paren. Returns the literal
+/// (read from the raw lines) and its 1-based line.
+fn literal_in_call(
+    live: &[&str],
+    raw: &[&str],
+    start_line: usize,
+    start_col: usize,
+) -> Option<(String, usize)> {
+    let mut depth = 1usize;
+    for (off, line) in live[start_line..].iter().enumerate() {
+        let col0 = if off == 0 { start_col } else { 0 };
+        for (col, ch) in line.chars().enumerate().skip(col0) {
+            match ch {
+                '"' => {
+                    let ln = start_line + off;
+                    return Some((read_literal(raw[ln], col), ln + 1));
+                }
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None; // no literal argument (variable)
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Collects every string literal between the `=` of an array
+/// declaration at `start_line` and the bracket that closes it.
+fn array_literals(live: &[&str], raw: &[&str], start_line: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut seen_open = false;
+    let eq = live[start_line].find('=').map(|p| p + 1).unwrap_or(0);
+    for (off, line) in live[start_line..].iter().enumerate() {
+        let col0 = if off == 0 { eq } else { 0 };
+        let mut in_str = false;
+        for (col, ch) in line.chars().enumerate().skip(col0) {
+            match ch {
+                '"' => {
+                    if !in_str {
+                        let ln = start_line + off;
+                        out.push((read_literal(raw[ln], col), ln + 1));
+                    }
+                    in_str = !in_str;
+                }
+                '[' if !in_str => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                ']' if !in_str => {
+                    depth = depth.saturating_sub(1);
+                    if seen_open && depth == 0 {
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Reads the string literal opening at character position `col` of a
+/// raw line (the position found in the scrubbed twin).
+fn read_literal(raw_line: &str, col: usize) -> String {
+    raw_line
+        .chars()
+        .skip(col + 1)
+        .take_while(|&c| c != '"')
+        .collect()
+}
+
+/// Runs the manifest cross-checker against the workspace at `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let manifest_path = root.join(MANIFEST);
+    let Ok(manifest_text) = std::fs::read_to_string(&manifest_path) else {
+        findings.push(Finding::at(
+            Pass::CounterManifest,
+            MANIFEST,
+            0,
+            "registry manifest missing — every charged telemetry name must be checked in",
+        ));
+        return findings;
+    };
+    let manifest = parse_manifest(&manifest_text);
+
+    let mut charged: Vec<Charge> = Vec::new();
+    for dir in CHARGED_DIRS {
+        for file in workspace::load_sources(root, &[dir]) {
+            charged.extend(charged_names(&file));
+        }
+    }
+
+    for c in &charged {
+        if !manifest.contains(&c.name) {
+            findings.push(Finding::at(
+                Pass::CounterManifest,
+                c.file.clone(),
+                c.line,
+                format!(
+                    "telemetry name `{}` is not in {MANIFEST} — add a row",
+                    c.name
+                ),
+            ));
+        }
+    }
+
+    let charged_set: BTreeSet<&str> = charged.iter().map(|c| c.name.as_str()).collect();
+    for name in &manifest {
+        if !charged_set.contains(name.as_str()) {
+            findings.push(Finding::at(
+                Pass::CounterManifest,
+                MANIFEST,
+                0,
+                format!("manifest entry `{name}` is charged nowhere in md/kmc/coupled — stale row"),
+            ));
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "crates/fake/src/x.rs".into(),
+            raw: src.into(),
+            scrubbed: workspace::scrub(src),
+        }
+    }
+
+    #[test]
+    fn manifest_names_parse() {
+        let text = "| `kmc.ghost_bytes` | counter |\nprose with `NotAName` and `md.health.x`\n";
+        let names = parse_manifest(text);
+        assert!(names.contains("kmc.ghost_bytes"));
+        assert!(names.contains("md.health.x"));
+        assert!(!names.contains("NotAName"));
+    }
+
+    #[test]
+    fn call_sites_yield_names_even_wrapped() {
+        let src = "fn f() {\n    mmds_telemetry::add_counter(\"a.b\", 1.0);\n    mmds_telemetry::emit_series(\n        \"c.d.e\",\n        t,\n        v,\n    );\n}\n";
+        let names: Vec<String> = charged_names(&file(src))
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(names, vec!["a.b".to_string(), "c.d.e".to_string()]);
+    }
+
+    #[test]
+    fn variable_calls_and_comments_are_skipped() {
+        let src = "fn f(name: &str) {\n    // add_counter(\"ghost.name\", 1.0) in a comment\n    mmds_telemetry::emit_series(name, t, v);\n}\n";
+        assert!(charged_names(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn test_modules_do_not_charge() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { mmds_telemetry::add_counter(\"only.in.test\", 1.0); }\n}\n";
+        assert!(charged_names(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn series_arrays_are_collected() {
+        let src = "pub const HIST_SERIES: [&str; 2] = [\n    \"census.h.b1\",\n    \"census.h.b2\",\n];\nconst OTHER: [&str; 1] = [\"not.collected\"];\n";
+        let names: Vec<String> = charged_names(&file(src))
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["census.h.b1".to_string(), "census.h.b2".to_string()]
+        );
+    }
+
+    #[test]
+    fn workspace_charges_match_manifest() {
+        let findings = run(&crate::built_workspace_root());
+        assert!(
+            findings.is_empty(),
+            "{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -12,6 +12,8 @@ pub enum Pass {
     FlopLedger,
     /// `forbid(unsafe_code)` / unsafe-token audit.
     UnsafeAudit,
+    /// Telemetry counter-manifest cross-checker.
+    CounterManifest,
 }
 
 impl Pass {
@@ -22,6 +24,7 @@ impl Pass {
             Pass::Determinism => "determinism",
             Pass::FlopLedger => "flop-ledger",
             Pass::UnsafeAudit => "unsafe-audit",
+            Pass::CounterManifest => "counter-manifest",
         }
     }
 }

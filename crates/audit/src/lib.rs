@@ -36,8 +36,14 @@
 //!    (real unsafe, if ever needed, is confined to shims with
 //!    `#[deny(unsafe_op_in_unsafe_fn)]` and an explicit allowlist
 //!    entry here).
+//! 5. [`counters`] — **counter-manifest cross-checker**: every
+//!    telemetry counter/series name charged from live code in `md`,
+//!    `kmc`, `coupled` must have a row in the checked-in registry
+//!    manifest (`TELEMETRY_MANIFEST.md`), and every manifest row must
+//!    still be charged somewhere (no typo'd names silently dropping
+//!    observatory data, no stale documentation).
 //!
-//! The fifth pass is dynamic but exhaustive: [`interleave`] is a
+//! The sixth pass is dynamic but exhaustive: [`interleave`] is a
 //! loom-style scheduler that enumerates *every* interleaving of a set
 //! of modelled threads; `tests/model_checks.rs` (behind the
 //! `model-checks` feature) uses it to check the swmpi window
@@ -47,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod determinism;
 pub mod findings;
 pub mod flops;
@@ -66,6 +73,7 @@ pub fn run_all(root: &std::path::Path) -> (String, Vec<Finding>) {
     findings.extend(determinism::run(root));
     findings.extend(flops::run(root));
     findings.extend(unsafe_audit::run(root));
+    findings.extend(counters::run(root));
     (table, findings)
 }
 

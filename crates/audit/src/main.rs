@@ -2,7 +2,7 @@
 //! command line (CI gates on the exit status).
 //!
 //! ```text
-//! mmds-audit [--all | --ldm --determinism --flops --unsafe-audit]
+//! mmds-audit [--all | --ldm --determinism --flops --unsafe-audit --counters]
 //!            [--root PATH] [--quiet]
 //! ```
 //!
@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mmds_audit::{determinism, findings::Finding, flops, ldm, unsafe_audit, workspace};
+use mmds_audit::{counters, determinism, findings::Finding, flops, ldm, unsafe_audit, workspace};
 
 const USAGE: &str = "mmds-audit: workspace static-analysis passes
 
@@ -26,6 +26,7 @@ PASSES (default: --all):
     --determinism     determinism linter (md, kmc, coupled)
     --flops           flop-ledger cross-checker
     --unsafe-audit    forbid(unsafe_code) + unsafe-token audit
+    --counters        telemetry counter-manifest cross-checker
 
 OPTIONS:
     --root PATH       workspace root (default: nearest [workspace] above cwd)
@@ -37,6 +38,7 @@ struct Options {
     determinism: bool,
     flops: bool,
     unsafe_audit: bool,
+    counters: bool,
     root: Option<PathBuf>,
     quiet: bool,
 }
@@ -47,6 +49,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         determinism: false,
         flops: false,
         unsafe_audit: false,
+        counters: false,
         root: None,
         quiet: false,
     };
@@ -58,11 +61,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.determinism = true;
                 opts.flops = true;
                 opts.unsafe_audit = true;
+                opts.counters = true;
             }
             "--ldm" => opts.ldm = true,
             "--determinism" => opts.determinism = true,
             "--flops" => opts.flops = true,
             "--unsafe-audit" => opts.unsafe_audit = true,
+            "--counters" => opts.counters = true,
             "--quiet" => opts.quiet = true,
             "--root" => {
                 let path = it.next().ok_or("--root requires a PATH")?;
@@ -72,11 +77,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !(opts.ldm || opts.determinism || opts.flops || opts.unsafe_audit) {
+    if !(opts.ldm || opts.determinism || opts.flops || opts.unsafe_audit || opts.counters) {
         opts.ldm = true;
         opts.determinism = true;
         opts.flops = true;
         opts.unsafe_audit = true;
+        opts.counters = true;
     }
     Ok(opts)
 }
@@ -124,6 +130,9 @@ fn main() -> ExitCode {
     if opts.unsafe_audit {
         findings.extend(unsafe_audit::run(&root));
     }
+    if opts.counters {
+        findings.extend(counters::run(&root));
+    }
 
     if findings.is_empty() {
         if !opts.quiet {
@@ -152,6 +161,9 @@ fn passes_run(opts: &Options) -> String {
     }
     if opts.unsafe_audit {
         names.push("unsafe-audit");
+    }
+    if opts.counters {
+        names.push("counter-manifest");
     }
     names.join(", ")
 }

@@ -58,6 +58,7 @@ fn main() {
         max_kmc_cycles: 300,
         extra_vacancy_concentration: 6.0e-3,
         strategy: mmds_kmc::ExchangeStrategy::OnDemand(mmds_kmc::OnDemandMode::TwoSided),
+        census_cadence: 10,
     };
     println!(
         "box {cells}^3 cells ({} atoms), PKA {} eV, {} MD steps",

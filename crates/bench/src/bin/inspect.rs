@@ -1,14 +1,19 @@
 //! `mmds-inspect` — rank-resolved run inspector.
 //!
 //! ```text
-//! mmds-inspect summary <report.telemetry.json | trace.jsonl>
-//! mmds-inspect trace   <trace.jsonl> [-o out.perfetto.json]
-//! mmds-inspect diff    <baseline.json> <fresh.json> [--tolerance 0.15]
+//! mmds-inspect summary  <report.telemetry.json | trace.jsonl>
+//! mmds-inspect timeline <report.telemetry.json | trace.jsonl>
+//! mmds-inspect trace    <trace.jsonl> [-o out.perfetto.json]
+//! mmds-inspect diff     <baseline.json> <fresh.json> [--tolerance 0.15]
 //! ```
 //!
 //! * `summary` prints the per-phase imbalance table, comm-matrix
 //!   heatline (with pairwise symmetry verdict), critical-path
 //!   breakdown, and physics-health counters.
+//! * `timeline` prints the defect-evolution observatory: sparklines of
+//!   every science series (`census.*`, `kmc.exchange.*`), the defect
+//!   budget table, and the measured on-demand comm savings against the
+//!   analytic full-ghost baseline.
 //! * `trace` converts a JSONL event stream to Chrome `trace_event`
 //!   JSON for <https://ui.perfetto.dev>.
 //! * `diff` compares two artefacts. For bench artefacts
@@ -19,7 +24,7 @@
 
 use mmds_bench::inspect::{
     diff_bench, diff_reports, load_bench, load_records, load_report, report_from_records, summary,
-    DEFAULT_TOLERANCE,
+    timeline, DEFAULT_TOLERANCE,
 };
 
 fn read(path: &str) -> String {
@@ -35,15 +40,16 @@ fn read(path: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mmds-inspect summary <report.telemetry.json | trace.jsonl>\n  \
+         mmds-inspect timeline <report.telemetry.json | trace.jsonl>\n  \
          mmds-inspect trace <trace.jsonl> [-o out.json]\n  \
          mmds-inspect diff <baseline.json> <fresh.json> [--tolerance 0.15]"
     );
     std::process::exit(2);
 }
 
-fn cmd_summary(path: &str) {
+fn load_any(path: &str) -> mmds_telemetry::RunReport {
     let text = read(path);
-    let report = if path.ends_with(".jsonl") {
+    if path.ends_with(".jsonl") {
         report_from_records(&load_records(&text))
     } else {
         match load_report(&text) {
@@ -53,8 +59,15 @@ fn cmd_summary(path: &str) {
                 std::process::exit(2);
             }
         }
-    };
-    print!("{}", summary(&report));
+    }
+}
+
+fn cmd_summary(path: &str) {
+    print!("{}", summary(&load_any(path)));
+}
+
+fn cmd_timeline(path: &str) {
+    print!("{}", timeline(&load_any(path)));
 }
 
 fn cmd_trace(path: &str, out: Option<&str>) {
@@ -104,6 +117,11 @@ fn main() {
         Some("summary") => {
             let Some(path) = args.get(1) else { usage() };
             cmd_summary(path);
+            0
+        }
+        Some("timeline") => {
+            let Some(path) = args.get(1) else { usage() };
+            cmd_timeline(path);
             0
         }
         Some("trace") => {

@@ -66,6 +66,7 @@ pub fn report_from_records(records: &[Record]) -> RunReport {
             Event::Md(s) => registry.push_md(*s),
             Event::Kmc(s) => registry.push_kmc(*s),
             Event::Counter { name, value } => registry.add_named(name, *value),
+            Event::Series(s) => registry.push_series(r.rank, &s.name, s.t, s.value),
             Event::SpanOpen { .. } => {}
         }
     }
@@ -235,6 +236,180 @@ pub fn summary(report: &RunReport) -> String {
     out.push_str(&critical_path_view(&report.spans));
     out.push_str("\n-- physics health --\n");
     out.push_str(&health_view(report));
+    out
+}
+
+/// Unicode block ramp used by [`sparkline`].
+const SPARK_RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a one-line terminal sparkline, min–max
+/// normalised, downsampled to at most `width` glyphs (bucket maxima,
+/// so transient peaks survive the downsampling).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets: Vec<f64> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        (0..width)
+            .map(|i| {
+                let lo = i * values.len() / width;
+                let hi = ((i + 1) * values.len() / width).max(lo + 1);
+                values[lo..hi]
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    };
+    let min = buckets.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = buckets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    buckets
+        .iter()
+        .map(|v| {
+            let idx = if span > 0.0 {
+                (((v - min) / span) * 7.0).round() as usize
+            } else {
+                3
+            };
+            SPARK_RAMP[idx.min(7)]
+        })
+        .collect()
+}
+
+/// The `mmds-inspect timeline` rendering: per-track sparklines of the
+/// science series, the defect-budget table, and the on-demand
+/// comm-savings summary against the analytic full-ghost baseline.
+pub fn timeline(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str("-- defect evolution (series) --\n");
+    if report.series.is_empty() {
+        out.push_str("  no series recorded (enable telemetry and a census cadence)\n");
+    } else {
+        for track in &report.series {
+            let values: Vec<f64> = track.points.iter().map(|p| p.value).collect();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let label = match track.rank {
+                Some(r) => format!("{}@{r}", track.name),
+                None => track.name.clone(),
+            };
+            let _ = writeln!(
+                out,
+                "  {label:<34} {:<48}  n={:<4} min={min:<12.4} max={max:<12.4} last={:.4}",
+                sparkline(&values, 48),
+                values.len(),
+                track.last_value().unwrap_or(0.0),
+            );
+        }
+    }
+
+    out.push_str("\n-- defect budget --\n");
+    let last = |name: &str| -> Option<f64> {
+        report
+            .series
+            .iter()
+            .find(|t| t.name == name)
+            .and_then(|t| t.last_value())
+    };
+    let named = &report.counters.named;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |what: &str, v: Option<f64>| {
+        if let Some(v) = v {
+            rows.push(vec![what.to_string(), format!("{v}")]);
+        }
+    };
+    push("census vacancies (last)", last("census.vacancies"));
+    push("census interstitials (last)", last("census.interstitials"));
+    push("census Frenkel pairs (last)", last("census.frenkel_pairs"));
+    push(
+        "census largest cluster (last)",
+        last("census.largest_cluster"),
+    );
+    push(
+        "census vacancy concentration (last)",
+        last("census.vacancy_concentration"),
+    );
+    push(
+        "handoff MD vacancies out",
+        named.get("coupled.handoff.md_vacancies").copied(),
+    );
+    push(
+        "handoff placed into KMC",
+        named.get("coupled.handoff.placed").copied(),
+    );
+    push(
+        "handoff debris seeded",
+        named.get("coupled.handoff.seeded").copied(),
+    );
+    push(
+        "handoff interstitials dropped",
+        named.get("coupled.handoff.interstitials_dropped").copied(),
+    );
+    push("handoff defect delta", last("coupled.handoff.delta"));
+    if rows.is_empty() {
+        out.push_str("  no defect accounting recorded\n");
+    } else {
+        out.push_str(&mmds_analysis::io::render_table(
+            &["quantity", "value"],
+            &rows,
+        ));
+    }
+
+    out.push_str("\n-- comm savings (on-demand vs full-ghost baseline) --\n");
+    let bytes = named.get("kmc.ghost_bytes").copied().unwrap_or(0.0);
+    let baseline = named
+        .get("kmc.exchange.baseline_bytes")
+        .copied()
+        .unwrap_or(0.0);
+    let dirty = named
+        .get("kmc.exchange.dirty_sites")
+        .copied()
+        .unwrap_or(0.0);
+    let cand = named
+        .get("kmc.exchange.candidate_sites")
+        .copied()
+        .unwrap_or(0.0);
+    if baseline > 0.0 {
+        let _ = writeln!(out, "  bytes sent         : {bytes:.0}");
+        let _ = writeln!(out, "  full-ghost baseline: {baseline:.0}");
+        let _ = writeln!(
+            out,
+            "  volume ratio       : {:.4} (paper Fig. 12 reference: {})",
+            bytes / baseline,
+            crate::paper::FIG12_VOLUME_RATIO,
+        );
+        if cand > 0.0 {
+            let _ = writeln!(
+                out,
+                "  dirty-site fraction: {:.4} ({dirty:.0} of {cand:.0} candidate sites)",
+                dirty / cand,
+            );
+        }
+    } else {
+        out.push_str("  no exchange accounting recorded\n");
+    }
+    let mut any = false;
+    for r in &report.ranks {
+        let Some(c) = &r.comm else { continue };
+        let s = c.savings;
+        if let Some(ratio) = s.volume_ratio() {
+            if !any {
+                out.push_str("  per-rank measured savings:\n");
+                any = true;
+            }
+            let _ = writeln!(
+                out,
+                "    rank {:>3}: {} / {} B  ratio {ratio:.4}  dirty {:.4}",
+                r.rank,
+                s.bytes_on_demand,
+                s.bytes_full_ghost,
+                s.dirty_fraction().unwrap_or(0.0),
+            );
+        }
+    }
     out
 }
 
@@ -476,6 +651,50 @@ mod tests {
         assert_eq!(names, vec!["run", "run/md", "run/md/force"]);
         let view = critical_path_view(&spans);
         assert!(view.contains("force"));
+    }
+
+    #[test]
+    fn sparkline_normalises_and_downsamples() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0], 10), "▄▄▄");
+        let s = sparkline(&[0.0, 7.0], 10);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // 100 points into 10 glyphs, peaks preserved by bucket-max.
+        let mut v = vec![0.0; 100];
+        v[55] = 9.0;
+        let s = sparkline(&v, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert_eq!(s.chars().filter(|&c| c == '█').count(), 1);
+    }
+
+    #[test]
+    fn timeline_renders_series_budget_and_savings() {
+        let registry = mmds_telemetry::CounterRegistry::default();
+        for (t, v) in [(10u64, 2.0), (20, 5.0), (30, 4.0)] {
+            registry.push_series(None, "census.frenkel_pairs", t, v);
+        }
+        registry.add_named("kmc.ghost_bytes", 26.0);
+        registry.add_named("kmc.exchange.baseline_bytes", 1000.0);
+        registry.add_named("kmc.exchange.dirty_sites", 3.0);
+        registry.add_named("kmc.exchange.candidate_sites", 100.0);
+        registry.add_named("coupled.handoff.placed", 7.0);
+        let report = mmds_telemetry::report::build_run_report(vec![], vec![], &registry);
+        let text = timeline(&report);
+        assert!(text.contains("census.frenkel_pairs"));
+        assert!(text.contains("last=4.0000"), "{text}");
+        assert!(text.contains("handoff placed into KMC"));
+        assert!(text.contains("volume ratio       : 0.0260"), "{text}");
+        assert!(text.contains("dirty-site fraction: 0.0300"), "{text}");
+    }
+
+    #[test]
+    fn timeline_degrades_gracefully_without_data() {
+        let report = RunReport::default();
+        let text = timeline(&report);
+        assert!(text.contains("no series recorded"));
+        assert!(text.contains("no defect accounting recorded"));
+        assert!(text.contains("no exchange accounting recorded"));
     }
 
     #[test]

@@ -53,15 +53,21 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
 /// JSON artefact, and — when `MMDS_TELEMETRY` is on — a sibling
 /// `<stem>.telemetry.json` holding the run-wide
 /// [`mmds_telemetry::RunReport`] (spans, per-rank comm/CPE counters,
-/// imbalance table, samples), plus the flamegraph-style self-time tree
-/// on stdout. In `jsonl:` mode, also converts the event stream to a
-/// sibling `<stem>.perfetto.json` Chrome trace.
+/// imbalance table, samples), a sibling `<stem>.series.json` with the
+/// science time-series tracks when any were recorded (defect census,
+/// comm-savings), plus the flamegraph-style self-time tree on stdout.
+/// In `jsonl:` mode, also converts the event stream to a sibling
+/// `<stem>.perfetto.json` Chrome trace.
 pub fn emit_report<T: Serialize>(name: &str, value: &T) {
     emit_json(name, value);
     let tel = mmds_telemetry::global();
     if tel.enabled() {
         let stem = name.strip_suffix(".json").unwrap_or(name);
-        emit_json(&format!("{stem}.telemetry.json"), &tel.run_report());
+        let report = tel.run_report();
+        emit_json(&format!("{stem}.telemetry.json"), &report);
+        if !report.series.is_empty() {
+            emit_json(&format!("{stem}.series.json"), &report.series);
+        }
         println!("{}", tel.render_tree());
         if let Some(trace_path) = tel.jsonl_path() {
             tel.flush_sink();

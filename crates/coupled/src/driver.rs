@@ -38,6 +38,11 @@ pub struct CoupledConfig {
     pub extra_vacancy_concentration: f64,
     /// KMC exchange strategy.
     pub strategy: ExchangeStrategy,
+    /// In-situ defect-census cadence during the MD phase (steps between
+    /// passes; `0` disables the census). Only observed when telemetry
+    /// is enabled; the census never perturbs the dynamics either way
+    /// (see `mmds_md::census`).
+    pub census_cadence: usize,
 }
 
 impl Default for CoupledConfig {
@@ -60,6 +65,7 @@ impl Default for CoupledConfig {
             max_kmc_cycles: 400,
             extra_vacancy_concentration: 0.0,
             strategy: ExchangeStrategy::OnDemand(mmds_kmc::OnDemandMode::OneSided),
+            census_cadence: 10,
         }
     }
 }
@@ -113,6 +119,7 @@ impl CoupledSimulation {
 
         // --- MD phase: cascade collision -----------------------------
         let mut md = MdSimulation::single_box(cfg.md, cfg.cells);
+        md.observatory.cfg = mmds_md::CensusConfig::every(cfg.census_cadence);
         {
             let _phase = mmds_telemetry::span!("md.phase");
             md.init_velocities();
@@ -130,12 +137,30 @@ impl CoupledSimulation {
         let ghost = required_ghost(cfg.kmc.a0, cfg.kmc.rate_cutoff);
         let kmc_grid = LocalGrid::whole(geom, ghost);
         let mut kmc = KmcSimulation::new(cfg.kmc, kmc_grid);
-        place_vacancies(&mut kmc.lat, &vac_cells);
+        let placed = place_vacancies(&mut kmc.lat, &vac_cells);
         if cfg.extra_vacancy_concentration > 0.0 {
             let n_extra =
                 (cfg.extra_vacancy_concentration * kmc.lat.n_owned() as f64).round() as usize;
             kmc.lat
                 .seed_vacancies_global(n_extra, cfg.kmc.seed ^ 0x17_17);
+        }
+        let seeded = kmc.lat.n_vacancies() - placed;
+        if mmds_telemetry::enabled() {
+            // Defect-transfer accounting through the counter registry
+            // (the handoff used to be invisible to telemetry).
+            mmds_telemetry::add_counter("coupled.handoff.md_vacancies", vac_cells.len() as f64);
+            mmds_telemetry::add_counter("coupled.handoff.placed", placed as f64);
+            mmds_telemetry::add_counter("coupled.handoff.seeded", seeded as f64);
+            mmds_telemetry::add_counter(
+                "coupled.handoff.interstitials_dropped",
+                md.lnl.n_runaways() as f64,
+            );
+            // MD↔KMC handoff defect delta: vacancies entering KMC minus
+            // vacancies leaving MD (seeded debris is a gain,
+            // out-of-domain placements would be a loss). Timestamped on
+            // the MD step axis so it lines up with the census series.
+            let delta = (placed + seeded) as f64 - vac_cells.len() as f64;
+            mmds_telemetry::emit_series("coupled.handoff.delta", md.steps_done, delta);
         }
         // "After MD" = the full dispersive vacancy population the KMC
         // phase starts from (cascade survivors + seeded debris).
@@ -211,6 +236,7 @@ mod tests {
             max_kmc_cycles: 60,
             extra_vacancy_concentration: 2.0e-3,
             strategy: ExchangeStrategy::OnDemand(mmds_kmc::OnDemandMode::OneSided),
+            census_cadence: 10,
         }
     }
 

@@ -32,6 +32,9 @@ pub trait KmcTransport {
     fn allreduce_sum_u64(&mut self, v: u64) -> u64;
     /// Charges modelled compute seconds to this rank's clock.
     fn tick_compute(&mut self, seconds: f64);
+    /// Folds on-demand exchange savings into this rank's comm
+    /// accounting. Default: discarded (backends with no stats).
+    fn record_savings(&mut self, _savings: mmds_swmpi::ExchangeSavings) {}
 }
 
 /// Single-rank backend: every neighbour is this rank (periodic).
@@ -162,6 +165,10 @@ impl KmcTransport for CommK<'_> {
         if self.charge_compute {
             self.comm.tick_compute(seconds);
         }
+    }
+
+    fn record_savings(&mut self, savings: mmds_swmpi::ExchangeSavings) {
+        self.comm.note_exchange_savings(savings);
     }
 }
 

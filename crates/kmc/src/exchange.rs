@@ -102,6 +102,86 @@ fn event_reach(lat: &KmcLattice) -> usize {
         .unwrap_or(1) as usize
 }
 
+/// Bytes of one traditional SPPARKS-style slab record (u64 global id +
+/// f64 state — see [`pack_states`]).
+const SLAB_SITE_BYTES: u64 = 16;
+
+/// Bytes of one on-demand dirty-site record (3×u32 coords + u8 basis +
+/// u8 state — see [`on_demand_put`]).
+const DIRTY_SITE_BYTES: u64 = 14;
+
+/// Sites in one exchange slab of `width` cells along `axis` (both basis
+/// sites counted). Slab sizes are side- and sector-independent; only
+/// the position changes with the sector corner.
+fn slab_sites(lat: &KmcLattice, axis: usize, width: usize) -> u64 {
+    let r = ranges(lat, axis, Side::Low, Role::OwnedEdge, width, |b| b < axis);
+    r.iter().map(|r| r.len() as u64).product::<u64>() * 2
+}
+
+/// Payload bytes [`traditional_get`] sends for any one sector —
+/// computed analytically from the slab geometry, without sending.
+pub fn traditional_get_bytes(lat: &KmcLattice) -> u64 {
+    (0..3)
+        .map(|axis| slab_sites(lat, axis, lat.grid.ghost) * SLAB_SITE_BYTES)
+        .sum()
+}
+
+/// Payload bytes [`traditional_put`] sends for any one sector.
+pub fn traditional_put_bytes(lat: &KmcLattice) -> u64 {
+    let w = event_reach(lat);
+    (0..3)
+        .map(|axis| slab_sites(lat, axis, w) * SLAB_SITE_BYTES)
+        .sum()
+}
+
+/// Sites the traditional post-sector put ships — the denominator of the
+/// dirty-site fraction (the put slabs are exactly the sites a sector's
+/// events *could* have touched near the boundary).
+pub fn put_candidate_sites(lat: &KmcLattice) -> u64 {
+    traditional_put_bytes(lat) / SLAB_SITE_BYTES
+}
+
+/// The full-ghost baseline for one sector: everything [`Traditional`]
+/// (get + put) would have sent. This is what the paper's Fig. 12
+/// compares the on-demand dirty traffic against.
+///
+/// [`Traditional`]: ExchangeStrategy::Traditional
+pub fn full_ghost_baseline_bytes(lat: &KmcLattice) -> u64 {
+    traditional_get_bytes(lat) + traditional_put_bytes(lat)
+}
+
+/// Unique dirty sites the on-demand protocol ships to at least one of
+/// the sector's 7 neighbour directions.
+pub fn shipped_site_count(lat: &KmcLattice, sec: [usize; 3], dirty: &[usize]) -> u64 {
+    let dirs = sector_dirs(sec);
+    let mut unique: Vec<usize> = dirty.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    unique
+        .iter()
+        .filter(|&&s| {
+            let (i, j, k, _) = lat.grid.decode(s);
+            dirs.iter().any(|d| relevant_to(lat, [i, j, k], *d))
+        })
+        .count() as u64
+}
+
+/// Byte accounting of one sector's post-exchange, alongside the
+/// analytic full-ghost baseline and dirty-site census that the
+/// comm-savings counters aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectorExchange {
+    /// Payload bytes actually sent by the post-sector hook.
+    pub bytes: u64,
+    /// Bytes the full-ghost get+put would have sent for this sector.
+    pub baseline_bytes: u64,
+    /// Unique dirty sites shipped (equals `candidate_sites` under the
+    /// traditional strategy, which ships the full slabs).
+    pub dirty_sites: u64,
+    /// Sites the full-ghost put would have shipped.
+    pub candidate_sites: u64,
+}
+
 /// Canonical global id of a stored site (used as the SPPARKS-style
 /// record key and as an alignment check on unpack).
 fn global_id(lat: &KmcLattice, s: usize) -> u64 {
@@ -336,6 +416,7 @@ pub fn on_demand_put(
     }
     let payloads: Vec<Vec<u8>> = msgs.into_iter().map(|p| p.finish()).collect();
     let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+    debug_assert_eq!(bytes % DIRTY_SITE_BYTES, 0, "dirty records are 14 B");
     let received = match mode {
         OnDemandMode::TwoSided => t.neighbor_exchange(&dirs, payloads),
         OnDemandMode::OneSided => t.put_fence(&dirs, payloads),
@@ -375,17 +456,42 @@ pub fn pre_sector(
     }
 }
 
-/// Strategy dispatcher: post-sector hook. Returns payload bytes sent.
+/// Strategy dispatcher: post-sector hook. Returns the sector's byte
+/// accounting; under on-demand the savings census is also folded into
+/// the transport's [`mmds_swmpi::CommStats`] (per-rank Fig. 12 view).
 pub fn post_sector(
     strategy: ExchangeStrategy,
     lat: &mut KmcLattice,
     sec: [usize; 3],
     dirty: &[usize],
     t: &mut impl KmcTransport,
-) -> u64 {
+) -> SectorExchange {
+    let candidate_sites = put_candidate_sites(lat);
+    let baseline_bytes = full_ghost_baseline_bytes(lat);
     match strategy {
-        ExchangeStrategy::Traditional => traditional_put(lat, sec, t),
-        ExchangeStrategy::OnDemand(mode) => on_demand_put(lat, sec, dirty, mode, t),
+        ExchangeStrategy::Traditional => SectorExchange {
+            bytes: traditional_put(lat, sec, t),
+            baseline_bytes,
+            dirty_sites: candidate_sites,
+            candidate_sites,
+        },
+        ExchangeStrategy::OnDemand(mode) => {
+            let dirty_sites = shipped_site_count(lat, sec, dirty);
+            let bytes = on_demand_put(lat, sec, dirty, mode, t);
+            let out = SectorExchange {
+                bytes,
+                baseline_bytes,
+                dirty_sites,
+                candidate_sites,
+            };
+            t.record_savings(mmds_swmpi::ExchangeSavings {
+                bytes_on_demand: out.bytes,
+                bytes_full_ghost: out.baseline_bytes,
+                dirty_sites: out.dirty_sites,
+                candidate_sites: out.candidate_sites,
+            });
+            out
+        }
     }
 }
 
@@ -496,6 +602,50 @@ mod tests {
         let owner = l.grid.site_id(7, 3, 3, 1);
         assert_eq!(l.state[owner], SiteState::Vacancy);
         assert_eq!(l.n_vacancies(), 1);
+    }
+
+    #[test]
+    fn analytic_baseline_matches_measured_traditional_traffic() {
+        let mut l = lat();
+        full_exchange(&mut l, &mut LoopbackK);
+        let get = traditional_get(&mut l, [0, 0, 0], &mut LoopbackK);
+        let put = traditional_put(&mut l, [1, 0, 1], &mut LoopbackK);
+        assert_eq!(get, traditional_get_bytes(&l), "get baseline is exact");
+        assert_eq!(put, traditional_put_bytes(&l), "put baseline is exact");
+        assert_eq!(get + put, full_ghost_baseline_bytes(&l));
+        assert_eq!(put_candidate_sites(&l) * 16, put, "16 B per slab site");
+    }
+
+    #[test]
+    fn post_sector_accounts_on_demand_savings() {
+        let mut l = lat();
+        full_exchange(&mut l, &mut LoopbackK);
+        // One dirty site at the sector corner edge, one deep interior.
+        let edge = l.grid.site_id(2, 3, 3, 0);
+        let deep = l.grid.site_id(4, 4, 4, 0);
+        l.set_state(edge, SiteState::Vacancy);
+        let xfer = post_sector(
+            ExchangeStrategy::OnDemand(OnDemandMode::TwoSided),
+            &mut l,
+            [0, 0, 0],
+            &[edge, deep, edge],
+            &mut LoopbackK,
+        );
+        assert_eq!(xfer.dirty_sites, 1, "deep site not shipped, edge deduped");
+        assert!(xfer.bytes <= xfer.baseline_bytes);
+        assert!(xfer.dirty_sites < xfer.candidate_sites);
+        assert_eq!(xfer.baseline_bytes, full_ghost_baseline_bytes(&l));
+        // Traditional ships every candidate: dirty fraction is 1.
+        let mut l2 = lat();
+        full_exchange(&mut l2, &mut LoopbackK);
+        let trad = post_sector(
+            ExchangeStrategy::Traditional,
+            &mut l2,
+            [0, 0, 0],
+            &[],
+            &mut LoopbackK,
+        );
+        assert_eq!(trad.dirty_sites, trad.candidate_sites);
     }
 
     #[test]

@@ -102,6 +102,9 @@ impl KmcSimulation {
         let vac_before = self.lat.n_vacancies() as u64;
         let mut events = 0;
         let mut ghost_bytes = 0u64;
+        let mut baseline_bytes = 0u64;
+        let mut dirty_sites = 0u64;
+        let mut candidate_sites = 0u64;
         let mut last_sector = 0u8;
         for (si, sec) in sectors().into_iter().enumerate() {
             ghost_bytes += pre_sector(strategy, &mut self.lat, sec, t);
@@ -114,7 +117,11 @@ impl KmcSimulation {
                 &mut self.stats.rate,
             );
             events += out.events;
-            ghost_bytes += post_sector(strategy, &mut self.lat, sec, &out.dirty, t);
+            let xfer = post_sector(strategy, &mut self.lat, sec, &out.dirty, t);
+            ghost_bytes += xfer.bytes;
+            baseline_bytes += xfer.baseline_bytes;
+            dirty_sites += xfer.dirty_sites;
+            candidate_sites += xfer.candidate_sites;
             last_sector = si as u8;
         }
         self.stats.events += events;
@@ -135,6 +142,25 @@ impl KmcSimulation {
             mmds_telemetry::global().counters().push_kmc(sample);
             mmds_telemetry::emit(mmds_telemetry::Event::Kmc(sample));
             mmds_telemetry::add_counter("kmc.ghost_bytes", ghost_bytes as f64);
+            // Comm-savings accounting vs. the analytic full-ghost
+            // baseline (paper Fig. 12), per cycle and cumulative.
+            let cycle = self.stats.cycles;
+            mmds_telemetry::emit_series("kmc.exchange.bytes", cycle, ghost_bytes as f64);
+            mmds_telemetry::emit_series(
+                "kmc.exchange.baseline_bytes",
+                cycle,
+                baseline_bytes as f64,
+            );
+            if candidate_sites > 0 {
+                mmds_telemetry::emit_series(
+                    "kmc.exchange.dirty_fraction",
+                    cycle,
+                    dirty_sites as f64 / candidate_sites as f64,
+                );
+            }
+            mmds_telemetry::add_counter("kmc.exchange.baseline_bytes", baseline_bytes as f64);
+            mmds_telemetry::add_counter("kmc.exchange.dirty_sites", dirty_sites as f64);
+            mmds_telemetry::add_counter("kmc.exchange.candidate_sites", candidate_sites as f64);
         }
         events
     }

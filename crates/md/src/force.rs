@@ -60,8 +60,10 @@ impl PassConfig {
 /// Maps `f` over `items`, either serially or as fixed-size chunks
 /// distributed over the thread pool. The output order always matches
 /// `items`, and each call of `f` is independent, so both strategies
-/// produce identical bits.
-fn chunked_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+/// produce identical bits. Public because read-only observability
+/// sweeps (the defect census in [`crate::census`]) reuse the exact
+/// decomposition of the force passes.
+pub fn chunked_map<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
 where
     T: Copy + Send + Sync,
     R: Send,

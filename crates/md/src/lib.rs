@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
+pub mod census;
 pub mod checkpoint;
 pub mod config;
 pub mod defects;
@@ -38,6 +39,7 @@ pub mod runaway;
 pub mod sim;
 pub mod thermostat;
 
+pub use census::{CensusConfig, CensusSample, Observatory};
 pub use config::MdConfig;
 pub use offload::OffloadConfig;
 pub use parallel::{run_parallel_md, ParallelMdParams, RankMdSummary};

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::census::Observatory;
 use crate::config::MdConfig;
 use crate::defects::{count, DefectCount};
 use crate::domain::{exchange_ghosts, migrate_runaways, GhostPhase, Loopback, Transport};
@@ -73,6 +74,12 @@ pub struct MdSimulation {
     pub time_ps: f64,
     /// Accumulated transition statistics.
     pub transitions: TransitionStats,
+    /// The in-situ defect census (off by default; see
+    /// [`crate::census::CensusConfig::cadence`]).
+    pub observatory: Observatory,
+    /// Steps integrated so far (the census series time axis — it must
+    /// stay monotonic across repeated [`MdSimulation::run`] calls).
+    pub steps_done: u64,
     forces_current: bool,
 }
 
@@ -96,6 +103,8 @@ impl MdSimulation {
             pass_config: PassConfig::default(),
             time_ps: 0.0,
             transitions: TransitionStats::default(),
+            observatory: Observatory::default(),
+            steps_done: 0,
             forces_current: false,
         }
     }
@@ -192,6 +201,7 @@ impl MdSimulation {
             );
         }
         self.time_ps += dt;
+        self.steps_done += 1;
         StepSample {
             pair: pe.pair,
             embed: pe.embed,
@@ -249,6 +259,17 @@ impl MdSimulation {
                 }
                 mmds_telemetry::global().counters().push_md(sample);
                 mmds_telemetry::emit(mmds_telemetry::Event::Md(sample));
+                // In-situ defect census at the configured cadence: a
+                // read-only double-buffered pass that streams the
+                // `census.*` series (see [`crate::census`]).
+                if self.observatory.due(self.steps_done as usize) {
+                    self.observatory.observe(
+                        &self.lnl,
+                        &self.interior,
+                        self.pass_config.parallel,
+                        self.steps_done,
+                    );
+                }
             }
             samples.push(s);
         }

@@ -84,6 +84,15 @@ impl Comm {
         self.matrix.borrow_mut().reset();
     }
 
+    /// Folds on-demand exchange savings accounting into this rank's
+    /// counters. Byte movement is still charged by the send/put calls
+    /// themselves — this only records the census and the analytic
+    /// full-ghost baseline the protocol avoided.
+    pub fn note_exchange_savings(&self, s: crate::stats::ExchangeSavings) {
+        let mut stats = self.stats.borrow_mut();
+        stats.savings = stats.savings.merge(&s);
+    }
+
     /// Charges `seconds` of computation to the virtual clock.
     pub fn tick_compute(&self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative compute charge");

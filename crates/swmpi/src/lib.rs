@@ -49,7 +49,7 @@ pub mod world;
 pub use comm::Comm;
 pub use matrix::{CommMatrix, PairFlow, WorldMatrix};
 pub use model::MachineModel;
-pub use stats::CommStats;
+pub use stats::{CommStats, ExchangeSavings};
 pub use topology::CartGrid;
 pub use wire::{Packer, Unpacker, Wire};
 pub use world::{World, WorldConfig};

@@ -6,6 +6,51 @@
 
 use serde::{Deserialize, Serialize};
 
+/// On-demand ghost-exchange savings accounting (paper Fig. 12): how
+/// many bytes the dirty-site protocol actually moved versus what a
+/// traditional full-ghost exchange of the same sectors would have
+/// moved, plus the dirty-site census behind the ratio. All counts are
+/// exact; the baseline is computed analytically from the slab geometry,
+/// not measured by sending.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeSavings {
+    /// Payload bytes the on-demand exchange actually sent/put.
+    pub bytes_on_demand: u64,
+    /// Payload bytes the full-ghost baseline would have sent for the
+    /// same sector sequence.
+    pub bytes_full_ghost: u64,
+    /// Unique dirty sites shipped to at least one neighbour.
+    pub dirty_sites: u64,
+    /// Sites the full-ghost put would have shipped (the dirty-fraction
+    /// denominator).
+    pub candidate_sites: u64,
+}
+
+impl ExchangeSavings {
+    /// Element-wise sum.
+    pub fn merge(&self, other: &ExchangeSavings) -> ExchangeSavings {
+        ExchangeSavings {
+            bytes_on_demand: self.bytes_on_demand + other.bytes_on_demand,
+            bytes_full_ghost: self.bytes_full_ghost + other.bytes_full_ghost,
+            dirty_sites: self.dirty_sites + other.dirty_sites,
+            candidate_sites: self.candidate_sites + other.candidate_sites,
+        }
+    }
+
+    /// `bytes_on_demand / bytes_full_ghost` — the paper's Fig. 12
+    /// communication-volume ratio. `None` until a baseline is recorded.
+    pub fn volume_ratio(&self) -> Option<f64> {
+        (self.bytes_full_ghost > 0)
+            .then(|| self.bytes_on_demand as f64 / self.bytes_full_ghost as f64)
+    }
+
+    /// Fraction of full-ghost candidate sites that were actually dirty.
+    /// `None` until a baseline is recorded.
+    pub fn dirty_fraction(&self) -> Option<f64> {
+        (self.candidate_sites > 0).then(|| self.dirty_sites as f64 / self.candidate_sites as f64)
+    }
+}
+
 /// Counters accumulated by one rank over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
@@ -27,6 +72,9 @@ pub struct CommStats {
     pub comm_time: f64,
     /// Virtual seconds charged as computation.
     pub compute_time: f64,
+    /// On-demand ghost-exchange savings accounting, when the rank ran
+    /// an on-demand exchange (zero otherwise).
+    pub savings: ExchangeSavings,
 }
 
 impl CommStats {
@@ -52,6 +100,7 @@ impl CommStats {
             collectives: self.collectives + other.collectives,
             comm_time: self.comm_time + other.comm_time,
             compute_time: self.compute_time + other.compute_time,
+            savings: self.savings.merge(&other.savings),
         }
     }
 
@@ -149,6 +198,12 @@ mod tests {
             collectives: 1,
             comm_time: 0.75,
             compute_time: 2.5,
+            savings: ExchangeSavings {
+                bytes_on_demand: 14,
+                bytes_full_ghost: 160,
+                dirty_sites: 1,
+                candidate_sites: 10,
+            },
         };
         // Default is the identity of merge.
         assert_eq!(a.merge(&CommStats::default()), a);
@@ -163,5 +218,22 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(CommStats::sum(&[a, b, a]), a.merge(&b).merge(&a));
+    }
+
+    #[test]
+    fn savings_ratios() {
+        let s = ExchangeSavings {
+            bytes_on_demand: 26,
+            bytes_full_ghost: 1000,
+            dirty_sites: 3,
+            candidate_sites: 100,
+        };
+        assert_eq!(s.volume_ratio(), Some(0.026));
+        assert_eq!(s.dirty_fraction(), Some(0.03));
+        assert_eq!(ExchangeSavings::default().volume_ratio(), None);
+        assert_eq!(ExchangeSavings::default().dirty_fraction(), None);
+        let m = s.merge(&s);
+        assert_eq!(m.bytes_on_demand, 52);
+        assert_eq!(m.volume_ratio(), Some(0.026));
     }
 }

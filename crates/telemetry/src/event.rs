@@ -49,6 +49,22 @@ pub struct KmcCycleSample {
     pub vacancy_delta: i64,
 }
 
+/// One sample of a named science time-series (defect census output,
+/// comm-savings accounting, handoff deltas). Samples for a given
+/// `(rank, name)` track must be pushed with non-decreasing `t` — the
+/// registry enforces monotonicity so downstream consumers (sparklines,
+/// budget tables) never need to sort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSample {
+    /// Series name (dotted, e.g. `census.frenkel_pairs`).
+    pub name: String,
+    /// Domain time index: MD step, KMC cycle, or phase ordinal —
+    /// monotonic per `(rank, name)` track, not a wall clock.
+    pub t: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// Everything the telemetry layer can observe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -75,6 +91,8 @@ pub enum Event {
         /// Increment value.
         value: f64,
     },
+    /// A science time-series sample.
+    Series(SeriesSample),
 }
 
 /// An event with its total-order stamp.
@@ -257,6 +275,17 @@ mod tests {
             },
             Record {
                 seq: 4,
+                t_ns: 110,
+                rank: Some(2),
+                tid: Some(1),
+                event: Event::Series(SeriesSample {
+                    name: "census.frenkel_pairs".into(),
+                    t: 30,
+                    value: 17.0,
+                }),
+            },
+            Record {
+                seq: 5,
                 t_ns: 120,
                 rank: None,
                 tid: Some(0),

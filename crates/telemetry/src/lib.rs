@@ -53,8 +53,13 @@ pub mod span;
 
 use std::sync::OnceLock;
 
-pub use event::{Event, EventSink, FileSink, KmcCycleSample, MdStepSample, MemorySink, Record};
-pub use report::{CounterRegistry, PhaseImbalance, RankComm, RankReport, RunReport, SpanReport};
+pub use event::{
+    Event, EventSink, FileSink, KmcCycleSample, MdStepSample, MemorySink, Record, SeriesSample,
+};
+pub use report::{
+    CounterRegistry, PhaseImbalance, RankComm, RankReport, RunReport, SeriesPoint, SeriesTrack,
+    SpanReport,
+};
 pub use span::{
     current_rank, rank_scope, set_thread_rank, thread_tid, RankScope, SpanGuard, Telemetry,
 };
@@ -140,6 +145,21 @@ pub fn emit(event: Event) {
 /// Adds a named counter on the global instance.
 pub fn add_counter(name: &str, value: f64) {
     global().counters().add_named(name, value);
+}
+
+/// Records one science-series sample on the global instance: the point
+/// is retained on the `(current rank, name)` track of the counter
+/// registry *and* streamed to the JSONL sink (if one is installed).
+/// `t` is the domain time index (MD step, KMC cycle) and must be
+/// non-decreasing per track.
+pub fn emit_series(name: &str, t: u64, value: f64) {
+    let tel = global();
+    tel.counters().push_series(current_rank(), name, t, value);
+    tel.emit(Event::Series(SeriesSample {
+        name: name.to_string(),
+        t,
+        value,
+    }));
 }
 
 /// Absorbs per-rank communication stats into the global registry.

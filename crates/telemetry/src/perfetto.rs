@@ -90,6 +90,11 @@ fn event_value(r: &Record) -> Option<Value> {
         Event::Counter { name, value } => {
             ("C", name.clone(), map(vec![("value", Value::F64(*value))]))
         }
+        Event::Series(s) => (
+            "C",
+            s.name.clone(),
+            map(vec![("value", Value::F64(s.value)), ("t", Value::U64(s.t))]),
+        ),
     };
     Some(map(vec![
         ("name", Value::Str(name)),

@@ -13,6 +13,34 @@ use serde::{Deserialize, Serialize};
 
 use crate::event::{KmcCycleSample, MdStepSample};
 
+/// One retained point of a science series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Domain time index (MD step, KMC cycle, phase ordinal).
+    pub t: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// One `(rank, name)` science time-series track, points in push order
+/// (which the registry guarantees is non-decreasing in `t`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SeriesTrack {
+    /// Series name (dotted, e.g. `census.frenkel_pairs`).
+    pub name: String,
+    /// Emitting rank; `None` for driver/untagged threads.
+    pub rank: Option<u32>,
+    /// The samples, monotonic in `t`.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl SeriesTrack {
+    /// Last sampled value, if any point was pushed.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+}
+
 /// Statistics of one span path (times in seconds).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanReport {
@@ -113,6 +141,8 @@ pub struct RunReport {
     /// Per-phase load-balance table over the tagged ranks, sorted by
     /// descending `max_s`.
     pub imbalance: Vec<PhaseImbalance>,
+    /// Science time-series tracks, sorted by `(name, rank)`.
+    pub series: Vec<SeriesTrack>,
 }
 
 impl RunReport {
@@ -247,6 +277,7 @@ pub fn build_run_report(
         samples: counters.samples(),
         ranks,
         imbalance,
+        series: counters.series_tracks(),
     }
 }
 
@@ -258,6 +289,9 @@ struct RegistryInner {
     named: BTreeMap<String, f64>,
     md: Vec<MdStepSample>,
     kmc: Vec<KmcCycleSample>,
+    // Keyed by (name, rank) so iteration — and hence the report —
+    // is deterministic regardless of deposit interleaving.
+    series: BTreeMap<(String, Option<u32>), Vec<SeriesPoint>>,
 }
 
 /// Thread-safe accumulator behind [`crate::Telemetry::counters`]. All
@@ -320,6 +354,38 @@ impl CounterRegistry {
     /// Retains one KMC cycle sample.
     pub fn push_kmc(&self, s: KmcCycleSample) {
         self.inner.lock().unwrap().kmc.push(s);
+    }
+
+    /// Retains one science-series sample on the `(rank, name)` track.
+    ///
+    /// Panics when `t` decreases within a track: series are defined to
+    /// be monotonic per rank, and a violation means the instrumentation
+    /// call site is charging the wrong domain index.
+    pub fn push_series(&self, rank: Option<u32>, name: &str, t: u64, value: f64) {
+        let mut g = self.inner.lock().unwrap();
+        let track = g.series.entry((name.to_string(), rank)).or_default();
+        if let Some(last) = track.last() {
+            assert!(
+                t >= last.t,
+                "series `{name}` (rank {rank:?}) is not monotonic: t {t} after {}",
+                last.t
+            );
+        }
+        track.push(SeriesPoint { t, value });
+    }
+
+    /// Copies out the retained series as tracks, sorted by
+    /// `(name, rank)`.
+    pub fn series_tracks(&self) -> Vec<SeriesTrack> {
+        let g = self.inner.lock().unwrap();
+        g.series
+            .iter()
+            .map(|((name, rank), points)| SeriesTrack {
+                name: name.clone(),
+                rank: *rank,
+                points: points.clone(),
+            })
+            .collect()
     }
 
     /// Copies out the current aggregates. The communication sum is
@@ -426,6 +492,14 @@ mod tests {
                 min_s: 0.25,
                 ratio: 2.0,
             }],
+            series: vec![SeriesTrack {
+                name: "census.frenkel_pairs".into(),
+                rank: Some(1),
+                points: vec![
+                    SeriesPoint { t: 0, value: 0.0 },
+                    SeriesPoint { t: 10, value: 4.0 },
+                ],
+            }],
         };
         let json = report.to_json();
         let back: RunReport = serde_json::from_str(&json).unwrap();
@@ -502,6 +576,45 @@ mod tests {
         let w = report.world_matrix().unwrap();
         w.validate_symmetry().expect("merged deposits symmetric");
         assert_eq!(w.bytes(0, 1), 100);
+    }
+
+    #[test]
+    fn series_tracks_are_deterministic_and_monotonic() {
+        let reg = CounterRegistry::default();
+        // Interleaved deposits across ranks and names.
+        reg.push_series(Some(1), "census.vacancies", 0, 5.0);
+        reg.push_series(Some(0), "census.vacancies", 0, 3.0);
+        reg.push_series(None, "kmc.ondemand.dirty_fraction", 1, 0.25);
+        reg.push_series(Some(0), "census.vacancies", 10, 4.0);
+        reg.push_series(Some(1), "census.vacancies", 10, 6.0);
+
+        let tracks = reg.series_tracks();
+        // Sorted by (name, rank); rank None sorts before Some.
+        let keys: Vec<(&str, Option<u32>)> =
+            tracks.iter().map(|t| (t.name.as_str(), t.rank)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("census.vacancies", Some(0)),
+                ("census.vacancies", Some(1)),
+                ("kmc.ondemand.dirty_fraction", None),
+            ]
+        );
+        assert_eq!(tracks[0].points.len(), 2);
+        assert_eq!(tracks[0].last_value(), Some(4.0));
+        // Equal t on one track is allowed (same-step resample)…
+        reg.push_series(Some(0), "census.vacancies", 10, 4.0);
+        // …and the report includes the tracks.
+        let report = build_run_report(vec![], vec![], &reg);
+        assert_eq!(report.series.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotonic")]
+    fn series_rejects_decreasing_t() {
+        let reg = CounterRegistry::default();
+        reg.push_series(None, "census.vacancies", 5, 1.0);
+        reg.push_series(None, "census.vacancies", 4, 1.0);
     }
 
     #[test]
