@@ -8,10 +8,11 @@
 //! manifest (`TELEMETRY_MANIFEST.md` at the workspace root):
 //!
 //! 1. every name charged from live (non-test) code in `crates/md`,
-//!    `crates/kmc`, `crates/coupled` — via
-//!    `mmds_telemetry::add_counter(…)`, `emit_series(…)` or
-//!    `add_named(…)`, or spelled in a `const …_SERIES` /
-//!    `const …_COUNTERS` name array — must appear in the manifest;
+//!    `crates/kmc`, `crates/coupled`, `crates/telemetry` — via
+//!    `mmds_telemetry::add_counter(…)`, `emit_series(…)`,
+//!    `add_named(…)`, `emit_heartbeat(…)` or `emit_phase_heartbeat(…)`,
+//!    or spelled in a `const …_SERIES` / `const …_COUNTERS` name array
+//!    — must appear in the manifest;
 //! 2. every manifest entry must still be charged somewhere (no stale
 //!    rows that make readers look for data that never arrives).
 //!
@@ -30,10 +31,21 @@ use crate::workspace::{self, SourceFile};
 pub const MANIFEST: &str = "TELEMETRY_MANIFEST.md";
 
 /// The crates whose charges the manifest must cover.
-const CHARGED_DIRS: [&str; 3] = ["crates/md", "crates/kmc", "crates/coupled"];
+const CHARGED_DIRS: [&str; 4] = [
+    "crates/md",
+    "crates/kmc",
+    "crates/coupled",
+    "crates/telemetry",
+];
 
 /// Call tokens that charge a name as their first argument.
-const CALL_TOKENS: [&str; 3] = ["add_counter(", "emit_series(", "add_named("];
+const CALL_TOKENS: [&str; 5] = [
+    "add_counter(",
+    "emit_series(",
+    "add_named(",
+    "emit_heartbeat(",
+    "emit_phase_heartbeat(",
+];
 
 /// One charged telemetry name found in live code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -242,7 +254,10 @@ pub fn run(root: &Path) -> Vec<Finding> {
                 Pass::CounterManifest,
                 MANIFEST,
                 0,
-                format!("manifest entry `{name}` is charged nowhere in md/kmc/coupled — stale row"),
+                format!(
+                    "manifest entry `{name}` is charged nowhere in md/kmc/coupled/telemetry \
+                     — stale row"
+                ),
             ));
         }
     }

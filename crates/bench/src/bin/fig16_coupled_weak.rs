@@ -52,6 +52,11 @@ fn main() {
     let mut measured = Vec::new();
     let mut t0 = 0.0;
     for &r in &[1usize, 2, 4, 8, 16] {
+        // Each round's KMC cycle numbering restarts at 1, so the
+        // (monotonic) series tracks must restart with it — same
+        // per-round reset the kmcstep bench uses. The telemetry
+        // artefact therefore covers the last (largest) round.
+        mmds_telemetry::global().reset();
         let dims = CartGrid::for_ranks(r).dims;
         let global = [
             dims[0] * per_rank_cells,

@@ -3,6 +3,8 @@
 //! ```text
 //! mmds-inspect summary  <report.telemetry.json | trace.jsonl>
 //! mmds-inspect timeline <report.telemetry.json | trace.jsonl>
+//! mmds-inspect watch    <trace.jsonl> [--once] [--interval <s>]
+//!                       [--serve <addr>] [--alerts-out <path>]
 //! mmds-inspect trace    <trace.jsonl> [-o out.perfetto.json]
 //! mmds-inspect diff     <baseline.json> <fresh.json> [--tolerance 0.15]
 //! ```
@@ -14,6 +16,13 @@
 //!   every science series (`census.*`, `kmc.exchange.*`), the defect
 //!   budget table, and the measured on-demand comm savings against the
 //!   analytic full-ghost baseline.
+//! * `watch` tails a (possibly still growing) JSONL trace and renders
+//!   a refreshing live dashboard: per-rank heartbeat ages, open spans,
+//!   span totals, series sparkline tails, and the watchdog alert feed.
+//!   `--once` reads to end-of-file and prints a single frame (the
+//!   scripted/CI mode); `--serve` additionally exposes `/metrics` +
+//!   `/healthz`; `--alerts-out` writes the alert log as JSONL. Exit
+//!   code 1 when any `crit` alert was raised.
 //! * `trace` converts a JSONL event stream to Chrome `trace_event`
 //!   JSON for <https://ui.perfetto.dev>.
 //! * `diff` compares two artefacts. For bench artefacts
@@ -26,6 +35,7 @@ use mmds_bench::inspect::{
     diff_bench, diff_reports, load_bench, load_records, load_report, report_from_records, summary,
     timeline, DEFAULT_TOLERANCE,
 };
+use mmds_bench::watch::{run_watch, WatchOptions};
 
 fn read(path: &str) -> String {
     match std::fs::read_to_string(path) {
@@ -41,6 +51,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  mmds-inspect summary <report.telemetry.json | trace.jsonl>\n  \
          mmds-inspect timeline <report.telemetry.json | trace.jsonl>\n  \
+         mmds-inspect watch <trace.jsonl> [--once] [--interval <s>] [--serve <addr>] \
+         [--alerts-out <path>]\n  \
          mmds-inspect trace <trace.jsonl> [-o out.json]\n  \
          mmds-inspect diff <baseline.json> <fresh.json> [--tolerance 0.15]"
     );
@@ -123,6 +135,43 @@ fn main() {
             let Some(path) = args.get(1) else { usage() };
             cmd_timeline(path);
             0
+        }
+        Some("watch") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut opts = WatchOptions {
+                interval: 1.0,
+                ..Default::default()
+            };
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--once" => opts.once = true,
+                    "--interval" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        Some(v) => {
+                            opts.interval = v;
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    "--serve" => match args.get(i + 1) {
+                        Some(a) => {
+                            opts.serve = Some(a.clone());
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    "--alerts-out" => match args.get(i + 1) {
+                        Some(p) => {
+                            opts.alerts_out = Some(p.clone());
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            run_watch(path, &opts)
         }
         Some("trace") => {
             let Some(path) = args.get(1) else { usage() };

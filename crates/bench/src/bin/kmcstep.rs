@@ -138,6 +138,7 @@ fn main() {
     if mmds_telemetry::Mode::from_env() == Mode::Off {
         mmds_telemetry::set_mode(Mode::Summary);
     }
+    let monitor = mmds_bench::maybe_serve_metrics();
 
     let matrix: [(&'static str, ExchangeStrategy); 3] = [
         ("traditional", ExchangeStrategy::Traditional),
@@ -180,4 +181,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_kmcstep.json", json + "\n").expect("write BENCH_kmcstep.json");
     println!("\n[artefact] BENCH_kmcstep.json");
+    mmds_telemetry::flush();
+    mmds_bench::metrics_linger();
+    drop(monitor);
 }

@@ -146,6 +146,7 @@ fn main() {
     if mmds_telemetry::Mode::from_env() == Mode::Off {
         mmds_telemetry::set_mode(Mode::Summary);
     }
+    let monitor = mmds_bench::maybe_serve_metrics();
 
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -214,4 +215,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_mdstep.json", json + "\n").expect("write BENCH_mdstep.json");
     println!("\n[artefact] BENCH_mdstep.json");
+    mmds_telemetry::flush();
+    mmds_bench::metrics_linger();
+    drop(monitor);
 }

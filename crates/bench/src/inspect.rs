@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use mmds_telemetry::{Event, PhaseImbalance, Record, RunReport, SpanReport};
+use mmds_telemetry::{PhaseImbalance, Record, RunReport, SpanReport};
 use serde::{Deserialize, Serialize};
 
 /// Default relative throughput loss tolerated by [`diff_bench`].
@@ -48,60 +48,17 @@ pub fn load_records(text: &str) -> Vec<Record> {
         .collect()
 }
 
-/// Reconstructs a [`RunReport`] from a JSONL record stream: span
-/// totals are re-accumulated from `SpanClose` events per (rank, path),
-/// samples from the MD/KMC events, named counters from counter events.
+/// Reconstructs a [`RunReport`] from a JSONL record stream by folding
+/// it through a lossless [`mmds_telemetry::LiveAggregator`] — the same
+/// implementation the live `watch` view uses, so a post-hoc summary
+/// and a `watch --once` over the same stream agree by construction.
 /// Comm stats are not in the stream, so `ranks[*].comm` stays empty.
 pub fn report_from_records(records: &[Record]) -> RunReport {
-    use std::collections::HashMap;
-    let mut acc: HashMap<(Option<u32>, String), (u64, u64)> = HashMap::new();
-    let registry = mmds_telemetry::CounterRegistry::default();
+    let mut agg = mmds_telemetry::LiveAggregator::retaining(Default::default());
     for r in records {
-        match &r.event {
-            Event::SpanClose { path, dur_ns } => {
-                let e = acc.entry((r.rank, path.clone())).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += dur_ns;
-            }
-            Event::Md(s) => registry.push_md(*s),
-            Event::Kmc(s) => registry.push_kmc(*s),
-            Event::Counter { name, value } => registry.add_named(name, *value),
-            Event::Series(s) => registry.push_series(r.rank, &s.name, s.t, s.value),
-            Event::SpanOpen { .. } => {}
-        }
+        agg.fold(r);
     }
-    // Without open/close pairing we cannot attribute child time, so
-    // self time is left equal to total (the imbalance views only use
-    // totals).
-    let rank_spans: Vec<(Option<u32>, SpanReport)> = acc
-        .into_iter()
-        .map(|((rank, path), (count, total_ns))| {
-            (
-                rank,
-                SpanReport {
-                    path,
-                    count,
-                    total_s: total_ns as f64 * 1e-9,
-                    self_s: total_ns as f64 * 1e-9,
-                },
-            )
-        })
-        .collect();
-    let mut merged: std::collections::HashMap<String, SpanReport> = Default::default();
-    for (_, s) in &rank_spans {
-        let e = merged.entry(s.path.clone()).or_insert_with(|| SpanReport {
-            path: s.path.clone(),
-            count: 0,
-            total_s: 0.0,
-            self_s: 0.0,
-        });
-        e.count += s.count;
-        e.total_s += s.total_s;
-        e.self_s += s.self_s;
-    }
-    let mut spans: Vec<SpanReport> = merged.into_values().collect();
-    spans.sort_by(|a, b| a.path.cmp(&b.path));
-    mmds_telemetry::report::build_run_report(spans, rank_spans, &registry)
+    agg.report()
 }
 
 /// Renders the per-phase load-imbalance table (worst ratio first).
@@ -202,6 +159,25 @@ pub fn critical_path_view(spans: &[SpanReport]) -> String {
     out
 }
 
+/// Watchdog alerts carried by the report, one per line.
+pub fn alerts_view(report: &RunReport) -> String {
+    let mut out = String::new();
+    for a in &report.alerts {
+        let _ = writeln!(
+            out,
+            "  [{}] {} {}: {}",
+            a.severity.as_str(),
+            a.rule,
+            a.subject,
+            a.message
+        );
+    }
+    if out.is_empty() {
+        out.push_str("  none\n");
+    }
+    out
+}
+
 /// Health counters (`*.health.*`) with non-zero values, one per line.
 pub fn health_view(report: &RunReport) -> String {
     let mut out = String::new();
@@ -236,6 +212,8 @@ pub fn summary(report: &RunReport) -> String {
     out.push_str(&critical_path_view(&report.spans));
     out.push_str("\n-- physics health --\n");
     out.push_str(&health_view(report));
+    out.push_str("\n-- alerts --\n");
+    out.push_str(&alerts_view(report));
     out
 }
 
@@ -561,6 +539,7 @@ pub fn diff_reports(a: &RunReport, b: &RunReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmds_telemetry::Event;
 
     fn bench(pairs: &[(&str, f64)]) -> BenchDoc {
         BenchDoc {

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod inspect;
+pub mod watch;
 
 use std::path::PathBuf;
 
@@ -60,6 +61,9 @@ pub fn emit_json<T: Serialize>(name: &str, value: &T) {
 /// `<stem>.perfetto.json` Chrome trace.
 pub fn emit_report<T: Serialize>(name: &str, value: &T) {
     emit_json(name, value);
+    // The global FileSink is never dropped at process exit; flush so
+    // the stream tail survives (satellite of the live-monitor work).
+    mmds_telemetry::flush();
     let tel = mmds_telemetry::global();
     if tel.enabled() {
         let stem = name.strip_suffix(".json").unwrap_or(name);
@@ -88,6 +92,39 @@ pub fn emit_report<T: Serialize>(name: &str, value: &T) {
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Starts the in-process live monitor + `/metrics` endpoint when
+/// `MMDS_METRICS_ADDR` is set (e.g. `127.0.0.1:9464`). Keep the handle
+/// alive for the run; drop it (or let it fall at end of `main`) to
+/// detach. Combine with `MMDS_HEARTBEAT=<n>` for liveness beats.
+pub fn maybe_serve_metrics() -> Option<mmds_telemetry::MonitorHandle> {
+    let addr = std::env::var("MMDS_METRICS_ADDR").ok()?;
+    match mmds_telemetry::start_live_monitor(mmds_telemetry::WatchdogConfig::default(), Some(&addr))
+    {
+        Ok(handle) => {
+            if let Some(a) = handle.addr() {
+                println!("[monitor] serving /metrics on http://{a}");
+            }
+            Some(handle)
+        }
+        Err(e) => {
+            eprintln!("[monitor] cannot bind {addr}: {e}");
+            None
+        }
+    }
+}
+
+/// Holds the process open for `MMDS_METRICS_LINGER_MS` milliseconds
+/// (if set) so an external scraper can read the final state of a short
+/// run before the endpoint disappears. No-op when unset.
+pub fn metrics_linger() {
+    if let Some(ms) = std::env::var("MMDS_METRICS_LINGER_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
 }
 
 /// Formats seconds compactly.

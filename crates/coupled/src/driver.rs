@@ -120,6 +120,7 @@ impl CoupledSimulation {
         // --- MD phase: cascade collision -----------------------------
         let mut md = MdSimulation::single_box(cfg.md, cfg.cells);
         md.observatory.cfg = mmds_md::CensusConfig::every(cfg.census_cadence);
+        mmds_telemetry::emit_phase_heartbeat("coupled.heartbeat", 1, 4);
         {
             let _phase = mmds_telemetry::span!("md.phase");
             md.init_velocities();
@@ -133,6 +134,7 @@ impl CoupledSimulation {
         let r_link = 1.2 * geom.nn2(); // between 2NN and 3NN
 
         // --- Handoff --------------------------------------------------
+        mmds_telemetry::emit_phase_heartbeat("coupled.heartbeat", 2, 4);
         let handoff = mmds_telemetry::span_enter("handoff");
         let ghost = required_ghost(cfg.kmc.a0, cfg.kmc.rate_cutoff);
         let kmc_grid = LocalGrid::whole(geom, ghost);
@@ -170,6 +172,7 @@ impl CoupledSimulation {
         drop(handoff);
 
         // --- KMC phase: clustering & evolution ------------------------
+        mmds_telemetry::emit_phase_heartbeat("coupled.heartbeat", 3, 4);
         let kmc_events = {
             let _phase = mmds_telemetry::span!("kmc.phase");
             let mut t = LoopbackK;
@@ -177,6 +180,7 @@ impl CoupledSimulation {
             kmc.run_until_threshold(cfg.strategy, &mut t, cfg.max_kmc_cycles)
         };
 
+        mmds_telemetry::emit_phase_heartbeat("coupled.heartbeat", 4, 4);
         let analysis = mmds_telemetry::span_enter("analysis");
         let kmc_points: Vec<[f64; 3]> = kmc.lat.vacancies().map(|s| kmc.lat.position(s)).collect();
         let after_kmc_clusters = cluster_sizes(&kmc_points, box_len, r_link);

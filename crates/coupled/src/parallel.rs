@@ -91,8 +91,13 @@ pub fn run_coupled_parallel(
         {
             let _phase = mmds_telemetry::span!("md.phase");
             let mut transport = mmds_md::domain::CommTransport::new(comm, grid3);
-            for _ in 0..params.md_steps {
+            for step in 0..params.md_steps {
                 offload_step(&mut sim, comm, &mut transport, &cluster, &params.offload);
+                mmds_telemetry::emit_heartbeat(
+                    "md.heartbeat",
+                    step as u64 + 1,
+                    params.md_steps as u64,
+                );
             }
         }
         comm.barrier();

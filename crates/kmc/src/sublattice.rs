@@ -161,6 +161,7 @@ impl KmcSimulation {
             mmds_telemetry::add_counter("kmc.exchange.baseline_bytes", baseline_bytes as f64);
             mmds_telemetry::add_counter("kmc.exchange.dirty_sites", dirty_sites as f64);
             mmds_telemetry::add_counter("kmc.exchange.candidate_sites", candidate_sites as f64);
+            mmds_telemetry::emit_heartbeat("kmc.heartbeat", self.stats.cycles, 0);
         }
         events
     }

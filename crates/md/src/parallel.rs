@@ -172,6 +172,11 @@ pub fn run_parallel_md(
                 comm.reset_accounting();
             }
             last = offload_step(&mut sim, comm, &mut transport, &cluster, &params.offload);
+            mmds_telemetry::emit_heartbeat(
+                "md.heartbeat",
+                step as u64 + 1,
+                (params.warmup_steps + params.steps) as u64,
+            );
         }
         comm.barrier();
         RankMdSummary {

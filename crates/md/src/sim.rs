@@ -218,8 +218,10 @@ impl MdSimulation {
         // Physics-health baselines, fixed at the first observed step.
         let mut e0: Option<f64> = None;
         let mut p0 = 0.0f64;
+        let hb_total = self.steps_done + n as u64;
         for i in 0..n {
             let s = self.step(t);
+            mmds_telemetry::emit_heartbeat("md.heartbeat", self.steps_done, hb_total);
             if observe {
                 // The defect census is O(sites); only pay for it when
                 // somebody is listening.

@@ -65,6 +65,64 @@ pub struct SeriesSample {
     pub value: f64,
 }
 
+/// One liveness beat from a step loop (MD step, KMC cycle, coupled
+/// phase). Heartbeats are pure observation: emitting them never touches
+/// simulation state, so trajectories are bitwise identical with the
+/// cadence on or off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatSample {
+    /// Beating loop (dotted, e.g. `md.heartbeat`, `kmc.heartbeat`).
+    pub source: String,
+    /// Monotonic progress index of the loop (step, cycle, phase
+    /// ordinal).
+    pub progress: u64,
+    /// Progress target when known; 0 when the loop is open-ended.
+    pub total: u64,
+}
+
+/// Watchdog verdict severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertSeverity {
+    /// Worth a look; the run is still considered healthy.
+    Warn,
+    /// The run is unhealthy (`/healthz` turns 503 while active).
+    Crit,
+}
+
+impl AlertSeverity {
+    /// Lower-case label for dashboards and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertSeverity::Warn => "warn",
+            AlertSeverity::Crit => "crit",
+        }
+    }
+}
+
+/// One structured watchdog alert. Raised by the live aggregator's rule
+/// evaluation and re-emitted through the normal sink path, so alerts
+/// appear in the JSONL stream (and the [`crate::report::RunReport`])
+/// like any other event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRecord {
+    /// Rule that fired (dotted, e.g. `alert.heartbeat_stale`).
+    pub rule: String,
+    /// How bad it is.
+    pub severity: AlertSeverity,
+    /// Rank the alert is about, when rank-specific.
+    pub rank: Option<u32>,
+    /// What the rule was looking at (a rank, a counter, a span path).
+    pub subject: String,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// Observed value that tripped the rule.
+    pub value: f64,
+    /// The rule's threshold at evaluation time.
+    pub threshold: f64,
+    /// Stream time (ns since the telemetry epoch) of the evaluation.
+    pub t_ns: u64,
+}
+
 /// Everything the telemetry layer can observe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -93,6 +151,10 @@ pub enum Event {
     },
     /// A science time-series sample.
     Series(SeriesSample),
+    /// A liveness beat from a step loop.
+    Heartbeat(HeartbeatSample),
+    /// A watchdog alert raised by the live monitor.
+    Alert(AlertRecord),
 }
 
 /// An event with its total-order stamp.
@@ -205,9 +267,35 @@ impl MemorySink {
         Self::default()
     }
 
-    /// Snapshot of everything captured so far.
+    /// Snapshot of everything captured so far. Clones the whole
+    /// buffer — polling consumers should use [`MemorySink::drain`] or
+    /// [`MemorySink::records_since`] instead.
     pub fn records(&self) -> Vec<Record> {
         self.records.lock().unwrap().clone()
+    }
+
+    /// Records captured so far, without cloning anything.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns everything captured so far. Repeated polls
+    /// each pay only for the new records, not the whole history.
+    pub fn drain(&self) -> Vec<Record> {
+        std::mem::take(&mut *self.records.lock().unwrap())
+    }
+
+    /// Clones only the records at index `cursor` and later. Callers
+    /// keep the buffer intact (unlike [`MemorySink::drain`]) and
+    /// advance their cursor by the returned length.
+    pub fn records_since(&self, cursor: usize) -> Vec<Record> {
+        let g = self.records.lock().unwrap();
+        g.get(cursor..).map(<[Record]>::to_vec).unwrap_or_default()
     }
 }
 

@@ -95,15 +95,39 @@ fn event_value(r: &Record) -> Option<Value> {
             s.name.clone(),
             map(vec![("value", Value::F64(s.value)), ("t", Value::U64(s.t))]),
         ),
+        Event::Heartbeat(h) => (
+            "C",
+            h.source.clone(),
+            map(vec![
+                ("progress", Value::U64(h.progress)),
+                ("total", Value::U64(h.total)),
+            ]),
+        ),
+        Event::Alert(a) => (
+            "i",
+            format!("{} [{}]", a.rule, a.severity.as_str()),
+            map(vec![
+                ("rule", Value::Str(a.rule.clone())),
+                ("severity", Value::Str(a.severity.as_str().to_string())),
+                ("subject", Value::Str(a.subject.clone())),
+                ("message", Value::Str(a.message.clone())),
+            ]),
+        ),
     };
-    Some(map(vec![
+    let mut fields = vec![
         ("name", Value::Str(name)),
         ("ph", Value::Str(ph.to_string())),
         ("ts", ts_of(r)),
         ("pid", Value::U64(pid_of(r))),
         ("tid", Value::U64(tid_of(r))),
-        ("args", args),
-    ]))
+    ];
+    if ph == "i" {
+        // Instant events need a scope; "g" (global) draws a full-height
+        // marker in the viewer — right for alerts.
+        fields.push(("s", Value::Str("g".to_string())));
+    }
+    fields.push(("args", args));
+    Some(map(fields))
 }
 
 fn metadata(name: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {

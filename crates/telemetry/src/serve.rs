@@ -1,0 +1,185 @@
+//! Dependency-free HTTP scrape endpoint for the live monitor.
+//!
+//! A single background thread accepts connections on a
+//! `std::net::TcpListener` and answers two routes from the shared
+//! [`LiveMonitor`]:
+//!
+//! * `GET /metrics`  — Prometheus text exposition (version 0.0.4)
+//! * `GET /healthz`  — `200 ok` while no `Crit` alert is active,
+//!   `503 stale` otherwise
+//!
+//! This is the scrape surface `mmds-serve` will later sit behind; it
+//! deliberately speaks just enough HTTP/1.1 for `curl` and a
+//! Prometheus scraper (read the request head, answer, close).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::monitor::LiveMonitor;
+
+/// Handle to the background scrape thread. Dropping it stops the
+/// thread and closes the listener.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port)
+    /// and serves the monitor until the handle is dropped.
+    pub fn spawn(addr: &str, monitor: Arc<LiveMonitor>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("mmds-metrics".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => handle_conn(stream, &monitor),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, monitor: &LiveMonitor) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // Read the request head (enough to see the request line; we never
+    // need a body).
+    let mut buf = [0u8; 2048];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut parts = request.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4", monitor.prometheus()),
+            "/healthz" => {
+                if monitor.healthy() {
+                    ("200 OK", "text/plain", "ok\n".to_string())
+                } else {
+                    (
+                        "503 Service Unavailable",
+                        "text/plain",
+                        "stale\n".to_string(),
+                    )
+                }
+            }
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, HeartbeatSample, Record};
+    use crate::monitor::{LiveAggregator, WatchdogConfig};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let monitor = Arc::new(LiveMonitor::new(LiveAggregator::live(
+            WatchdogConfig::default(),
+        )));
+        monitor.ingest(&Record {
+            seq: 0,
+            t_ns: 1_000,
+            rank: Some(0),
+            tid: Some(0),
+            event: Event::Heartbeat(HeartbeatSample {
+                source: "md.heartbeat".into(),
+                progress: 3,
+                total: 10,
+            }),
+        });
+        let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&monitor)).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        crate::monitor::validate_prometheus_text(&body).unwrap();
+        assert!(body.contains("mmds_heartbeat_progress{source=\"md.heartbeat\",rank=\"0\"} 3"));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+}

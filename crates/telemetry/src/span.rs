@@ -21,10 +21,11 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::event::{Event, EventSink, Record};
+use crate::monitor::LiveMonitor;
 use crate::report::{CounterRegistry, RunReport};
 use crate::Mode;
 
@@ -50,6 +51,13 @@ pub struct Telemetry {
     jsonl_path: Mutex<Option<String>>,
     seq: AtomicU64,
     epoch: Instant,
+    /// Heartbeat cadence: emit every N progress units (0 = off).
+    heartbeat_every: AtomicU64,
+    /// In-process live monitor, when one is attached.
+    monitor: Mutex<Option<Arc<LiveMonitor>>>,
+    /// Fast-path flag mirroring `monitor.is_some()`, so `emit` skips
+    /// the monitor lock entirely in the common no-monitor case.
+    has_monitor: AtomicBool,
 }
 
 thread_local! {
@@ -136,6 +144,14 @@ impl Telemetry {
             jsonl_path: Mutex::new(None),
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
+            heartbeat_every: AtomicU64::new(
+                std::env::var("MMDS_HEARTBEAT")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(0),
+            ),
+            monitor: Mutex::new(None),
+            has_monitor: AtomicBool::new(false),
         };
         t.set_mode(mode);
         t
@@ -196,6 +212,33 @@ impl Telemetry {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Heartbeat cadence in progress units (0 = heartbeats off).
+    pub fn heartbeat_every(&self) -> u64 {
+        self.heartbeat_every.load(Ordering::Relaxed)
+    }
+
+    /// Sets the heartbeat cadence (overrides `MMDS_HEARTBEAT`).
+    pub fn set_heartbeat_every(&self, every: u64) {
+        self.heartbeat_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Attaches an in-process live monitor: every emitted record is
+    /// also folded into it, and alerts it raises are re-emitted as
+    /// [`Event::Alert`] records and pushed into the counter registry
+    /// (so they land in the end-of-run [`RunReport`]). Implies
+    /// enabling telemetry — the monitor needs the event flow.
+    pub fn attach_monitor(&self, monitor: Arc<LiveMonitor>) {
+        *self.monitor.lock().unwrap() = Some(monitor);
+        self.has_monitor.store(true, Ordering::Relaxed);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Detaches the live monitor, returning it.
+    pub fn detach_monitor(&self) -> Option<Arc<LiveMonitor>> {
+        self.has_monitor.store(false, Ordering::Relaxed);
+        self.monitor.lock().unwrap().take()
+    }
+
     /// The counter registry of this domain.
     pub fn counters(&self) -> &CounterRegistry {
         &self.counters
@@ -248,24 +291,46 @@ impl Telemetry {
         });
     }
 
-    /// Streams one event to the sink, if a sink is installed. Events
-    /// get a process-ordered sequence number under the sink lock, so
-    /// concurrent emitters produce a consistent total order.
+    /// Streams one event to the sink, if a sink is installed, and to
+    /// the attached live monitor, if any. Events get a process-ordered
+    /// sequence number under the sink lock, so concurrent emitters
+    /// produce a consistent total order. Monitor ingestion happens
+    /// *after* the sink lock is released; alerts the watchdog raises
+    /// re-enter `emit` (as [`Event::Alert`]) and terminate there —
+    /// the monitor ignores alert records on ingest.
     pub fn emit(&self, event: Event) {
         // Resolve thread identity before taking the sink lock.
         let rank = current_rank();
         let tid = Some(thread_tid());
-        let mut sink = self.sink.lock().unwrap();
-        if let Some(sink) = sink.as_mut() {
+        let monitor = if self.has_monitor.load(Ordering::Relaxed) {
+            self.monitor.lock().unwrap().clone()
+        } else {
+            None
+        };
+        let record = {
+            let mut sink = self.sink.lock().unwrap();
+            if sink.is_none() && monitor.is_none() {
+                return;
+            }
             let seq = self.seq.fetch_add(1, Ordering::Relaxed);
             let t_ns = self.epoch.elapsed().as_nanos() as u64;
-            sink.record(&Record {
+            let record = Record {
                 seq,
                 t_ns,
                 rank,
                 tid,
                 event,
-            });
+            };
+            if let Some(sink) = sink.as_mut() {
+                sink.record(&record);
+            }
+            record
+        };
+        if let Some(monitor) = monitor {
+            for alert in monitor.ingest(&record) {
+                self.counters.push_alert(alert.clone());
+                self.emit(Event::Alert(alert));
+            }
         }
     }
 

@@ -271,6 +271,11 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Seq(xs) => xs.iter().map(T::from_value).collect(),
+            // The derive shim has no `#[serde(default)]`; a struct field
+            // absent from the input map reaches us as `Null`. Treating
+            // it as an empty vec keeps newly added list fields readable
+            // from documents written before the field existed.
+            Value::Null => Ok(Vec::new()),
             _ => Err(DeError::expected("array", v)),
         }
     }

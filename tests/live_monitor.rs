@@ -1,0 +1,301 @@
+//! Acceptance test for the live run monitor: heartbeats, the tailing
+//! aggregator, the watchdog, and the Prometheus-style endpoint.
+//!
+//! One sequential test (the telemetry registry is process-global)
+//! asserting the four monitor guarantees:
+//!
+//! (a) heartbeats and an attached live monitor never perturb the
+//!     dynamics — cascade trajectories are bitwise identical with
+//!     monitoring on or off;
+//! (b) an incremental tail-fold of the JSONL stream (fed in chunks
+//!     that deliberately split records mid-line) reconstructs the same
+//!     run view the in-process registry reports: span totals, named
+//!     counters, and the rank set;
+//! (c) a rank that stops beating while a peer stays fresh raises the
+//!     staleness alert within two heartbeat intervals, and the alert
+//!     clears on the next beat;
+//! (d) the `/metrics` endpoint serves valid Prometheus text exposition
+//!     (and `/healthz` answers) while a real simulation is feeding the
+//!     monitor.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+
+use mmds::kmc::comm::LoopbackK;
+use mmds::kmc::lattice::required_ghost;
+use mmds::kmc::{ExchangeStrategy, KmcConfig, KmcSimulation, OnDemandMode};
+use mmds::lattice::{BccGeometry, LocalGrid};
+use mmds::md::cascade::{launch_pka, PKA_DIRECTION};
+use mmds::md::{MdConfig, MdSimulation};
+use mmds_telemetry::{
+    validate_prometheus_text, AlertSeverity, Event, HeartbeatSample, LiveAggregator, MemorySink,
+    Mode, Record, TailReader, WatchdogConfig,
+};
+
+const STEPS: usize = 20;
+
+fn cascade_sim() -> MdSimulation {
+    let cfg = MdConfig {
+        table_knots: 800,
+        temperature: 150.0,
+        thermostat_tau: Some(0.02),
+        ..Default::default()
+    };
+    let mut s = MdSimulation::single_box(cfg, 6);
+    s.init_velocities();
+    let pka = s.lnl.grid.site_id(5, 5, 5, 0);
+    launch_pka(&mut s.lnl, pka, 180.0, PKA_DIRECTION, s.mass);
+    s
+}
+
+fn kmc_sim(cells: usize, vacancies: usize) -> KmcSimulation {
+    let cfg = KmcConfig {
+        table_knots: 800,
+        events_per_cycle: 2.0,
+        ..Default::default()
+    };
+    let ghost = required_ghost(cfg.a0, cfg.rate_cutoff);
+    let grid = LocalGrid::whole(BccGeometry::new(cfg.a0, cells, cells, cells), ghost);
+    let mut sim = KmcSimulation::new(cfg, grid);
+    sim.lat.seed_vacancies(vacancies, 11);
+    sim.initialize(&mut LoopbackK);
+    sim
+}
+
+/// (a) Heartbeats + attached monitor on vs off: bitwise-identical
+/// trajectories.
+fn assert_monitor_does_not_perturb_dynamics() {
+    let tel = mmds_telemetry::global();
+    tel.reset();
+    mmds_telemetry::set_heartbeat_every(0);
+    let mut off = cascade_sim();
+    off.run_local(STEPS);
+
+    tel.reset();
+    mmds_telemetry::set_heartbeat_every(1);
+    let handle = mmds_telemetry::start_live_monitor(WatchdogConfig::default(), None)
+        .expect("in-process monitor needs no socket");
+    let mut on = cascade_sim();
+    on.run_local(STEPS);
+    {
+        let g = handle.monitor().lock();
+        assert_eq!(g.heartbeat_count(), STEPS as u64, "one beat per step");
+        assert!(g.records() > STEPS as u64, "spans/samples folded too");
+    }
+    drop(handle);
+    mmds_telemetry::set_heartbeat_every(0);
+
+    for &s in &off.interior {
+        assert_eq!(off.lnl.pos[s], on.lnl.pos[s], "positions at site {s}");
+        assert_eq!(off.lnl.vel[s], on.lnl.vel[s], "velocities at site {s}");
+        assert_eq!(off.lnl.id[s], on.lnl.id[s], "occupancy at site {s}");
+    }
+    assert_eq!(off.lnl.n_runaways(), on.lnl.n_runaways());
+    for (a, b) in off.lnl.live_runaways().iter().zip(on.lnl.live_runaways()) {
+        assert_eq!(off.lnl.runaway(*a).pos, on.lnl.runaway(b).pos);
+    }
+}
+
+/// (b) Tail-fold of the recorded stream agrees with the in-process
+/// registry's view of the same run.
+fn assert_tail_fold_agrees_with_registry() {
+    let tel = mmds_telemetry::global();
+    tel.reset();
+    mmds_telemetry::set_heartbeat_every(2);
+    let sink = MemorySink::new();
+    tel.install_sink(Box::new(sink.clone()));
+
+    {
+        let _rank = mmds_telemetry::rank_scope(0);
+        let mut sim = kmc_sim(8, 4);
+        sim.run_cycles(
+            ExchangeStrategy::OnDemand(OnDemandMode::TwoSided),
+            &mut LoopbackK,
+            5,
+        );
+    }
+    tel.take_sink();
+    mmds_telemetry::set_heartbeat_every(0);
+    let records = sink.records();
+    assert!(!records.is_empty());
+    assert!(records
+        .iter()
+        .any(|r| matches!(r.event, Event::Heartbeat(_))));
+
+    // Replay through a TailReader over a growing file, appending in
+    // chunks that split records mid-line — the watcher's actual input.
+    let dir = std::env::temp_dir().join("mmds_live_monitor_accept");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    std::fs::write(&path, b"").unwrap();
+    let text: String = records.iter().map(|r| r.to_jsonl() + "\n").collect();
+    let bytes = text.as_bytes();
+
+    let mut agg = LiveAggregator::retaining(WatchdogConfig::default());
+    let mut tail = TailReader::new(path.to_str().unwrap());
+    let mut at = 0;
+    while at < bytes.len() {
+        let end = (at + 97).min(bytes.len());
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&bytes[at..end]).unwrap();
+        drop(f);
+        at = end;
+        for r in tail.poll().unwrap() {
+            agg.fold(&r);
+        }
+    }
+    if let Some(r) = tail.finish() {
+        agg.fold(&r);
+    }
+    assert_eq!(tail.parse_errors(), 0, "every chunked line reassembled");
+    assert_eq!(agg.records() as usize, records.len(), "no record dropped");
+
+    let folded = agg.report();
+    let registry = tel.run_report();
+
+    // Same named counters (Event::Counter records carry them).
+    assert_eq!(folded.counters.named, registry.counters.named);
+    // Same span table: paths, call counts, and wall totals (both sides
+    // accumulate the identical streamed dur_ns values).
+    let key = |r: &mmds_telemetry::RunReport| -> Vec<(String, u64)> {
+        r.spans.iter().map(|s| (s.path.clone(), s.count)).collect()
+    };
+    assert_eq!(key(&folded), key(&registry));
+    for (f, g) in folded.spans.iter().zip(&registry.spans) {
+        assert!(
+            (f.total_s - g.total_s).abs() < 1e-9,
+            "span {} totals diverge: {} vs {}",
+            f.path,
+            f.total_s,
+            g.total_s
+        );
+    }
+    // Same rank set.
+    let ranks =
+        |r: &mmds_telemetry::RunReport| -> Vec<u32> { r.ranks.iter().map(|x| x.rank).collect() };
+    assert_eq!(ranks(&folded), ranks(&registry));
+    assert_eq!(ranks(&folded), vec![0]);
+    // Same science-series tracks.
+    let tracks = |r: &mmds_telemetry::RunReport| -> Vec<String> {
+        r.series.iter().map(|t| t.name.clone()).collect()
+    };
+    assert_eq!(tracks(&folded), tracks(&registry));
+
+    tel.reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// (c) A deliberately stalled rank raises the staleness alert within
+/// two heartbeat intervals, and the alert clears when it beats again.
+fn assert_stall_detected_within_two_intervals() {
+    const I: u64 = 1_000_000; // 1 ms heartbeat interval on the stream clock
+    let mut agg = LiveAggregator::live(WatchdogConfig::default());
+    let mut seq = 0u64;
+    let mut beat = |agg: &mut LiveAggregator, t_ns: u64, rank: u32, progress: u64| {
+        agg.fold(&Record {
+            seq: {
+                seq += 1;
+                seq
+            },
+            t_ns,
+            rank: Some(rank),
+            tid: Some(rank),
+            event: Event::Heartbeat(HeartbeatSample {
+                source: "md.heartbeat".into(),
+                progress,
+                total: 0,
+            }),
+        });
+        agg.evaluate(t_ns);
+    };
+
+    // Both ranks beat in lockstep through t = 3I …
+    for k in 1..=3u64 {
+        beat(&mut agg, k * I, 0, k);
+        beat(&mut agg, k * I, 1, k);
+    }
+    // … then rank 1 stalls while rank 0 keeps going.
+    beat(&mut agg, 4 * I, 0, 4);
+    assert!(
+        agg.alerts().is_empty(),
+        "one missed beat is not yet a stall"
+    );
+    beat(&mut agg, 5 * I, 0, 5); // rank 1's age is now 2 intervals
+    let stale: Vec<_> = agg
+        .alerts()
+        .iter()
+        .filter(|a| a.rule == "alert.heartbeat_stale")
+        .cloned()
+        .collect();
+    assert_eq!(stale.len(), 1, "stall flagged within two intervals");
+    assert_eq!(stale[0].severity, AlertSeverity::Crit);
+    assert_eq!(stale[0].rank, Some(1));
+    assert!(!agg.healthy(), "an active crit alert means unhealthy");
+
+    // No duplicate while the condition persists …
+    beat(&mut agg, 6 * I, 0, 6);
+    assert_eq!(agg.alerts().len(), stale.len());
+    // … and the next beat from the stalled rank clears it.
+    beat(&mut agg, 7 * I, 1, 4);
+    assert!(agg.healthy(), "recovered rank clears the staleness alert");
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("metrics endpoint accepts connections");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// (d) The HTTP endpoint serves valid Prometheus text while a real
+/// simulation feeds the monitor.
+fn assert_metrics_endpoint_serves_valid_text() {
+    let tel = mmds_telemetry::global();
+    tel.reset();
+    mmds_telemetry::set_heartbeat_every(1);
+    let handle = mmds_telemetry::start_live_monitor(WatchdogConfig::default(), Some("127.0.0.1:0"))
+        .expect("ephemeral port binds");
+    let addr = handle.addr().expect("server requested");
+
+    let mut sim = kmc_sim(8, 3);
+    sim.run_cycles(ExchangeStrategy::Traditional, &mut LoopbackK, 4);
+
+    let response = http_get(addr, "/metrics");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("well-formed HTTP response");
+    assert!(head.starts_with("HTTP/1.1 200"), "status line: {head}");
+    validate_prometheus_text(body).expect("valid Prometheus text exposition");
+    assert!(
+        body.contains("mmds_heartbeat_progress{source=\"kmc.heartbeat\""),
+        "kmc beats visible in:\n{body}"
+    );
+    assert!(body.contains("mmds_span_seconds_total"));
+
+    let healthz = http_get(addr, "/healthz");
+    assert!(healthz.starts_with("HTTP/1.1 200"), "healthz: {healthz}");
+    assert!(healthz.ends_with("ok\n"));
+
+    handle.stop();
+    mmds_telemetry::set_heartbeat_every(0);
+    tel.reset();
+}
+
+#[test]
+fn live_monitor_acceptance() {
+    // One sequential test: the phases share the process-global
+    // telemetry instance, so each resets it before running.
+    mmds_telemetry::set_mode(Mode::Summary);
+    assert_monitor_does_not_perturb_dynamics();
+    assert_tail_fold_agrees_with_registry();
+    assert_stall_detected_within_two_intervals();
+    assert_metrics_endpoint_serves_valid_text();
+}
