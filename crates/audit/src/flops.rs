@@ -143,53 +143,63 @@ pub fn run(root: &Path) -> Vec<Finding> {
     findings
 }
 
-/// Rejects `charge_table_access` call sites whose flop arguments are
-/// raw numeric literals instead of the ledger constants.
+/// Rejects `charge_table_access` / `charge_table_batch` call sites
+/// whose flop arguments are raw numeric literals instead of the ledger
+/// constants. The batch form takes one extra trailing argument (the
+/// lane count, which may be any expression — it is a width, not a flop
+/// constant); its locate/seg_eval arguments obey the same rule.
 pub fn check_charge_sites(file: &SourceFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     let live = workspace::strip_test_blocks(&file.scrubbed);
-    let needle = "charge_table_access(";
-    let mut from = 0;
-    while let Some(pos) = live[from..].find(needle) {
-        let at = from + pos;
-        from = at + needle.len();
-        // Skip the definition itself (`fn charge_table_access(…)`).
-        if live[..at].trim_end().ends_with("fn") {
-            continue;
-        }
-        let open = at + needle.len() - 1;
-        let Some(args) = top_level_args(&live, open) else {
-            continue;
-        };
-        let line = file.line_of(at);
-        if args.len() != 3 {
-            findings.push(Finding::at(
-                Pass::FlopLedger,
-                file.rel.clone(),
-                line,
-                format!(
-                    "charge_table_access takes (locate, seg_eval, segments) — found {} args",
-                    args.len()
-                ),
-            ));
-            continue;
-        }
-        let checks = [
-            (&args[0], "LOCATE_FLOPS", "locate"),
-            (&args[1], "SEG_EVAL_FLOPS", "seg_eval"),
-        ];
-        for (arg, constant, which) in checks {
-            if !arg.contains(constant) || arg.bytes().any(|b| b.is_ascii_digit()) {
+    let sites = [
+        ("charge_table_access(", 3, "(locate, seg_eval, segments)"),
+        (
+            "charge_table_batch(",
+            4,
+            "(locate, seg_eval, segments, lanes)",
+        ),
+    ];
+    for (needle, arity, shape) in sites {
+        let name = needle.trim_end_matches('(');
+        let mut from = 0;
+        while let Some(pos) = live[from..].find(needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            // Skip the definition itself (`fn charge_table_…(…)`).
+            if live[..at].trim_end().ends_with("fn") {
+                continue;
+            }
+            let open = at + needle.len() - 1;
+            let Some(args) = top_level_args(&live, open) else {
+                continue;
+            };
+            let line = file.line_of(at);
+            if args.len() != arity {
                 findings.push(Finding::at(
                     Pass::FlopLedger,
                     file.rel.clone(),
                     line,
-                    format!(
-                        "charge_table_access {which} argument must be the named \
-                         constant {constant} (± ledger constants), not `{}`",
-                        arg.trim()
-                    ),
+                    format!("{name} takes {shape} — found {} args", args.len()),
                 ));
+                continue;
+            }
+            let checks = [
+                (&args[0], "LOCATE_FLOPS", "locate"),
+                (&args[1], "SEG_EVAL_FLOPS", "seg_eval"),
+            ];
+            for (arg, constant, which) in checks {
+                if !arg.contains(constant) || arg.bytes().any(|b| b.is_ascii_digit()) {
+                    findings.push(Finding::at(
+                        Pass::FlopLedger,
+                        file.rel.clone(),
+                        line,
+                        format!(
+                            "{name} {which} argument must be the named \
+                             constant {constant} (± ledger constants), not `{}`",
+                            arg.trim()
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -285,5 +295,40 @@ mod tests {
             scrubbed: workspace::scrub(src),
         };
         assert!(check_charge_sites(&file).is_empty());
+    }
+
+    #[test]
+    fn batch_charges_obey_the_same_constant_rule() {
+        // The lane-count argument may be any expression (it is a width,
+        // not a flop constant); the flop arguments may not be literals.
+        let ok = "fn k(ctx: &mut CpeCtx) {\n    ctx.charge_table_batch(LOCATE_FLOPS, SEG_EVAL_FLOPS + RECON_EXTRA_FLOPS, 1, BATCH_LANES as u64);\n}\n";
+        let file = SourceFile {
+            rel: "crates/fake/src/k.rs".into(),
+            raw: ok.into(),
+            scrubbed: workspace::scrub(ok),
+        };
+        assert!(check_charge_sites(&file).is_empty());
+
+        let bad =
+            "fn k(ctx: &mut CpeCtx) {\n    ctx.charge_table_batch(LOCATE_FLOPS, 36, 1, 8);\n}\n";
+        let file = SourceFile {
+            rel: "crates/fake/src/k.rs".into(),
+            raw: bad.into(),
+            scrubbed: workspace::scrub(bad),
+        };
+        let findings = check_charge_sites(&file);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("SEG_EVAL_FLOPS"));
+        assert!(findings[0].message.contains("charge_table_batch"));
+
+        let wrong_arity = "fn k(ctx: &mut CpeCtx) {\n    ctx.charge_table_batch(LOCATE_FLOPS, SEG_EVAL_FLOPS, 1);\n}\n";
+        let file = SourceFile {
+            rel: "crates/fake/src/k.rs".into(),
+            raw: wrong_arity.into(),
+            scrubbed: workspace::scrub(wrong_arity),
+        };
+        let findings = check_charge_sites(&file);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("lanes"));
     }
 }

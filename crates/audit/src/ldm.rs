@@ -5,10 +5,12 @@
 //! worst-case simultaneous-live footprint fits the SW26010 64 KB local
 //! store. The registered plans are:
 //!
-//! * the four Fig. 9 MD offload variants
+//! * the four Fig. 9 MD offload variants plus the production batched
+//!   configuration
 //!   ([`mmds_md::offload::OffloadConfig::ldm_plans`]): resident
 //!   compacted table + (double-buffered) block in/out buffers +
-//!   ghost-reuse margin, per sweep;
+//!   ghost-reuse margin + (batched) SoA gather/eval lane buffers, per
+//!   sweep;
 //! * the Fe–Cu alloy table placement
 //!   ([`mmds_eam::alloy::LdmPlacement::plan`]) under the optimized
 //!   sweep's block-buffer reservation;
@@ -42,9 +44,14 @@ pub fn collect_plans() -> Vec<LdmPlan> {
         plans.extend(cfg.ldm_plans(label, PAPER_TABLE_N));
     }
 
+    // The production default layers SoA lane batching on top of the
+    // last Fig. 9 variant: its sweeps additionally reserve the batch
+    // gather+eval lane buffers.
+    let opt = OffloadConfig::optimized();
+    plans.extend(opt.ldm_plans("Optimized+BatchedLanes", PAPER_TABLE_N));
+
     // Fe–Cu alloy: table residency planned around the optimized
     // sweep's block buffers; resident tables + buffers must co-exist.
-    let opt = OffloadConfig::optimized();
     let copies = if opt.double_buffer { 2 } else { 1 };
     let per_site = copies * 2 * STAGE_BYTES_PER_SITE
         + if opt.data_reuse {

@@ -1,25 +1,34 @@
 //! `mdstep` — the persistent MD hot-path benchmark.
 //!
 //! Times full velocity-Verlet steps (both EAM passes + ghost exchange)
-//! under the four host execution strategies of
+//! under the six host execution strategies of
 //! [`mmds_md::force::PassConfig`]:
 //!
-//! * `serial`          — the seed path: one thread, separate pair and
-//!   density lookups (two segment locates per partner);
-//! * `serial+fused`    — one thread, fused single-locate
+//! * `serial`                 — the seed path: one thread, separate
+//!   pair and density lookups (two segment locates per partner);
+//! * `serial+fused`           — one thread, fused single-locate
 //!   [`mmds_eam::EamPotential::pair_density`] lookups;
-//! * `parallel`        — chunked multi-thread sweeps, separate lookups;
-//! * `parallel+fused`  — the default production path.
+//! * `serial+fused+batched`   — one thread, SoA gather + lane-batched
+//!   table kernels;
+//! * `parallel`               — chunked multi-thread sweeps, separate
+//!   lookups;
+//! * `parallel+fused`         — chunked multi-thread sweeps, fused
+//!   lookups;
+//! * `parallel+fused+batched` — the default production path.
 //!
-//! All four configurations produce bitwise-identical trajectories (see
+//! All six configurations produce bitwise-identical trajectories (see
 //! the determinism tests in `mmds-md`), so the comparison is work-fair
-//! by construction. Writes `BENCH_mdstep.json` into the current
-//! directory — committed at the repo root as the persistent baseline —
-//! with per-phase times from `mmds-telemetry` spans.
+//! by construction. The headline `speedup_parallel_fused_vs_serial` is
+//! measured with the batched kernel enabled (the production default).
+//! Writes `BENCH_mdstep.json` into the current directory — committed
+//! at the repo root as the persistent baseline — with per-phase times
+//! from `mmds-telemetry` spans.
 //!
 //! Knobs: `--smoke` shrinks the box for CI; `MMDS_MDSTEP_CELLS` /
 //! `MMDS_MDSTEP_STEPS` override the box edge (unit cells) and the
-//! timed step count.
+//! timed step count; `MMDS_MDSTEP_REPEATS` sets how many times each
+//! configuration is timed (min wall time wins — scheduling noise only
+//! ever adds time; default 3).
 
 use std::time::Instant;
 
@@ -48,6 +57,7 @@ struct ConfigResult {
     name: &'static str,
     parallel: bool,
     fused: bool,
+    batched: bool,
     wall_s: f64,
     atoms_steps_per_sec: f64,
     speedup_vs_serial: f64,
@@ -60,11 +70,13 @@ struct MdstepReport {
     atoms: usize,
     steps: usize,
     warmup_steps: usize,
+    repeats: usize,
     host_threads: usize,
     host_cores: usize,
     table_form: String,
     configs: Vec<ConfigResult>,
     speedup_fused_vs_serial: f64,
+    speedup_batched_vs_parallel_fused: f64,
     speedup_parallel_fused_vs_serial: f64,
 }
 
@@ -103,26 +115,38 @@ fn run_config(
     cells: usize,
     warmup: usize,
     steps: usize,
+    repeats: usize,
 ) -> (f64, usize, PhaseSeconds) {
-    let mut sim = build_sim(cells, pass_config);
-    let atoms = sim.n_atoms();
-    for _ in 0..warmup {
-        sim.step(&mut Loopback);
+    // Scheduling noise on a shared host only ever *adds* time, so the
+    // minimum over identical deterministic repeats is the robust
+    // estimate of each configuration's true cost.
+    let mut wall = f64::INFINITY;
+    let mut atoms = 0;
+    let mut phases = PhaseSeconds::default();
+    for _ in 0..repeats.max(1) {
+        let mut sim = build_sim(cells, pass_config);
+        atoms = sim.n_atoms();
+        for _ in 0..warmup {
+            sim.step(&mut Loopback);
+        }
+        let tel = mmds_telemetry::global();
+        tel.reset();
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            sim.step(&mut Loopback);
+        }
+        let w = t0.elapsed().as_secs_f64();
+        if w < wall {
+            wall = w;
+            let reports = tel.span_reports();
+            phases = PhaseSeconds {
+                density: phase_total(&reports, "md.density"),
+                embed: phase_total(&reports, "md.embed"),
+                pair: phase_total(&reports, "md.pair"),
+                ghost: phase_total(&reports, "md.ghost"),
+            };
+        }
     }
-    let tel = mmds_telemetry::global();
-    tel.reset();
-    let t0 = Instant::now();
-    for _ in 0..steps {
-        sim.step(&mut Loopback);
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    let reports = tel.span_reports();
-    let phases = PhaseSeconds {
-        density: phase_total(&reports, "md.density"),
-        embed: phase_total(&reports, "md.embed"),
-        pair: phase_total(&reports, "md.pair"),
-        ghost: phase_total(&reports, "md.ghost"),
-    };
     println!(
         "{name:>16}: {wall:.3} s  ({:.0} atom-steps/s)  [density {:.3} embed {:.3} pair {:.3} ghost {:.3}]",
         (atoms * steps) as f64 / wall,
@@ -137,9 +161,10 @@ fn run_config(
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cells = env_usize("MMDS_MDSTEP_CELLS", if smoke { 4 } else { 8 });
-    let steps = env_usize("MMDS_MDSTEP_STEPS", if smoke { 3 } else { 10 });
-    let warmup = if smoke { 1 } else { 2 };
-    header("mdstep: MD hot-path baseline (serial/parallel × separate/fused lookups)");
+    let steps = env_usize("MMDS_MDSTEP_STEPS", if smoke { 3 } else { 20 });
+    let repeats = env_usize("MMDS_MDSTEP_REPEATS", if smoke { 1 } else { 3 });
+    let warmup = if smoke { 1 } else { 3 };
+    header("mdstep: MD hot-path baseline (serial/parallel × separate/fused × batched kernels)");
     // Summary mode records spans without a JSONL sink; per-config
     // resets isolate each configuration's phase totals. An explicit
     // MMDS_TELEMETRY (e.g. jsonl: for the CI trace artefact) wins.
@@ -153,13 +178,22 @@ fn main() {
         .unwrap_or(1);
     let host_threads = env_usize("RAYON_NUM_THREADS", host_cores);
 
-    let matrix: [(&'static str, PassConfig); 4] = [
+    let matrix: [(&'static str, PassConfig); 6] = [
         ("serial", PassConfig::seed_serial()),
         (
             "serial+fused",
             PassConfig {
                 parallel: false,
                 fused: true,
+                batched: false,
+            },
+        ),
+        (
+            "serial+fused+batched",
+            PassConfig {
+                parallel: false,
+                fused: true,
+                batched: true,
             },
         ),
         (
@@ -167,16 +201,25 @@ fn main() {
             PassConfig {
                 parallel: true,
                 fused: false,
+                batched: false,
             },
         ),
-        ("parallel+fused", PassConfig::default()),
+        (
+            "parallel+fused",
+            PassConfig {
+                parallel: true,
+                fused: true,
+                batched: false,
+            },
+        ),
+        ("parallel+fused+batched", PassConfig::default()),
     ];
 
     let mut configs = Vec::new();
     let mut serial_wall = 0.0;
     let mut atoms = 0;
     for (name, pc) in matrix {
-        let (wall, n, phases) = run_config(name, pc, cells, warmup, steps);
+        let (wall, n, phases) = run_config(name, pc, cells, warmup, steps, repeats);
         atoms = n;
         if name == "serial" {
             serial_wall = wall;
@@ -185,6 +228,7 @@ fn main() {
             name,
             parallel: pc.parallel,
             fused: pc.fused,
+            batched: pc.batched,
             wall_s: wall,
             atoms_steps_per_sec: (n * steps) as f64 / wall,
             speedup_vs_serial: serial_wall / wall,
@@ -192,12 +236,24 @@ fn main() {
         });
     }
 
-    let speedup_fused = configs[0].wall_s / configs[1].wall_s;
-    let speedup_pf = configs[0].wall_s / configs[3].wall_s;
+    let wall_of = |name: &str| {
+        configs
+            .iter()
+            .find(|c| c.name == name)
+            .expect("config in matrix")
+            .wall_s
+    };
+    let speedup_fused = wall_of("serial") / wall_of("serial+fused");
+    let speedup_batched = wall_of("parallel+fused") / wall_of("parallel+fused+batched");
+    // The headline: the full production path (parallel + fused +
+    // batched) against the seed path.
+    let speedup_pf = wall_of("serial") / wall_of("parallel+fused+batched");
     println!();
-    println!("fused vs serial:          {speedup_fused:.2}x");
+    println!("fused vs serial:                    {speedup_fused:.2}x");
+    println!("batched vs parallel+fused:          {speedup_batched:.2}x");
     println!(
-        "parallel+fused vs serial: {speedup_pf:.2}x  ({host_threads} threads, {host_cores} cores)"
+        "parallel+fused(+batched) vs serial: {speedup_pf:.2}x  \
+         ({host_threads} threads, {host_cores} cores)"
     );
 
     let report = MdstepReport {
@@ -205,11 +261,13 @@ fn main() {
         atoms,
         steps,
         warmup_steps: warmup,
+        repeats,
         host_threads,
         host_cores,
         table_form: "Compacted".to_string(),
         configs,
         speedup_fused_vs_serial: speedup_fused,
+        speedup_batched_vs_parallel_fused: speedup_batched,
         speedup_parallel_fused_vs_serial: speedup_pf,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -117,6 +117,31 @@ impl AlloyEam {
         pair.eval2(density, r)
     }
 
+    /// Batched fused φ/f lookup for the species pair `(a, b)` — the
+    /// batch counterpart of [`AlloyEam::pair_density`]. The linear
+    /// table search behind [`AlloyEam::table`] runs **once per batch**
+    /// instead of once per neighbour (the amortisation the contiguous
+    /// gather buys on top of vectorization), then the whole batch goes
+    /// through [`CompactTable::eval2_batch`]. Bitwise identical to
+    /// per-element `pair_density` at every length, ragged tails
+    /// included.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn pair_density_batch(
+        &self,
+        a: Species,
+        b: Species,
+        rs: &[f64],
+        phi: &mut [f64],
+        dphi: &mut [f64],
+        f: &mut [f64],
+        df: &mut [f64],
+    ) {
+        let pair = self.table(AlloyTableId::Pair(a, b));
+        let density = self.table(AlloyTableId::Density(a, b));
+        pair.eval2_batch(density, rs, phi, dphi, f, df);
+    }
+
     /// Embedding `F(ρ)` and `F'(ρ)` of species `s` (single-locate by
     /// construction — one table).
     #[inline]

@@ -18,6 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::BATCH_LANES;
+
 /// Extra scalar flops per table access paid for on-the-fly coefficient
 /// reconstruction (5-point stencil ×2 knots + Hermite combination),
 /// compared with [`crate::spline::TraditionalTable`] direct evaluation.
@@ -57,6 +59,63 @@ fn locate_on(n: usize, x0: f64, dx: f64, x: f64) -> (usize, f64) {
     let i = (u as usize).min(max_seg);
     let t = (u - i as f64).clamp(0.0, 1.0);
     (i, t)
+}
+
+/// Segment indices and local coordinates for one full lane group.
+/// Replays [`locate_on`] per lane, so each lane's result is bitwise
+/// identical to the scalar locate.
+// flops: LOCATE_FLOPS = 4 (per lane — the same sub, div, floor/min,
+// clamp sequence as the scalar locate, just over a lane group)
+#[inline]
+fn locate_lanes(
+    n: usize,
+    x0: f64,
+    dx: f64,
+    xs: &[f64; BATCH_LANES],
+) -> ([usize; BATCH_LANES], [f64; BATCH_LANES]) {
+    let mut seg = [0usize; BATCH_LANES];
+    let mut t = [0.0; BATCH_LANES];
+    for k in 0..BATCH_LANES {
+        let (i, tk) = locate_on(n, x0, dx, xs[k]);
+        seg[k] = i;
+        t[k] = tk;
+    }
+    (seg, t)
+}
+
+/// SoA Hermite basis for one lane group: `out[c][k]` is component `c`
+/// of `hermite_basis(t[k])` — component-major so the combine loops in
+/// [`CompactTable::eval_segment_lanes`] read contiguous lane arrays.
+#[inline]
+fn hermite_basis_lanes(t: &[f64; BATCH_LANES]) -> [[f64; BATCH_LANES]; 8] {
+    let mut out = [[0.0; BATCH_LANES]; 8];
+    for k in 0..BATCH_LANES {
+        let b = hermite_basis(t[k]);
+        for (c, row) in out.iter_mut().enumerate() {
+            row[k] = b[c];
+        }
+    }
+    out
+}
+
+/// Value-half SoA Hermite basis (`h00, h10, h01, h11` lanes only) —
+/// the value-only density kernel never reads the derivative basis, and
+/// the four value components are computed with exactly the
+/// [`hermite_basis`] expressions, so the value lanes stay bitwise
+/// identical.
+#[inline]
+fn hermite_value_basis_lanes(t: &[f64; BATCH_LANES]) -> [[f64; BATCH_LANES]; 4] {
+    let mut out = [[0.0; BATCH_LANES]; 4];
+    for k in 0..BATCH_LANES {
+        let t1 = t[k];
+        let t2 = t1 * t1;
+        let t3 = t2 * t1;
+        out[0][k] = 2.0 * t3 - 3.0 * t2 + 1.0;
+        out[1][k] = t3 - 2.0 * t2 + t1;
+        out[2][k] = -2.0 * t3 + 3.0 * t2;
+        out[3][k] = t3 - t2;
+    }
+    out
 }
 
 /// A compacted table: sample values only.
@@ -194,6 +253,317 @@ impl CompactTable {
     pub fn eval_deriv(&self, x: f64) -> f64 {
         self.eval_both(x).1
     }
+
+    /// Evaluates one table's located segments across a full lane group:
+    /// knot values and reconstructed derivatives are gathered into lane
+    /// arrays (the only non-contiguous reads), then combined with the
+    /// shared SoA basis in branch-free lane loops the autovectorizer
+    /// can tile. Each lane replays exactly the scalar
+    /// [`CompactTable::eval_segment`] expression, so every lane is
+    /// bitwise identical to a scalar eval.
+    // flops: SEG_EVAL_FLOPS = 8 (per lane — the same Hermite value +
+    // derivative combination as the scalar segment eval)
+    // flops: RECON_EXTRA_FLOPS = 28 (per lane — two 5-point
+    // knot-derivative stencils + basis/derivative scaling, unchanged
+    // from the scalar reconstruction)
+    #[inline]
+    fn eval_segment_lanes(
+        values: &[f64],
+        seg: &[usize; BATCH_LANES],
+        h: &[[f64; BATCH_LANES]; 8],
+        dx: f64,
+        val: &mut [f64; BATCH_LANES],
+        der: &mut [f64; BATCH_LANES],
+    ) {
+        let (y0, y1, d0, d1) = Self::gather_segment_lanes(values, seg, dx);
+        for k in 0..BATCH_LANES {
+            val[k] = h[0][k] * y0[k] + h[1][k] * d0[k] + h[2][k] * y1[k] + h[3][k] * d1[k];
+        }
+        for k in 0..BATCH_LANES {
+            der[k] = (h[4][k] * y0[k] + h[5][k] * d0[k] + h[6][k] * y1[k] + h[7][k] * d1[k]) / dx;
+        }
+    }
+
+    /// Value-only lane-group segment eval — the density pass discards
+    /// the derivative, so the batched ρ kernel skips the derivative
+    /// combine entirely. The value lanes are still bitwise identical to
+    /// [`CompactTable::eval_segment`]'s value output.
+    #[inline]
+    fn eval_segment_values_lanes(
+        values: &[f64],
+        seg: &[usize; BATCH_LANES],
+        h: &[[f64; BATCH_LANES]; 4],
+        dx: f64,
+        val: &mut [f64; BATCH_LANES],
+    ) {
+        let (y0, y1, d0, d1) = Self::gather_segment_lanes(values, seg, dx);
+        for k in 0..BATCH_LANES {
+            val[k] = h[0][k] * y0[k] + h[1][k] * d0[k] + h[2][k] * y1[k] + h[3][k] * d1[k];
+        }
+    }
+
+    /// Fused two-table lane-group segment eval: both tables share the
+    /// lane segment indices (same knot grid), so the interior-stencil
+    /// check and the per-lane index arithmetic run **once** for both
+    /// gathers. Each table's lanes replay exactly the expressions of
+    /// [`CompactTable::eval_segment_lanes`], so the outputs are bitwise
+    /// identical to two separate single-table lane evals.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn eval2_segment_lanes(
+        a: &[f64],
+        b: &[f64],
+        seg: &[usize; BATCH_LANES],
+        h: &[[f64; BATCH_LANES]; 8],
+        dx: f64,
+        va: &mut [f64; BATCH_LANES],
+        da: &mut [f64; BATCH_LANES],
+        vb: &mut [f64; BATCH_LANES],
+        db: &mut [f64; BATCH_LANES],
+    ) {
+        debug_assert_eq!(a.len(), b.len(), "fused tables must share the knot grid");
+        let n = a.len();
+        let mut ya0 = [0.0; BATCH_LANES];
+        let mut ya1 = [0.0; BATCH_LANES];
+        let mut da0 = [0.0; BATCH_LANES];
+        let mut da1 = [0.0; BATCH_LANES];
+        let mut yb0 = [0.0; BATCH_LANES];
+        let mut yb1 = [0.0; BATCH_LANES];
+        let mut db0 = [0.0; BATCH_LANES];
+        let mut db1 = [0.0; BATCH_LANES];
+        if seg.iter().all(|&i| i >= 2 && i + 3 < n) {
+            for k in 0..BATCH_LANES {
+                let i = seg[k];
+                ya0[k] = a[i];
+                ya1[k] = a[i + 1];
+                da0[k] = (a[i - 2] - a[i + 2] + 8.0 * (a[i + 1] - a[i - 1])) / (12.0 * dx) * dx;
+                da1[k] = (a[i - 1] - a[i + 3] + 8.0 * (a[i + 2] - a[i])) / (12.0 * dx) * dx;
+                yb0[k] = b[i];
+                yb1[k] = b[i + 1];
+                db0[k] = (b[i - 2] - b[i + 2] + 8.0 * (b[i + 1] - b[i - 1])) / (12.0 * dx) * dx;
+                db1[k] = (b[i - 1] - b[i + 3] + 8.0 * (b[i + 2] - b[i])) / (12.0 * dx) * dx;
+            }
+        } else {
+            for k in 0..BATCH_LANES {
+                let i = seg[k];
+                ya0[k] = a[i];
+                ya1[k] = a[i + 1];
+                da0[k] = Self::knot_deriv(a, i, dx) * dx;
+                da1[k] = Self::knot_deriv(a, i + 1, dx) * dx;
+                yb0[k] = b[i];
+                yb1[k] = b[i + 1];
+                db0[k] = Self::knot_deriv(b, i, dx) * dx;
+                db1[k] = Self::knot_deriv(b, i + 1, dx) * dx;
+            }
+        }
+        for k in 0..BATCH_LANES {
+            va[k] = h[0][k] * ya0[k] + h[1][k] * da0[k] + h[2][k] * ya1[k] + h[3][k] * da1[k];
+        }
+        for k in 0..BATCH_LANES {
+            da[k] =
+                (h[4][k] * ya0[k] + h[5][k] * da0[k] + h[6][k] * ya1[k] + h[7][k] * da1[k]) / dx;
+        }
+        for k in 0..BATCH_LANES {
+            vb[k] = h[0][k] * yb0[k] + h[1][k] * db0[k] + h[2][k] * yb1[k] + h[3][k] * db1[k];
+        }
+        for k in 0..BATCH_LANES {
+            db[k] =
+                (h[4][k] * yb0[k] + h[5][k] * db0[k] + h[6][k] * yb1[k] + h[7][k] * db1[k]) / dx;
+        }
+    }
+
+    /// The gather stage shared by the lane-group evals: knot values and
+    /// scaled knot derivatives of each lane's segment, in lane arrays.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn gather_segment_lanes(
+        values: &[f64],
+        seg: &[usize; BATCH_LANES],
+        dx: f64,
+    ) -> (
+        [f64; BATCH_LANES],
+        [f64; BATCH_LANES],
+        [f64; BATCH_LANES],
+        [f64; BATCH_LANES],
+    ) {
+        let mut y0 = [0.0; BATCH_LANES];
+        let mut y1 = [0.0; BATCH_LANES];
+        let mut d0 = [0.0; BATCH_LANES];
+        let mut d1 = [0.0; BATCH_LANES];
+        // Fast path: every lane's two stencils are interior (the
+        // overwhelmingly common case for MD distances well inside the
+        // tabulated range), so the whole gather runs branch-free with
+        // the Fig. 5 stencil inlined — the identical expression
+        // `knot_deriv` evaluates for interior knots, so the bits match.
+        let n = values.len();
+        if seg.iter().all(|&i| i >= 2 && i + 3 < n) {
+            for k in 0..BATCH_LANES {
+                let i = seg[k];
+                y0[k] = values[i];
+                y1[k] = values[i + 1];
+                d0[k] = (values[i - 2] - values[i + 2] + 8.0 * (values[i + 1] - values[i - 1]))
+                    / (12.0 * dx)
+                    * dx;
+                d1[k] = (values[i - 1] - values[i + 3] + 8.0 * (values[i + 2] - values[i]))
+                    / (12.0 * dx)
+                    * dx;
+            }
+        } else {
+            for k in 0..BATCH_LANES {
+                let i = seg[k];
+                y0[k] = values[i];
+                y1[k] = values[i + 1];
+                d0[k] = Self::knot_deriv(values, i, dx) * dx;
+                d1[k] = Self::knot_deriv(values, i + 1, dx) * dx;
+            }
+        }
+        (y0, y1, d0, d1)
+    }
+
+    /// Batched value + derivative against a **slice**: full
+    /// [`BATCH_LANES`] groups go through the lane kernel, the ragged
+    /// tail through the scalar [`CompactTable::eval_slice`]. Bitwise
+    /// identical to per-element evaluation at every length.
+    pub fn eval_batch_slice(
+        values: &[f64],
+        x0: f64,
+        dx: f64,
+        xs: &[f64],
+        val: &mut [f64],
+        der: &mut [f64],
+    ) {
+        assert_eq!(xs.len(), val.len());
+        assert_eq!(xs.len(), der.len());
+        let full = xs.len() - xs.len() % BATCH_LANES;
+        let mut k = 0;
+        while k < full {
+            let xw: &[f64; BATCH_LANES] = xs[k..k + BATCH_LANES].try_into().expect("lane window");
+            let (seg, t) = locate_lanes(values.len(), x0, dx, xw);
+            let h = hermite_basis_lanes(&t);
+            let vw: &mut [f64; BATCH_LANES] = (&mut val[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            let dw: &mut [f64; BATCH_LANES] = (&mut der[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            Self::eval_segment_lanes(values, &seg, &h, dx, vw, dw);
+            k += BATCH_LANES;
+        }
+        for j in full..xs.len() {
+            let (v, d) = Self::eval_slice(values, x0, dx, xs[j]);
+            val[j] = v;
+            der[j] = d;
+        }
+    }
+
+    /// Batched fused two-table lookup against **slices**: per lane
+    /// group, ONE locate pass and one SoA Hermite basis serve both
+    /// tables (which must share the knot grid), exactly like the scalar
+    /// [`CompactTable::eval2_slice`]; the ragged tail reuses that
+    /// scalar path. All four output streams are bitwise identical to
+    /// per-element `eval2_slice` calls.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval2_batch_slice(
+        a: &[f64],
+        b: &[f64],
+        x0: f64,
+        dx: f64,
+        xs: &[f64],
+        va: &mut [f64],
+        da: &mut [f64],
+        vb: &mut [f64],
+        db: &mut [f64],
+    ) {
+        debug_assert_eq!(a.len(), b.len(), "fused tables must share the knot grid");
+        assert_eq!(xs.len(), va.len());
+        assert_eq!(xs.len(), da.len());
+        assert_eq!(xs.len(), vb.len());
+        assert_eq!(xs.len(), db.len());
+        let full = xs.len() - xs.len() % BATCH_LANES;
+        let mut k = 0;
+        while k < full {
+            let xw: &[f64; BATCH_LANES] = xs[k..k + BATCH_LANES].try_into().expect("lane window");
+            let (seg, t) = locate_lanes(a.len(), x0, dx, xw);
+            let h = hermite_basis_lanes(&t);
+            let vaw: &mut [f64; BATCH_LANES] = (&mut va[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            let daw: &mut [f64; BATCH_LANES] = (&mut da[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            let vbw: &mut [f64; BATCH_LANES] = (&mut vb[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            let dbw: &mut [f64; BATCH_LANES] = (&mut db[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            Self::eval2_segment_lanes(a, b, &seg, &h, dx, vaw, daw, vbw, dbw);
+            k += BATCH_LANES;
+        }
+        for j in full..xs.len() {
+            let (pva, pda, pvb, pdb) = Self::eval2_slice(a, b, x0, dx, xs[j]);
+            va[j] = pva;
+            da[j] = pda;
+            vb[j] = pvb;
+            db[j] = pdb;
+        }
+    }
+
+    /// Batched value-only lookup against a **slice** — the density-pass
+    /// kernel (ρ accumulation never reads f'(r)). Values are bitwise
+    /// identical to the value half of per-element
+    /// [`CompactTable::eval_slice`] calls.
+    pub fn eval_values_batch_slice(values: &[f64], x0: f64, dx: f64, xs: &[f64], val: &mut [f64]) {
+        assert_eq!(xs.len(), val.len());
+        let full = xs.len() - xs.len() % BATCH_LANES;
+        let mut k = 0;
+        while k < full {
+            let xw: &[f64; BATCH_LANES] = xs[k..k + BATCH_LANES].try_into().expect("lane window");
+            let (seg, t) = locate_lanes(values.len(), x0, dx, xw);
+            let h = hermite_value_basis_lanes(&t);
+            let vw: &mut [f64; BATCH_LANES] = (&mut val[k..k + BATCH_LANES])
+                .try_into()
+                .expect("lane window");
+            Self::eval_segment_values_lanes(values, &seg, &h, dx, vw);
+            k += BATCH_LANES;
+        }
+        for j in full..xs.len() {
+            val[j] = Self::eval_slice(values, x0, dx, xs[j]).0;
+        }
+    }
+
+    /// Batched fused owned-table lookup — the batch counterpart of
+    /// [`CompactTable::eval2`]. `other` must share this table's knot
+    /// grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval2_batch(
+        &self,
+        other: &CompactTable,
+        xs: &[f64],
+        va: &mut [f64],
+        da: &mut [f64],
+        vb: &mut [f64],
+        db: &mut [f64],
+    ) {
+        debug_assert_eq!(self.x0, other.x0, "fused tables must share x0");
+        debug_assert_eq!(self.dx, other.dx, "fused tables must share dx");
+        Self::eval2_batch_slice(
+            &self.values,
+            &other.values,
+            self.x0,
+            self.dx,
+            xs,
+            va,
+            da,
+            vb,
+            db,
+        );
+    }
+
+    /// Batched value-only lookup from this owned table.
+    pub fn eval_values_batch(&self, xs: &[f64], val: &mut [f64]) {
+        Self::eval_values_batch_slice(&self.values, self.x0, self.dx, xs, val);
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +647,37 @@ mod tests {
             assert_eq!(da, da1, "fused deriv a at {x}");
             assert_eq!(vb, vb1, "fused value b at {x}");
             assert_eq!(db, db1, "fused deriv b at {x}");
+        }
+    }
+
+    #[test]
+    fn batch_kernels_are_bitwise_scalar_at_every_length() {
+        let fa = |x: f64| (1.1 * x).sin() + 0.2 * x;
+        let fb = |x: f64| (-0.3 * x).exp() * x;
+        let a = CompactTable::build(fa, 1.0, 5.0, 777);
+        let b = CompactTable::build(fb, 1.0, 5.0, 777);
+        for len in [0, 1, BATCH_LANES - 1, BATCH_LANES, BATCH_LANES + 1, 37] {
+            let xs: Vec<f64> = (0..len).map(|i| 0.8 + i as f64 * 0.13).collect();
+            let mut va = vec![0.0; len];
+            let mut da = vec![0.0; len];
+            let mut vb = vec![0.0; len];
+            let mut db = vec![0.0; len];
+            a.eval2_batch(&b, &xs, &mut va, &mut da, &mut vb, &mut db);
+            let mut vals = vec![0.0; len];
+            a.eval_values_batch(&xs, &mut vals);
+            let mut v1 = vec![0.0; len];
+            let mut d1 = vec![0.0; len];
+            CompactTable::eval_batch_slice(&a.values, a.x0, a.dx, &xs, &mut v1, &mut d1);
+            for (j, &x) in xs.iter().enumerate() {
+                let (sva, sda, svb, sdb) = a.eval2(&b, x);
+                assert_eq!(va[j], sva, "len {len} lane {j}");
+                assert_eq!(da[j], sda, "len {len} lane {j}");
+                assert_eq!(vb[j], svb, "len {len} lane {j}");
+                assert_eq!(db[j], sdb, "len {len} lane {j}");
+                assert_eq!(vals[j], a.eval(x), "len {len} lane {j}");
+                assert_eq!(v1[j], a.eval(x));
+                assert_eq!(d1[j], a.eval_deriv(x));
+            }
         }
     }
 

@@ -53,3 +53,14 @@ pub const LOCATE_FLOPS: u64 = 4;
 /// reconstruction. `LOCATE_FLOPS + SEG_EVAL_FLOPS` matches the cost
 /// previously charged per traditional-table access.
 pub const SEG_EVAL_FLOPS: u64 = 8;
+
+/// Lane width of the SoA batch kernels ([`CompactTable::eval2_batch`]
+/// & co). Eight f64 lanes = one 64-byte cache line and two 256-bit
+/// vector registers — wide enough for the autovectorizer to tile the
+/// Hermite/Horner combine loops, small enough that a gather buffer of a
+/// few batches still fits comfortably next to the resident table in a
+/// 64 KB CPE local store. Batch kernels process full lane groups with
+/// fixed-width `[f64; BATCH_LANES]` windows and hand any ragged tail to
+/// the scalar eval path, so results are bitwise identical to per-element
+/// evaluation at every length.
+pub const BATCH_LANES: usize = 8;

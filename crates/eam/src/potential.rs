@@ -134,6 +134,48 @@ impl EamPotential {
         }
     }
 
+    /// Batched fused φ/f lookup: the batch counterpart of
+    /// [`EamPotential::pair_density`] — the table-form dispatch and the
+    /// table pair are resolved **once per batch** instead of once per
+    /// neighbour, then the whole batch runs through the SoA lane
+    /// kernels ([`CompactTable::eval2_batch`] /
+    /// [`TraditionalTable::eval2_batch`]). Output streams are bitwise
+    /// identical to per-element `pair_density` calls at every length,
+    /// ragged tails included.
+    #[inline]
+    pub fn pair_density_batch(
+        &self,
+        form: TableForm,
+        rs: &[f64],
+        phi: &mut [f64],
+        dphi: &mut [f64],
+        f: &mut [f64],
+        df: &mut [f64],
+    ) {
+        match form {
+            TableForm::Traditional => {
+                self.trad_pair
+                    .eval2_batch(&self.trad_density, rs, phi, dphi, f, df)
+            }
+            TableForm::Compacted => {
+                self.comp_pair
+                    .eval2_batch(&self.comp_density, rs, phi, dphi, f, df)
+            }
+        }
+    }
+
+    /// Batched value-only density lookup: `out[j] = f(rs[j])`, bitwise
+    /// identical to the value half of [`EamPotential::density`] — the ρ
+    /// accumulation never reads f'(r), so the batched density pass
+    /// skips the derivative combine.
+    #[inline]
+    pub fn density_values_batch(&self, form: TableForm, rs: &[f64], out: &mut [f64]) {
+        match form {
+            TableForm::Traditional => self.trad_density.eval_values_batch(rs, out),
+            TableForm::Compacted => self.comp_density.eval_values_batch(rs, out),
+        }
+    }
+
     /// Total bytes of the three tables in the given form — what a CPE
     /// would need to hold them resident.
     pub fn table_bytes(&self, form: TableForm) -> usize {

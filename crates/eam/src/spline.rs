@@ -12,6 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::BATCH_LANES;
+
 /// Number of knots used by the paper's tables.
 pub const PAPER_TABLE_N: usize = 5000;
 
@@ -146,6 +148,139 @@ impl TraditionalTable {
     /// Bytes of one coefficient row — the per-access DMA payload when the
     /// table cannot be resident (7 × f64).
     pub const ROW_BYTES: usize = 7 * 8;
+
+    /// One full lane group of locates + row gathers into SoA
+    /// coefficient lanes. Each lane replays the scalar
+    /// [`TraditionalTable::locate`] exactly.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn gather_lanes(
+        &self,
+        xs: &[f64; BATCH_LANES],
+    ) -> ([[f64; BATCH_LANES]; 7], [f64; BATCH_LANES]) {
+        let mut c = [[0.0; BATCH_LANES]; 7];
+        let mut t = [0.0; BATCH_LANES];
+        for k in 0..BATCH_LANES {
+            let (i, tk) = self.locate(xs[k]);
+            t[k] = tk;
+            let row = &self.coeff[i];
+            for (col, lane) in c.iter_mut().enumerate() {
+                lane[k] = row[col];
+            }
+        }
+        (c, t)
+    }
+
+    /// Batched value + derivative: full [`BATCH_LANES`] groups gather
+    /// coefficient rows into SoA lanes and run the Horner combines as
+    /// branch-free lane loops; the ragged tail reuses the scalar
+    /// [`TraditionalTable::eval_both`]. Every lane replays the scalar
+    /// Horner expressions, so outputs are bitwise identical to
+    /// per-element evaluation at every length.
+    // (markers for LOCATE_FLOPS / SEG_EVAL_FLOPS sit on the scalar
+    // kernels above — the lane loops charge identically per element.)
+    pub fn eval_batch(&self, xs: &[f64], val: &mut [f64], der: &mut [f64]) {
+        assert_eq!(xs.len(), val.len());
+        assert_eq!(xs.len(), der.len());
+        let full = xs.len() - xs.len() % BATCH_LANES;
+        let mut k = 0;
+        while k < full {
+            let xw: &[f64; BATCH_LANES] = xs[k..k + BATCH_LANES].try_into().expect("lane window");
+            let (c, t) = self.gather_lanes(xw);
+            for (off, tk) in t.iter().enumerate() {
+                val[k + off] = ((c[3][off] * tk + c[4][off]) * tk + c[5][off]) * tk + c[6][off];
+            }
+            for (off, tk) in t.iter().enumerate() {
+                der[k + off] = (c[0][off] * tk + c[1][off]) * tk + c[2][off];
+            }
+            k += BATCH_LANES;
+        }
+        for j in full..xs.len() {
+            let (v, d) = self.eval_both(xs[j]);
+            val[j] = v;
+            der[j] = d;
+        }
+    }
+
+    /// Batched fused two-table lookup — the batch counterpart of
+    /// [`TraditionalTable::eval2`]: per lane, one locate serves both
+    /// tables' row gathers. Bitwise identical to per-element `eval2`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval2_batch(
+        &self,
+        other: &Self,
+        xs: &[f64],
+        va: &mut [f64],
+        da: &mut [f64],
+        vb: &mut [f64],
+        db: &mut [f64],
+    ) {
+        debug_assert_eq!(self.x0, other.x0, "fused tables must share x0");
+        debug_assert_eq!(self.dx, other.dx, "fused tables must share dx");
+        debug_assert_eq!(self.coeff.len(), other.coeff.len());
+        assert_eq!(xs.len(), va.len());
+        assert_eq!(xs.len(), da.len());
+        assert_eq!(xs.len(), vb.len());
+        assert_eq!(xs.len(), db.len());
+        let full = xs.len() - xs.len() % BATCH_LANES;
+        let mut k = 0;
+        while k < full {
+            let xw: &[f64; BATCH_LANES] = xs[k..k + BATCH_LANES].try_into().expect("lane window");
+            let mut c = [[0.0; BATCH_LANES]; 7];
+            let mut d = [[0.0; BATCH_LANES]; 7];
+            let mut t = [0.0; BATCH_LANES];
+            for off in 0..BATCH_LANES {
+                let (i, tk) = self.locate(xw[off]);
+                t[off] = tk;
+                let rc = &self.coeff[i];
+                let rd = &other.coeff[i];
+                for col in 0..7 {
+                    c[col][off] = rc[col];
+                    d[col][off] = rd[col];
+                }
+            }
+            for (off, tk) in t.iter().enumerate() {
+                va[k + off] = ((c[3][off] * tk + c[4][off]) * tk + c[5][off]) * tk + c[6][off];
+            }
+            for (off, tk) in t.iter().enumerate() {
+                da[k + off] = (c[0][off] * tk + c[1][off]) * tk + c[2][off];
+            }
+            for (off, tk) in t.iter().enumerate() {
+                vb[k + off] = ((d[3][off] * tk + d[4][off]) * tk + d[5][off]) * tk + d[6][off];
+            }
+            for (off, tk) in t.iter().enumerate() {
+                db[k + off] = (d[0][off] * tk + d[1][off]) * tk + d[2][off];
+            }
+            k += BATCH_LANES;
+        }
+        for j in full..xs.len() {
+            let (pva, pda, pvb, pdb) = self.eval2(other, xs[j]);
+            va[j] = pva;
+            da[j] = pda;
+            vb[j] = pvb;
+            db[j] = pdb;
+        }
+    }
+
+    /// Batched value-only lookup (the density pass discards f'(r)).
+    /// Values are bitwise identical to per-element
+    /// [`TraditionalTable::eval`].
+    pub fn eval_values_batch(&self, xs: &[f64], val: &mut [f64]) {
+        assert_eq!(xs.len(), val.len());
+        let full = xs.len() - xs.len() % BATCH_LANES;
+        let mut k = 0;
+        while k < full {
+            let xw: &[f64; BATCH_LANES] = xs[k..k + BATCH_LANES].try_into().expect("lane window");
+            let (c, t) = self.gather_lanes(xw);
+            for (off, tk) in t.iter().enumerate() {
+                val[k + off] = ((c[3][off] * tk + c[4][off]) * tk + c[5][off]) * tk + c[6][off];
+            }
+            k += BATCH_LANES;
+        }
+        for j in full..xs.len() {
+            val[j] = self.eval(xs[j]);
+        }
+    }
 }
 
 /// Solves the natural-spline tridiagonal system for second derivatives.
@@ -239,6 +374,35 @@ mod tests {
             let (va, da, vb, db) = a.eval2(&b, x);
             assert_eq!((va, da), a.eval_both(x), "table a at {x}");
             assert_eq!((vb, db), b.eval_both(x), "table b at {x}");
+        }
+    }
+
+    #[test]
+    fn batch_kernels_are_bitwise_scalar_at_every_length() {
+        let a = TraditionalTable::build(|x| (0.9 * x).cos(), 1.0, 5.0, 600);
+        let b = TraditionalTable::build(|x| x * x - 3.0, 1.0, 5.0, 600);
+        for len in [0, 1, BATCH_LANES - 1, BATCH_LANES, BATCH_LANES + 1, 29] {
+            let xs: Vec<f64> = (0..len).map(|i| 0.7 + i as f64 * 0.17).collect();
+            let mut va = vec![0.0; len];
+            let mut da = vec![0.0; len];
+            let mut vb = vec![0.0; len];
+            let mut db = vec![0.0; len];
+            a.eval2_batch(&b, &xs, &mut va, &mut da, &mut vb, &mut db);
+            let mut v1 = vec![0.0; len];
+            let mut d1 = vec![0.0; len];
+            a.eval_batch(&xs, &mut v1, &mut d1);
+            let mut vals = vec![0.0; len];
+            a.eval_values_batch(&xs, &mut vals);
+            for (j, &x) in xs.iter().enumerate() {
+                let (sva, sda, svb, sdb) = a.eval2(&b, x);
+                assert_eq!(
+                    (va[j], da[j], vb[j], db[j]),
+                    (sva, sda, svb, sdb),
+                    "len {len}"
+                );
+                assert_eq!((v1[j], d1[j]), a.eval_both(x), "len {len} lane {j}");
+                assert_eq!(vals[j], a.eval(x), "len {len} lane {j}");
+            }
         }
     }
 

@@ -23,6 +23,14 @@ use serde::{Deserialize, Serialize};
 /// result bit — is identical at any thread count.
 pub const PAR_CHUNK_SITES: usize = 256;
 
+/// Capacity of the per-central SoA gather buffers used by the batched
+/// passes — four [`mmds_eam::BATCH_LANES`]-wide lane groups. A BCC
+/// central within the paper's 5 Å cutoff sees ~58 partners, so most
+/// centrals flush once full plus one partial buffer; the buffers stay
+/// small enough to live on the stack host-side and inside the 64 KB
+/// local-store plan on the CPE side (see `md::offload`).
+pub const BATCH_GATHER_CAP: usize = 4 * mmds_eam::BATCH_LANES;
+
 /// How the host-side EAM passes execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PassConfig {
@@ -36,6 +44,17 @@ pub struct PassConfig {
     /// lookup in the force pass (one table locate per partner) instead
     /// of independent `pair` + `density` calls (two locates).
     pub fused: bool,
+    /// Gather each central's partner contributions into contiguous SoA
+    /// buffers (r and displacement components in separate arrays) and
+    /// evaluate the table kernels a [`mmds_eam::BATCH_LANES`]-wide lane
+    /// group at a time ([`EamPotential::pair_density_batch`] /
+    /// [`EamPotential::density_values_batch`]), with a scalar tail.
+    /// Accumulation stays in partner order and every lane replays the
+    /// scalar op sequence, so results are bitwise identical to the
+    /// unbatched sweep. The batched force pass always uses the fused
+    /// single-locate lookup (itself bitwise-identical to separate
+    /// lookups), so `fused` has no further effect when this is set.
+    pub batched: bool,
 }
 
 impl Default for PassConfig {
@@ -43,6 +62,7 @@ impl Default for PassConfig {
         Self {
             parallel: true,
             fused: true,
+            batched: true,
         }
     }
 }
@@ -53,7 +73,43 @@ impl PassConfig {
         Self {
             parallel: false,
             fused: false,
+            batched: false,
         }
+    }
+}
+
+/// Per-pass statistics of the batched gather/eval path, summed in site
+/// order on the calling thread and emitted as the `md.batch.*` counter
+/// family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Full [`mmds_eam::BATCH_LANES`]-wide lane groups evaluated.
+    pub batches: u64,
+    /// Elements handled by the scalar tail loops.
+    pub tail_elems: u64,
+    /// Bytes staged into the SoA gather buffers.
+    pub gather_bytes: u64,
+}
+
+impl BatchStats {
+    /// Accounts one buffer flush of `elems` elements, each staging
+    /// `bytes_per_elem` bytes of SoA data.
+    fn charge(&mut self, elems: usize, bytes_per_elem: usize) {
+        self.batches += (elems / mmds_eam::BATCH_LANES) as u64;
+        self.tail_elems += (elems % mmds_eam::BATCH_LANES) as u64;
+        self.gather_bytes += (elems * bytes_per_elem) as u64;
+    }
+
+    fn absorb(&mut self, o: BatchStats) {
+        self.batches += o.batches;
+        self.tail_elems += o.tail_elems;
+        self.gather_bytes += o.gather_bytes;
+    }
+
+    fn emit(&self) {
+        mmds_telemetry::add_counter("md.batch.batches", self.batches as f64);
+        mmds_telemetry::add_counter("md.batch.tail_elems", self.tail_elems as f64);
+        mmds_telemetry::add_counter("md.batch.gather_bytes", self.gather_bytes as f64);
     }
 }
 
@@ -123,12 +179,51 @@ impl EnergySample {
     }
 }
 
-/// Visits every interaction partner of `central` within `cutoff`.
-pub fn for_each_partner(
+/// One interaction partner as seen *before* the distance square root —
+/// what the batched passes stage, so the `sqrt` itself runs as a
+/// vectorizable lane loop inside the batch flush instead of one scalar
+/// root per partner. `r2.sqrt()` is correctly rounded, so computing it
+/// in the batch produces the identical bits the scalar
+/// [`for_each_partner`] sweep sees.
+#[derive(Debug, Clone, Copy)]
+pub struct PartnerSq {
+    /// `central_pos − partner_pos`.
+    pub dx: [f64; 3],
+    /// Squared distance (Å²), guaranteed `0 < r² ≤ cutoff²`.
+    pub r2: f64,
+    /// Partner's embedding derivative F'(ρ_j) (valid in the force pass).
+    pub fp: f64,
+    /// Storage site the partner lives at.
+    pub site: usize,
+    /// True if the partner is a run-away record.
+    pub is_runaway: bool,
+    /// Run-away pool index when `is_runaway` (`u32::MAX` otherwise).
+    /// Lets the gather plan re-fetch the partner's F' in the force pass
+    /// without re-walking the chain.
+    pub ra_index: u32,
+}
+
+/// Visits every interaction partner of `central` within `cutoff`,
+/// before the distance square root ([`PartnerSq`]).
+pub fn for_each_partner_sq(
     l: &LatticeNeighborList,
     central: Central,
     cutoff: f64,
-    mut f: impl FnMut(Partner),
+    f: impl FnMut(PartnerSq),
+) {
+    partner_sweep::<true>(l, central, cutoff, f);
+}
+
+/// The partner sweep, monomorphized over whether the partners' F'
+/// values are read. The plan-building density pass runs with
+/// `NEED_FP = false`: F' isn't valid until after the embedding pass, so
+/// skipping the load keeps a whole per-site array out of the sweep's
+/// cache footprint (`PartnerSq::fp` is 0 in that mode).
+fn partner_sweep<const NEED_FP: bool>(
+    l: &LatticeNeighborList,
+    central: Central,
+    cutoff: f64,
+    mut f: impl FnMut(PartnerSq),
 ) {
     let (anchor, cpos, skip) = match central {
         Central::Site(s) => {
@@ -141,40 +236,321 @@ pub fn for_each_partner(
         }
     };
     let cut2 = cutoff * cutoff;
-    let mut emit = |ppos: [f64; 3], pfp: f64, site: usize, is_runaway: bool| {
+    let mut emit = |ppos: [f64; 3], pfp: f64, site: usize, ra_index: u32| {
         let dx = [cpos[0] - ppos[0], cpos[1] - ppos[1], cpos[2] - ppos[2]];
         let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
         if r2 > 1e-12 && r2 <= cut2 {
-            f(Partner {
+            f(PartnerSq {
                 dx,
-                r: r2.sqrt(),
+                r2,
                 fp: pfp,
                 site,
-                is_runaway,
+                is_runaway: ra_index != u32::MAX,
+                ra_index,
             });
         }
     };
+    let site_fp = |s: usize| if NEED_FP { l.fp[s] } else { 0.0 };
     // The regular atom at the anchor site itself (relevant for run-away
     // centrals: interstitial/dumbbell configurations).
     if matches!(central, Central::Runaway(_)) && l.id[anchor] >= 0 {
-        emit(l.pos[anchor], l.fp[anchor], anchor, false);
+        emit(l.pos[anchor], site_fp(anchor), anchor, u32::MAX);
     }
     // Run-aways linked to the anchor.
     for (idx, rec) in l.chain(anchor) {
         if Some(idx) != skip {
-            emit(rec.pos, rec.fp, anchor, true);
+            emit(rec.pos, if NEED_FP { rec.fp } else { 0.0 }, anchor, idx);
         }
     }
     // Static offsets: regular atoms and their linked run-aways.
     for &d in l.neighbor_deltas(anchor) {
         let nid = (anchor as isize + d) as usize;
         if l.id[nid] >= 0 {
-            emit(l.pos[nid], l.fp[nid], nid, false);
+            emit(l.pos[nid], site_fp(nid), nid, u32::MAX);
         }
-        for (_, rec) in l.chain(nid) {
-            emit(rec.pos, rec.fp, nid, true);
+        for (idx, rec) in l.chain(nid) {
+            emit(rec.pos, if NEED_FP { rec.fp } else { 0.0 }, nid, idx);
         }
     }
+}
+
+/// Visits every interaction partner of `central` within `cutoff`.
+pub fn for_each_partner(
+    l: &LatticeNeighborList,
+    central: Central,
+    cutoff: f64,
+    mut f: impl FnMut(Partner),
+) {
+    for_each_partner_sq(l, central, cutoff, |p| {
+        f(Partner {
+            dx: p.dx,
+            r: p.r2.sqrt(),
+            fp: p.fp,
+            site: p.site,
+            is_runaway: p.is_runaway,
+        })
+    });
+}
+
+/// Batched ρ accumulation for one central: partner distances are
+/// gathered into a contiguous buffer and evaluated through the
+/// value-only SoA batch kernel. Only `r` is staged (8 B per partner) —
+/// the density pass never reads the displacement. Accumulation stays
+/// in partner order and the batch kernel replays the scalar op
+/// sequence per lane, so ρ is bitwise identical to the scalar sweep.
+fn density_on_central_batched(
+    l: &LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    central: Central,
+    cutoff: f64,
+) -> (f64, BatchStats) {
+    let mut r2s = [0.0; BATCH_GATHER_CAP];
+    let mut rs = [0.0; BATCH_GATHER_CAP];
+    let mut vals = [0.0; BATCH_GATHER_CAP];
+    let mut len = 0usize;
+    let mut rho = 0.0;
+    let mut stats = BatchStats::default();
+    let flush = |r2s: &[f64], rs: &mut [f64], vals: &mut [f64], rho: &mut f64| {
+        // The deferred square roots, as one vectorizable lane loop.
+        for (r, &r2) in rs.iter_mut().zip(r2s) {
+            *r = r2.sqrt();
+        }
+        pot.density_values_batch(form, rs, vals);
+        for &v in vals.iter() {
+            *rho += v;
+        }
+    };
+    for_each_partner_sq(l, central, cutoff, |p| {
+        r2s[len] = p.r2;
+        len += 1;
+        if len == BATCH_GATHER_CAP {
+            flush(&r2s, &mut rs, &mut vals, &mut rho);
+            stats.charge(BATCH_GATHER_CAP, 8);
+            len = 0;
+        }
+    });
+    flush(&r2s[..len], &mut rs[..len], &mut vals[..len], &mut rho);
+    stats.charge(len, 8);
+    (rho, stats)
+}
+
+/// The per-step SoA gather plan: the density pass runs each central's
+/// neighbour sweep through the **fused** batch lookup and stages
+/// everything the force pass will need — partner displacements, r,
+/// φ'(r), f'(r), a partner reference for the deferred F' fetch, and the
+/// per-central ½Σφ — so the force pass does **no neighbour traversal
+/// and no table evaluation at all**.
+///
+/// Validity: between the two passes only the embedding pass and the F'
+/// ghost exchange run ([`crate::MdSimulation::compute_forces`]) —
+/// positions, site occupancy, and run-away chains are structurally
+/// frozen (`domain::unpack_slab` asserts the ghost chains don't drift
+/// between phases), so the partner set, its traversal order, and every
+/// staged value are exactly what a fresh force sweep would produce.
+/// Only the partners' F' values change between the passes, which is why
+/// the plan stores a partner *reference* (`pref`) instead of F' itself.
+///
+/// Bitwise identity: φ, φ', f, f' are pure functions of r, and the
+/// fused lookup replays the op sequence of the separate lookups, so
+/// evaluating them during the density pass produces exactly the bits
+/// the scalar force sweep would compute; the per-central ½Σφ and the
+/// force accumulation replay the scalar accumulation order unchanged.
+///
+/// Central order matches the pass order: one entry per interior site
+/// (vacancies hold an empty range) followed by one per live run-away.
+#[derive(Debug, Clone, Default)]
+pub struct GatherPlan {
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    /// Partner distance r (the density pass's lane square roots).
+    r: Vec<f64>,
+    /// φ'(r) from the fused batch lookup.
+    dphi: Vec<f64>,
+    /// f'(r) from the fused batch lookup.
+    df: Vec<f64>,
+    /// Partner reference for the deferred F' fetch: the storage site as
+    /// a non-negative value for regular atoms, `-(pool_index + 1)` for
+    /// run-away records.
+    pref: Vec<i64>,
+    /// Per-central ½Σφ, accumulated in partner order.
+    pair_e: Vec<f64>,
+    /// `offsets[c]..offsets[c + 1]` is central `c`'s partner range.
+    offsets: Vec<u32>,
+}
+
+impl GatherPlan {
+    /// Drops all staged data (capacity is retained across steps).
+    fn clear(&mut self) {
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+        self.r.clear();
+        self.dphi.clear();
+        self.df.clear();
+        self.pref.clear();
+        self.pair_e.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// True when no pass has staged anything into the plan.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() <= 1
+    }
+
+    /// Number of centrals staged.
+    fn centrals(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Bulk-appends one work chunk's staged SoA data.
+    fn append_chunk(&mut self, c: &DensityChunk) {
+        self.dx.extend_from_slice(&c.dx);
+        self.dy.extend_from_slice(&c.dy);
+        self.dz.extend_from_slice(&c.dz);
+        self.r.extend_from_slice(&c.r);
+        self.dphi.extend_from_slice(&c.dphi);
+        self.df.extend_from_slice(&c.df);
+        self.pref.extend_from_slice(&c.pref);
+        self.pair_e.extend_from_slice(&c.pair_es);
+        let mut end = *self.offsets.last().expect("offsets seeded by clear()");
+        for &n in &c.counts {
+            end += n;
+            self.offsets.push(end);
+        }
+    }
+
+    /// Central `c`'s partner range.
+    fn range(&self, c: usize) -> std::ops::Range<usize> {
+        self.offsets[c] as usize..self.offsets[c + 1] as usize
+    }
+}
+
+/// One parallel work chunk's output of the plan-building density pass:
+/// the chunk's centrals' staged partner data in SoA layout plus their ρ
+/// and ½Σφ values, concatenated into the [`GatherPlan`] in chunk order
+/// on the calling thread.
+struct DensityChunk {
+    rhos: Vec<f64>,
+    pair_es: Vec<f64>,
+    counts: Vec<u32>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    r: Vec<f64>,
+    dphi: Vec<f64>,
+    df: Vec<f64>,
+    pref: Vec<i64>,
+    stats: BatchStats,
+}
+
+/// Maps `f` over fixed-size chunks of `items`, serially or across the
+/// thread pool. The chunk decomposition matches [`chunked_map`], so the
+/// output concatenation — and every result bit — is independent of the
+/// thread count.
+fn map_chunks<T, R, F>(items: &[T], parallel: bool, f: F) -> Vec<R>
+where
+    T: Copy + Send + Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if !parallel || items.len() <= PAR_CHUNK_SITES {
+        return items.chunks(PAR_CHUNK_SITES).map(f).collect();
+    }
+    let chunks: Vec<&[T]> = items.chunks(PAR_CHUNK_SITES).collect();
+    chunks.into_par_iter().map(&f).collect()
+}
+
+/// Runs the plan-building density sweep for one work chunk: partners
+/// are staged straight into the chunk's SoA buffers (one allocation set
+/// per chunk, not per central), then each central's staged range goes
+/// through the lane square roots and the **fused** batch lookup in
+/// [`BATCH_GATHER_CAP`] chunks — identical chunk boundaries and op
+/// sequence to [`force_on_central_batched`]'s flushes, so every staged
+/// φ', f' and the accumulated ρ and ½Σφ match the scalar sweeps bit for
+/// bit. φ' and f' land in the chunk's SoA arrays for the force pass to
+/// replay; φ and f are folded into ½Σφ and ρ on the spot.
+fn density_chunk_plan<T: Copy>(
+    l: &LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    cutoff: f64,
+    items: &[T],
+    as_central: impl Fn(T) -> Option<Central>,
+) -> DensityChunk {
+    let cap = items.len() * 64;
+    let mut c = DensityChunk {
+        rhos: Vec::with_capacity(items.len()),
+        pair_es: Vec::with_capacity(items.len()),
+        counts: Vec::with_capacity(items.len()),
+        dx: Vec::with_capacity(cap),
+        dy: Vec::with_capacity(cap),
+        dz: Vec::with_capacity(cap),
+        r: Vec::with_capacity(cap),
+        dphi: Vec::with_capacity(cap),
+        df: Vec::with_capacity(cap),
+        pref: Vec::with_capacity(cap),
+        stats: BatchStats::default(),
+    };
+    let mut phi = [0.0; BATCH_GATHER_CAP];
+    let mut fval = [0.0; BATCH_GATHER_CAP];
+    for &item in items {
+        let Some(central) = as_central(item) else {
+            c.rhos.push(0.0);
+            c.pair_es.push(0.0);
+            c.counts.push(0);
+            continue;
+        };
+        let start = c.r.len();
+        partner_sweep::<false>(l, central, cutoff, |p| {
+            // `r` temporarily holds r²; the lane loop below replaces it
+            // with the square root.
+            c.r.push(p.r2);
+            c.dx.push(p.dx[0]);
+            c.dy.push(p.dx[1]);
+            c.dz.push(p.dx[2]);
+            c.pref.push(if p.is_runaway {
+                -(p.ra_index as i64) - 1
+            } else {
+                p.site as i64
+            });
+        });
+        let n = c.r.len() - start;
+        c.dphi.resize(start + n, 0.0);
+        c.df.resize(start + n, 0.0);
+        let mut rho = 0.0;
+        let mut pair_e = 0.0;
+        let mut at = start;
+        while at < start + n {
+            let len = (start + n - at).min(BATCH_GATHER_CAP);
+            // The deferred square roots, as one vectorizable lane loop.
+            for r in c.r[at..at + len].iter_mut() {
+                *r = r.sqrt();
+            }
+            pot.pair_density_batch(
+                form,
+                &c.r[at..at + len],
+                &mut phi[..len],
+                &mut c.dphi[at..at + len],
+                &mut fval[..len],
+                &mut c.df[at..at + len],
+            );
+            for k in 0..len {
+                rho += fval[k];
+                pair_e += 0.5 * phi[k];
+            }
+            at += len;
+        }
+        c.rhos.push(rho);
+        c.pair_es.push(pair_e);
+        c.counts.push(n as u32);
+        // The plan stages the three displacement components, r, φ', f'
+        // and the partner reference: 56 B per partner.
+        c.stats.charge(n, 56);
+    }
+    c
 }
 
 /// Pass 1: electron densities for owned atoms and owned run-aways.
@@ -201,30 +577,88 @@ pub fn density_pass_with(
 ) {
     let _span = mmds_telemetry::span!("md.density");
     let cutoff = pot.cutoff();
+    let density_of = |l: &LatticeNeighborList, central: Central| {
+        if cfg.batched {
+            density_on_central_batched(l, pot, form, central, cutoff)
+        } else {
+            let mut rho = 0.0;
+            for_each_partner(l, central, cutoff, |p| {
+                rho += pot.density(form, p.r).0;
+            });
+            (rho, BatchStats::default())
+        }
+    };
     let site_rho = chunked_map(interior, cfg.parallel, |s| {
         if l.id[s] < 0 {
-            return 0.0;
+            return (0.0, BatchStats::default());
         }
-        let mut rho = 0.0;
-        for_each_partner(l, Central::Site(s), cutoff, |p| {
-            rho += pot.density(form, p.r).0;
-        });
-        rho
+        density_of(l, Central::Site(s))
     });
-    for (&s, rho) in interior.iter().zip(site_rho) {
+    let mut stats = BatchStats::default();
+    for (&s, (rho, st)) in interior.iter().zip(site_rho) {
         l.rho[s] = rho;
+        stats.absorb(st);
     }
     let runaways = l.live_runaways();
     let ra_rho = chunked_map(&runaways, cfg.parallel, |i| {
-        let mut rho = 0.0;
-        for_each_partner(l, Central::Runaway(i), cutoff, |p| {
-            rho += pot.density(form, p.r).0;
-        });
-        rho
+        density_of(l, Central::Runaway(i))
     });
-    for (&i, rho) in runaways.iter().zip(ra_rho) {
+    for (&i, (rho, st)) in runaways.iter().zip(ra_rho) {
         l.runaway_mut(i).rho = rho;
+        stats.absorb(st);
     }
+    if cfg.batched {
+        stats.emit();
+    }
+}
+
+/// Pass 1, building the per-step [`GatherPlan`] as a side effect: each
+/// central's partner sweep is staged into SoA records, ρ is evaluated
+/// from the staged records through the batch kernels, and the records
+/// are concatenated (in central order) into `plan` for the force pass
+/// to replay. Falls back to [`density_pass_with`] (clearing the plan)
+/// when the batched path is disabled.
+pub fn density_pass_plan(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    interior: &[usize],
+    cfg: PassConfig,
+    plan: &mut GatherPlan,
+) {
+    plan.clear();
+    if !cfg.batched {
+        return density_pass_with(l, pot, form, interior, cfg);
+    }
+    let _span = mmds_telemetry::span!("md.density");
+    let cutoff = pot.cutoff();
+    let site_chunks = map_chunks(interior, cfg.parallel, |sites| {
+        density_chunk_plan(l, pot, form, cutoff, sites, |s| {
+            (l.id[s] >= 0).then_some(Central::Site(s))
+        })
+    });
+    let mut stats = BatchStats::default();
+    let mut sites = interior.iter();
+    for c in &site_chunks {
+        for (&s, &rho) in sites.by_ref().zip(&c.rhos) {
+            l.rho[s] = rho;
+        }
+        plan.append_chunk(c);
+        stats.absorb(c.stats);
+    }
+    let runaways = l.live_runaways();
+    let ra_chunks = map_chunks(&runaways, cfg.parallel, |ras| {
+        density_chunk_plan(l, pot, form, cutoff, ras, |i| Some(Central::Runaway(i)))
+    });
+    let mut ras = runaways.iter();
+    for c in &ra_chunks {
+        for (&i, &rho) in ras.by_ref().zip(&c.rhos) {
+            l.runaway_mut(i).rho = rho;
+        }
+        plan.append_chunk(c);
+        stats.absorb(c.stats);
+    }
+    stats.emit();
 }
 
 /// Embedding pass: F'(ρ) for owned atoms/run-aways, returning Σ F(ρ).
@@ -302,6 +736,113 @@ fn force_on_central(
     (fv, pair_e)
 }
 
+/// Evaluates one flushed SoA gather buffer through the fused batch
+/// lookup and accumulates pair energy and force in partner order —
+/// exactly the per-partner expressions of [`force_on_central`]'s fused
+/// branch, so the accumulators stay bitwise identical to the scalar
+/// sweep.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn flush_force_batch(
+    pot: &EamPotential,
+    form: TableForm,
+    r2s: &[f64],
+    dxs: &[f64],
+    dys: &[f64],
+    dzs: &[f64],
+    fps: &[f64],
+    fp_c: f64,
+    fv: &mut [f64; 3],
+    pair_e: &mut f64,
+) {
+    let len = r2s.len();
+    let mut rs = [0.0; BATCH_GATHER_CAP];
+    // The deferred square roots, as one vectorizable lane loop.
+    for (r, &r2) in rs[..len].iter_mut().zip(r2s) {
+        *r = r2.sqrt();
+    }
+    let mut phi = [0.0; BATCH_GATHER_CAP];
+    let mut dphi = [0.0; BATCH_GATHER_CAP];
+    let mut fval = [0.0; BATCH_GATHER_CAP];
+    let mut df = [0.0; BATCH_GATHER_CAP];
+    pot.pair_density_batch(
+        form,
+        &rs[..len],
+        &mut phi[..len],
+        &mut dphi[..len],
+        &mut fval[..len],
+        &mut df[..len],
+    );
+    for k in 0..len {
+        *pair_e += 0.5 * phi[k];
+        let scale = -(dphi[k] + (fp_c + fps[k]) * df[k]) / rs[k];
+        fv[0] += scale * dxs[k];
+        fv[1] += scale * dys[k];
+        fv[2] += scale * dzs[k];
+    }
+}
+
+/// Batched force/pair-energy accumulation for one central: partner
+/// data is gathered into SoA buffers (r, dx, dy, dz, F' — 40 B per
+/// partner) and flushed through [`flush_force_batch`] whenever the
+/// buffer fills and once at the end of the sweep.
+fn force_on_central_batched(
+    l: &LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    central: Central,
+    cutoff: f64,
+    fp_c: f64,
+) -> ([f64; 3], f64, BatchStats) {
+    let mut r2s = [0.0; BATCH_GATHER_CAP];
+    let mut dxs = [0.0; BATCH_GATHER_CAP];
+    let mut dys = [0.0; BATCH_GATHER_CAP];
+    let mut dzs = [0.0; BATCH_GATHER_CAP];
+    let mut fps = [0.0; BATCH_GATHER_CAP];
+    let mut len = 0usize;
+    let mut fv = [0.0; 3];
+    let mut pair_e = 0.0;
+    let mut stats = BatchStats::default();
+    for_each_partner_sq(l, central, cutoff, |p| {
+        r2s[len] = p.r2;
+        dxs[len] = p.dx[0];
+        dys[len] = p.dx[1];
+        dzs[len] = p.dx[2];
+        fps[len] = p.fp;
+        len += 1;
+        if len == BATCH_GATHER_CAP {
+            flush_force_batch(
+                pot,
+                form,
+                &r2s,
+                &dxs,
+                &dys,
+                &dzs,
+                &fps,
+                fp_c,
+                &mut fv,
+                &mut pair_e,
+            );
+            stats.charge(BATCH_GATHER_CAP, 40);
+            len = 0;
+        }
+    });
+    flush_force_batch(
+        pot,
+        form,
+        &r2s[..len],
+        &dxs[..len],
+        &dys[..len],
+        &dzs[..len],
+        &fps[..len],
+        fp_c,
+        &mut fv,
+        &mut pair_e,
+    );
+    stats.charge(len, 40);
+    (fv, pair_e, stats)
+}
+
 /// Pass 2: forces on owned atoms/run-aways, returning the pair energy.
 /// Ghost F' values must be current (exchange between the passes).
 /// Defaults to the parallel, fused execution strategy.
@@ -327,26 +868,126 @@ pub fn force_pass_with(
 ) -> f64 {
     let _span = mmds_telemetry::span!("md.pair");
     let cutoff = pot.cutoff();
+    let force_of = |l: &LatticeNeighborList, central: Central, fp_c: f64| {
+        if cfg.batched {
+            force_on_central_batched(l, pot, form, central, cutoff, fp_c)
+        } else {
+            let (fv, pe) = force_on_central(l, pot, form, central, cutoff, fp_c, cfg.fused);
+            (fv, pe, BatchStats::default())
+        }
+    };
     let site_force = chunked_map(interior, cfg.parallel, |s| {
         if l.id[s] < 0 {
-            return ([0.0; 3], 0.0);
+            return ([0.0; 3], 0.0, BatchStats::default());
         }
-        force_on_central(l, pot, form, Central::Site(s), cutoff, l.fp[s], cfg.fused)
+        force_of(l, Central::Site(s), l.fp[s])
     });
     let mut pair_energy = 0.0;
-    for (&s, (fv, pe)) in interior.iter().zip(site_force) {
+    let mut stats = BatchStats::default();
+    for (&s, (fv, pe, st)) in interior.iter().zip(site_force) {
         l.force[s] = fv;
         pair_energy += pe;
+        stats.absorb(st);
     }
     let runaways = l.live_runaways();
     let ra_force = chunked_map(&runaways, cfg.parallel, |i| {
-        let fp_c = l.runaway(i).fp;
-        force_on_central(l, pot, form, Central::Runaway(i), cutoff, fp_c, cfg.fused)
+        force_of(l, Central::Runaway(i), l.runaway(i).fp)
     });
-    for (&i, (fv, pe)) in runaways.iter().zip(ra_force) {
+    for (&i, (fv, pe, st)) in runaways.iter().zip(ra_force) {
         l.runaway_mut(i).force = fv;
         pair_energy += pe;
+        stats.absorb(st);
     }
+    if cfg.batched {
+        stats.emit();
+    }
+    pair_energy
+}
+
+/// Force accumulation for one central, replaying its staged partner
+/// range from the gather plan. Only the partners' F' values are
+/// fetched fresh (8 B per partner); r, the displacements, φ' and f'
+/// come straight from the plan's SoA arrays, and ½Σφ was already
+/// accumulated by the density pass. The per-partner scale expression
+/// and the accumulation order are exactly those of
+/// [`force_on_central`]'s fused branch, so the bits match the scalar
+/// sweep.
+fn force_from_plan(
+    l: &LatticeNeighborList,
+    plan: &GatherPlan,
+    central: usize,
+    fp_c: f64,
+) -> ([f64; 3], f64, BatchStats) {
+    let range = plan.range(central);
+    let mut fv = [0.0; 3];
+    let mut stats = BatchStats::default();
+    stats.charge(range.len(), 8);
+    for k in range {
+        let pr = plan.pref[k];
+        let fp = if pr >= 0 {
+            l.fp[pr as usize]
+        } else {
+            l.runaway((-pr - 1) as u32).fp
+        };
+        let scale = -(plan.dphi[k] + (fp_c + fp) * plan.df[k]) / plan.r[k];
+        fv[0] += scale * plan.dx[k];
+        fv[1] += scale * plan.dy[k];
+        fv[2] += scale * plan.dz[k];
+    }
+    (fv, plan.pair_e[central], stats)
+}
+
+/// Pass 2, replaying the [`GatherPlan`] built by [`density_pass_plan`]
+/// in the same step: no second neighbour traversal — each central's
+/// staged partner range goes straight through the lane square roots and
+/// fused batch lookups, with only the partners' F' fetched fresh.
+/// Falls back to [`force_pass_with`] when the batched path is disabled
+/// or the plan is empty. Panics if the plan's central count does not
+/// match the current interior + run-away population (a stale plan).
+pub fn force_pass_plan(
+    l: &mut LatticeNeighborList,
+    pot: &EamPotential,
+    form: TableForm,
+    interior: &[usize],
+    cfg: PassConfig,
+    plan: &GatherPlan,
+) -> f64 {
+    if !cfg.batched || plan.is_empty() {
+        return force_pass_with(l, pot, form, interior, cfg);
+    }
+    let _span = mmds_telemetry::span!("md.pair");
+    let runaways = l.live_runaways();
+    assert_eq!(
+        plan.centrals(),
+        interior.len() + runaways.len(),
+        "gather plan is stale: central population changed since the density pass"
+    );
+    let site_idx: Vec<usize> = (0..interior.len()).collect();
+    let site_force = chunked_map(&site_idx, cfg.parallel, |c| {
+        let s = interior[c];
+        if l.id[s] < 0 {
+            return ([0.0; 3], 0.0, BatchStats::default());
+        }
+        force_from_plan(l, plan, c, l.fp[s])
+    });
+    let mut pair_energy = 0.0;
+    let mut stats = BatchStats::default();
+    for (&s, (fv, pe, st)) in interior.iter().zip(site_force) {
+        l.force[s] = fv;
+        pair_energy += pe;
+        stats.absorb(st);
+    }
+    let ra_idx: Vec<usize> = (0..runaways.len()).collect();
+    let ra_force = chunked_map(&ra_idx, cfg.parallel, |k| {
+        let i = runaways[k];
+        force_from_plan(l, plan, interior.len() + k, l.runaway(i).fp)
+    });
+    for (&i, (fv, pe, st)) in runaways.iter().zip(ra_force) {
+        l.runaway_mut(i).force = fv;
+        pair_energy += pe;
+        stats.absorb(st);
+    }
+    stats.emit();
     pair_energy
 }
 
@@ -505,6 +1146,116 @@ mod tests {
         assert_eq!(old.1, new.1, "force arrays differ");
         assert_eq!(old.2, new.2, "embedding energy differs");
         assert_eq!(old.3, new.3, "pair energy differs");
+    }
+
+    #[test]
+    fn batched_passes_agree_bitwise_with_scalar() {
+        // The batched SoA gather/eval path must replay the scalar op
+        // sequence exactly — including for run-away centrals, whose
+        // partner counts exercise the ragged scalar tails.
+        let run = |cfg: PassConfig| {
+            let (mut l, pot, interior) = setup(5);
+            let s = l.grid.site_id(4, 4, 4, 0);
+            l.pos[s] = [l.pos[s][0] + 0.21, l.pos[s][1] - 0.13, l.pos[s][2] + 0.07];
+            let v = l.grid.site_id(3, 3, 3, 0);
+            let id = l.make_vacancy(v);
+            let lp = l.grid.site_position(3, 3, 3, 0);
+            let idx = l.add_runaway(v, id, [lp[0] + 1.3, lp[1] + 0.4, lp[2]], [0.0; 3]);
+            fill_periodic_ghosts(&mut l);
+            density_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            let e = embedding_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            fill_periodic_ghosts(&mut l);
+            let pair = force_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            let ra = l.runaway(idx);
+            (l.rho.clone(), l.force.clone(), e, pair, ra.rho, ra.force)
+        };
+        let scalar = run(PassConfig {
+            parallel: false,
+            fused: true,
+            batched: false,
+        });
+        for (parallel, fused) in [(false, true), (true, false), (true, true)] {
+            let batched = run(PassConfig {
+                parallel,
+                fused,
+                batched: true,
+            });
+            assert_eq!(scalar.0, batched.0, "rho arrays differ");
+            assert_eq!(scalar.1, batched.1, "force arrays differ");
+            assert_eq!(scalar.2, batched.2, "embedding energy differs");
+            assert_eq!(scalar.3, batched.3, "pair energy differs");
+            assert_eq!(scalar.4, batched.4, "run-away rho differs");
+            assert_eq!(scalar.5, batched.5, "run-away force differs");
+        }
+    }
+
+    #[test]
+    fn plan_passes_agree_bitwise_with_scalar() {
+        // The gather-plan pipeline (fused staging in the density pass,
+        // traversal-free replay in the force pass) must reproduce the
+        // scalar sweeps exactly, run-away centrals and ragged tails
+        // included.
+        let build = || {
+            let (mut l, pot, interior) = setup(5);
+            let s = l.grid.site_id(4, 4, 4, 0);
+            l.pos[s] = [l.pos[s][0] + 0.21, l.pos[s][1] - 0.13, l.pos[s][2] + 0.07];
+            let v = l.grid.site_id(3, 3, 3, 0);
+            let id = l.make_vacancy(v);
+            let lp = l.grid.site_position(3, 3, 3, 0);
+            let idx = l.add_runaway(v, id, [lp[0] + 1.3, lp[1] + 0.4, lp[2]], [0.0; 3]);
+            (l, pot, interior, idx)
+        };
+        let scalar = {
+            let (mut l, pot, interior, idx) = build();
+            let cfg = PassConfig::seed_serial();
+            fill_periodic_ghosts(&mut l);
+            density_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            let e = embedding_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            fill_periodic_ghosts(&mut l);
+            let pair = force_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            let ra = l.runaway(idx);
+            (l.rho.clone(), l.force.clone(), e, pair, ra.rho, ra.force)
+        };
+        for parallel in [false, true] {
+            let (mut l, pot, interior, idx) = build();
+            let cfg = PassConfig {
+                parallel,
+                fused: true,
+                batched: true,
+            };
+            let mut plan = GatherPlan::default();
+            fill_periodic_ghosts(&mut l);
+            density_pass_plan(
+                &mut l,
+                &pot,
+                TableForm::Compacted,
+                &interior,
+                cfg,
+                &mut plan,
+            );
+            let e = embedding_pass_with(&mut l, &pot, TableForm::Compacted, &interior, cfg);
+            fill_periodic_ghosts(&mut l);
+            let pair = force_pass_plan(&mut l, &pot, TableForm::Compacted, &interior, cfg, &plan);
+            let ra = l.runaway(idx);
+            assert_eq!(scalar.0, l.rho, "rho arrays differ (parallel={parallel})");
+            assert_eq!(
+                scalar.1, l.force,
+                "force arrays differ (parallel={parallel})"
+            );
+            assert_eq!(
+                scalar.2, e,
+                "embedding energy differs (parallel={parallel})"
+            );
+            assert_eq!(scalar.3, pair, "pair energy differs (parallel={parallel})");
+            assert_eq!(
+                scalar.4, ra.rho,
+                "run-away rho differs (parallel={parallel})"
+            );
+            assert_eq!(
+                scalar.5, ra.force,
+                "run-away force differs (parallel={parallel})"
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ use mmds_lattice::lnl::LatticeNeighborList;
 use mmds_sunway::{ClusterReport, CpeCluster, CpeCtx, LdmPlan, SwModel};
 use serde::{Deserialize, Serialize};
 
-use crate::force::{for_each_partner, Central};
+use crate::force::{for_each_partner, Central, BATCH_GATHER_CAP};
 
 /// Flops charged for computing one pair separation (r², √).
 const R_FLOPS: u64 = 18;
@@ -57,6 +57,12 @@ pub struct OffloadConfig {
     pub data_reuse: bool,
     /// Overlap staging DMA with compute.
     pub double_buffer: bool,
+    /// Evaluate resident-table lookups through the SoA lane-batch
+    /// kernels (the CPE mirror of [`crate::force::PassConfig::batched`]).
+    /// Reserves lane buffers in the LDM plan; only effective with
+    /// compacted tables (traditional rows are gathered per access, so
+    /// there is nothing contiguous to batch).
+    pub batched: bool,
     /// Sites per block. [`OffloadConfig::fit_block_sites`] derives the
     /// largest value whose declared LDM plan (table + block buffers +
     /// reuse margin) fits the 64 KB local store.
@@ -81,7 +87,8 @@ impl OffloadConfig {
             form: TableForm::Compacted,
             data_reuse: true,
             double_buffer: true,
-            block_sites: Self::fit_block_sites(TableForm::Compacted, true, true, knots),
+            batched: true,
+            block_sites: Self::fit_block_sites(TableForm::Compacted, true, true, true, knots),
         }
     }
 
@@ -92,7 +99,14 @@ impl OffloadConfig {
             form: TableForm::Traditional,
             data_reuse: false,
             double_buffer: false,
-            block_sites: Self::fit_block_sites(TableForm::Traditional, false, false, PAPER_TABLE_N),
+            batched: false,
+            block_sites: Self::fit_block_sites(
+                TableForm::Traditional,
+                false,
+                false,
+                false,
+                PAPER_TABLE_N,
+            ),
         }
     }
 
@@ -102,14 +116,18 @@ impl OffloadConfig {
     /// blocks — the trade the prover makes explicit).
     pub fn fig9_variants() -> [(&'static str, Self); 4] {
         let t = Self::traditional();
+        // The Fig. 9 ablation stays scalar: lane batching is a later
+        // optimisation layered on top (the `optimized()` default).
         let fit = |data_reuse, double_buffer| Self {
             form: TableForm::Compacted,
             data_reuse,
             double_buffer,
+            batched: false,
             block_sites: Self::fit_block_sites(
                 TableForm::Compacted,
                 data_reuse,
                 double_buffer,
+                false,
                 PAPER_TABLE_N,
             ),
         };
@@ -129,6 +147,7 @@ impl OffloadConfig {
         form: TableForm,
         data_reuse: bool,
         double_buffer: bool,
+        batched: bool,
         knots: usize,
     ) -> usize {
         let ldm = SwModel::sw26010().ldm_bytes;
@@ -136,11 +155,15 @@ impl OffloadConfig {
             TableForm::Compacted => knots * 8,
             TableForm::Traditional => 0,
         };
+        // The batched sweeps stage partners through 9 lane buffers of
+        // [`BATCH_GATHER_CAP`] f64 each (r, Δx/Δy/Δz, partner F', four
+        // eval outputs) — reserved off the top like the table.
+        let lanes = if batched { 9 * BATCH_GATHER_CAP * 8 } else { 0 };
         // Worst sweep stages positions in and 3 force words out.
         let copies = if double_buffer { 2 } else { 1 };
         let per_site =
             copies * 2 * STAGE_BYTES_PER_SITE + if data_reuse { STAGE_BYTES_PER_SITE } else { 0 };
-        let fit = ldm.saturating_sub(table) / per_site;
+        let fit = ldm.saturating_sub(table + lanes) / per_site;
         (fit & !15).clamp(16, Self::MAX_BLOCK_SITES)
     }
 
@@ -170,6 +193,9 @@ impl OffloadConfig {
             }
             if self.data_reuse {
                 plan = plan.with("ghost-reuse margin", self.block_sites * 3, 8);
+            }
+            if self.batched && resident {
+                plan = plan.with("batch gather+eval lanes", 9 * BATCH_GATHER_CAP, 8);
             }
             plan
         };
@@ -221,6 +247,98 @@ struct SlabItem<'a> {
     out_rho: &'a mut [f64],
     out_force: &'a mut [[f64; 3]],
     out_pair: &'a mut f64,
+}
+
+/// SoA staging buffers for one central's partners in a batched sweep —
+/// the CPE twin of the host gather plan's per-partner record (r, Δ
+/// components, partner F'), capped at [`BATCH_GATHER_CAP`] and flushed
+/// through the lane kernels when full.
+struct BatchStage {
+    rs: [f64; BATCH_GATHER_CAP],
+    dxs: [f64; BATCH_GATHER_CAP],
+    dys: [f64; BATCH_GATHER_CAP],
+    dzs: [f64; BATCH_GATHER_CAP],
+    fps: [f64; BATCH_GATHER_CAP],
+}
+
+impl BatchStage {
+    fn new() -> Self {
+        Self {
+            rs: [0.0; BATCH_GATHER_CAP],
+            dxs: [0.0; BATCH_GATHER_CAP],
+            dys: [0.0; BATCH_GATHER_CAP],
+            dzs: [0.0; BATCH_GATHER_CAP],
+            fps: [0.0; BATCH_GATHER_CAP],
+        }
+    }
+}
+
+/// Evaluates one staged batch against the resident table and folds the
+/// results into the central's accumulators **in partner order** — the
+/// batch kernels replay the scalar expressions per element, so the
+/// accumulated ρ/force/pair bits match the scalar sweep exactly.
+/// Charges one batch token per full lane group and a scalar table
+/// access per ragged-tail element (same flop totals as the scalar
+/// sweep, reconciled by the `mmds-audit` flop ledger).
+#[allow(clippy::too_many_arguments)]
+fn flush_table_batch(
+    ctx: &mut CpeCtx,
+    pass: Pass,
+    table: (&[f64], f64, f64),
+    fp_c: f64,
+    n: usize,
+    stage: &BatchStage,
+    rho: &mut f64,
+    fv: &mut [f64; 3],
+    pair_e: &mut f64,
+) {
+    let (buf, x0, dx) = table;
+    let rs = &stage.rs[..n];
+    let full = n - n % mmds_eam::BATCH_LANES;
+    for _ in 0..full / mmds_eam::BATCH_LANES {
+        ctx.charge_table_batch(
+            LOCATE_FLOPS,
+            SEG_EVAL_FLOPS + RECON_EXTRA_FLOPS,
+            1,
+            mmds_eam::BATCH_LANES as u64,
+        );
+    }
+    for _ in full..n {
+        ctx.charge_table_access(LOCATE_FLOPS, SEG_EVAL_FLOPS + RECON_EXTRA_FLOPS, 1);
+    }
+    match pass {
+        Pass::Density => {
+            let mut fval = [0.0; BATCH_GATHER_CAP];
+            CompactTable::eval_values_batch_slice(buf, x0, dx, rs, &mut fval[..n]);
+            for f_r in &fval[..n] {
+                *rho += f_r;
+            }
+        }
+        Pass::ForcePair => {
+            let mut phi = [0.0; BATCH_GATHER_CAP];
+            let mut dphi = [0.0; BATCH_GATHER_CAP];
+            CompactTable::eval_batch_slice(buf, x0, dx, rs, &mut phi[..n], &mut dphi[..n]);
+            for k in 0..n {
+                *pair_e += 0.5 * phi[k];
+                let scale = -dphi[k] / rs[k];
+                fv[0] += scale * stage.dxs[k];
+                fv[1] += scale * stage.dys[k];
+                fv[2] += scale * stage.dzs[k];
+            }
+        }
+        Pass::ForceDensity => {
+            let mut fval = [0.0; BATCH_GATHER_CAP];
+            let mut df = [0.0; BATCH_GATHER_CAP];
+            CompactTable::eval_batch_slice(buf, x0, dx, rs, &mut fval[..n], &mut df[..n]);
+            for k in 0..n {
+                let scale = -((fp_c + stage.fps[k]) * df[k]) / rs[k];
+                fv[0] += scale * stage.dxs[k];
+                fv[1] += scale * stage.dys[k];
+                fv[2] += scale * stage.dzs[k];
+            }
+        }
+        Pass::ForceBoth => unreachable!("traditional sweeps are never batched"),
+    }
 }
 
 /// Charges + computes one sweep over `sites`, writing per-site outputs.
@@ -290,6 +408,14 @@ fn slab_kernel(
         ctx.alloc_f64(reach.min(cfg.block_sites) * 3)
             .expect("ghost-reuse margin fits in the local store")
     });
+    // Lane batching needs a resident table to evaluate against; the
+    // stage + eval buffers are really allocated so the capacity-enforced
+    // store proves the "batch gather+eval lanes" plan item honest.
+    let use_batch = cfg.batched && resident.is_some();
+    let _lane_buf = use_batch.then(|| {
+        ctx.alloc_f64(9 * BATCH_GATHER_CAP)
+            .expect("batch gather+eval lane buffers fit in the local store")
+    });
 
     let mut halo_seen: HashSet<usize> = HashSet::new();
     ctx.begin_blocks(cfg.double_buffer);
@@ -321,6 +447,65 @@ fn slab_kernel(
             let mut rho = 0.0;
             let mut fv = [0.0; 3];
             let mut pair_e = 0.0;
+            if use_batch {
+                // Batched sweep: stage partners into SoA lane buffers,
+                // flush through the batch kernels at the cap and at the
+                // end — identical partner order, identical bits.
+                let (buf, x0, dx) = {
+                    let (b, x0, dx) = resident.as_ref().expect("batched sweeps keep a table");
+                    (&b[..], *x0, *dx)
+                };
+                let mut stage = BatchStage::new();
+                let mut len = 0usize;
+                for_each_partner(l, Central::Site(s), cutoff, |p| {
+                    ctx.charge_flops(R_FLOPS);
+                    if (p.is_runaway || p.site < window_lo || p.site > blk_hi)
+                        && halo_seen.insert(p.site + if p.is_runaway { l.n_sites() } else { 0 })
+                    {
+                        ctx.charge_dma_gather(24);
+                    }
+                    stage.rs[len] = p.r;
+                    stage.dxs[len] = p.dx[0];
+                    stage.dys[len] = p.dx[1];
+                    stage.dzs[len] = p.dx[2];
+                    stage.fps[len] = p.fp;
+                    len += 1;
+                    if len == BATCH_GATHER_CAP {
+                        flush_table_batch(
+                            ctx,
+                            pass,
+                            (buf, x0, dx),
+                            fp_c,
+                            len,
+                            &stage,
+                            &mut rho,
+                            &mut fv,
+                            &mut pair_e,
+                        );
+                        len = 0;
+                    }
+                });
+                if len > 0 {
+                    flush_table_batch(
+                        ctx,
+                        pass,
+                        (buf, x0, dx),
+                        fp_c,
+                        len,
+                        &stage,
+                        &mut rho,
+                        &mut fv,
+                        &mut pair_e,
+                    );
+                }
+                if pass.writes_force() {
+                    item.out_force[o] = fv;
+                    *item.out_pair += pair_e;
+                } else {
+                    item.out_rho[o] = rho;
+                }
+                continue;
+            }
             for_each_partner(l, Central::Site(s), cutoff, |p| {
                 ctx.charge_flops(R_FLOPS);
                 // Halo position fetch: once per distinct off-window site
@@ -702,7 +887,10 @@ mod tests {
         // Every Fig. 9 variant's declared symbolic plan must (a) pass
         // the budget prover and (b) upper-bound what the kernels
         // actually kept live in the capacity-enforced store.
-        for (name, ocfg) in OffloadConfig::fig9_variants() {
+        let variants = OffloadConfig::fig9_variants()
+            .into_iter()
+            .chain([("Optimized+BatchedLanes", OffloadConfig::optimized())]);
+        for (name, ocfg) in variants {
             let plans = ocfg.ldm_plans(name, 5000);
             let worst = plans
                 .iter()
@@ -733,15 +921,60 @@ mod tests {
 
     #[test]
     fn fitted_block_sites_track_ldm_pressure() {
-        let fit = |reuse, db| OffloadConfig::fit_block_sites(TableForm::Compacted, reuse, db, 5000);
+        let fit = |reuse, db, batched| {
+            OffloadConfig::fit_block_sites(TableForm::Compacted, reuse, db, batched, 5000)
+        };
         // Each added optimisation consumes LDM, shrinking the block.
-        assert!(fit(false, false) >= fit(true, false));
-        assert!(fit(true, false) > fit(true, true));
-        assert_eq!(fit(false, false) % 16, 0);
+        assert!(fit(false, false, false) >= fit(true, false, false));
+        assert!(fit(true, false, false) > fit(true, true, false));
+        assert_eq!(fit(false, false, false) % 16, 0);
+        // Lane batching reserves 9 × 32 × 8 B = 2304 B of stage/eval
+        // buffers, shrinking the fitted block one more notch.
+        assert!(fit(true, true, true) < fit(true, true, false));
+        assert_eq!(fit(true, true, true) % 16, 0);
         // Traditional tables leave the whole store to block buffers.
         assert_eq!(
-            OffloadConfig::fit_block_sites(TableForm::Traditional, false, false, 5000),
+            OffloadConfig::fit_block_sites(TableForm::Traditional, false, false, false, 5000),
             OffloadConfig::MAX_BLOCK_SITES
+        );
+    }
+
+    #[test]
+    fn batched_sweeps_match_scalar_sweeps_bitwise() {
+        // The batched CPE sweeps must be a pure accounting/layout
+        // change: identical ρ, forces, and energies to the scalar
+        // sweeps (the batch kernels replay the scalar expressions per
+        // lane and accumulation stays in partner order). Block
+        // decomposition differs (the lane buffers shrink the fitted
+        // block), which may only affect charge counters, never values.
+        let scalar_cfg = OffloadConfig {
+            batched: false,
+            ..OffloadConfig::optimized()
+        };
+        let mut s1 = sim();
+        let scalar = offload_forces(&mut s1, &scalar_cfg);
+        let mut s2 = sim();
+        let batched = offload_forces(&mut s2, &OffloadConfig::optimized());
+        assert_eq!(
+            scalar.pair_energy.to_bits(),
+            batched.pair_energy.to_bits(),
+            "pair energy"
+        );
+        assert_eq!(
+            scalar.embed_energy.to_bits(),
+            batched.embed_energy.to_bits(),
+            "embed energy"
+        );
+        assert_eq!(s1.lnl.rho, s2.lnl.rho, "rho");
+        assert_eq!(s1.lnl.force, s2.lnl.force, "force");
+        // The batch token is charged only on the batched run, and the
+        // flop totals reconcile exactly (same arithmetic, different
+        // access granularity).
+        assert_eq!(scalar.force.counters.table_batches, 0);
+        assert!(batched.force.counters.table_batches > 0);
+        assert_eq!(
+            scalar.density.counters.flops + scalar.force.counters.flops,
+            batched.density.counters.flops + batched.force.counters.flops,
         );
     }
 
@@ -755,6 +988,7 @@ mod tests {
             form: TableForm::Compacted,
             data_reuse: false,
             double_buffer: false,
+            batched: false,
             block_sites: 64,
         };
         let mut s1 = sim();

@@ -12,7 +12,7 @@ use crate::config::MdConfig;
 use crate::defects::{count, DefectCount};
 use crate::domain::{exchange_ghosts, migrate_runaways, GhostPhase, Loopback, Transport};
 use crate::force::{
-    density_pass_with, embedding_pass_with, force_pass_with, EnergySample, PassConfig,
+    density_pass_plan, embedding_pass_with, force_pass_plan, EnergySample, GatherPlan, PassConfig,
 };
 use crate::integrate::{
     drift, kick, kinetic_energy, maxwell_boltzmann, momentum_norm, n_moving, temperature,
@@ -81,6 +81,9 @@ pub struct MdSimulation {
     /// stay monotonic across repeated [`MdSimulation::run`] calls).
     pub steps_done: u64,
     forces_current: bool,
+    /// Per-step SoA gather plan, staged by the density pass and
+    /// replayed by the force pass (capacity persists across steps).
+    gather_plan: GatherPlan,
 }
 
 impl MdSimulation {
@@ -106,6 +109,7 @@ impl MdSimulation {
             observatory: Observatory::default(),
             steps_done: 0,
             forces_current: false,
+            gather_plan: GatherPlan::default(),
         }
     }
 
@@ -147,12 +151,13 @@ impl MdSimulation {
             let _g = mmds_telemetry::span!("md.ghost");
             exchange_ghosts(&mut self.lnl, t, GhostPhase::Positions);
         }
-        density_pass_with(
+        density_pass_plan(
             &mut self.lnl,
             &self.pot,
             self.table_form,
             &self.interior,
             self.pass_config,
+            &mut self.gather_plan,
         );
         let embed = embedding_pass_with(
             &mut self.lnl,
@@ -165,12 +170,13 @@ impl MdSimulation {
             let _g = mmds_telemetry::span!("md.ghost");
             exchange_ghosts(&mut self.lnl, t, GhostPhase::Fp);
         }
-        let pair = force_pass_with(
+        let pair = force_pass_plan(
             &mut self.lnl,
             &self.pot,
             self.table_form,
             &self.interior,
             self.pass_config,
+            &self.gather_plan,
         );
         self.forces_current = true;
         EnergySample { pair, embed }

@@ -3,10 +3,11 @@
 //! seed's serial separate-lookup path.
 //!
 //! The sweeps rely on fixed-size chunking (independent of the thread
-//! count) plus ordered write-back on the calling thread, and the fused
+//! count) plus ordered write-back on the calling thread, the fused
 //! `pair_density` lookup replays the exact operation order of the two
-//! separate lookups — so every comparison below is `assert_eq`, not a
-//! tolerance.
+//! separate lookups, and the batched SoA lane kernels replay the
+//! scalar op sequence per lane with partner-ordered accumulation — so
+//! every comparison below is `assert_eq`, not a tolerance.
 
 use mmds_md::domain::Loopback;
 use mmds_md::force::PassConfig;
@@ -60,10 +61,12 @@ fn assert_bitwise(a: &Snapshot, b: &Snapshot, what: &str) {
 #[test]
 fn passes_are_bitwise_deterministic_across_thread_counts() {
     let steps = 3;
+    // The production default: parallel, fused, batched.
     let reference = run(PassConfig::default(), steps);
 
     // Thread-count sweep: the shim honours RAYON_NUM_THREADS, so this
-    // exercises 1, 2, and 8 workers even on a single-core host.
+    // exercises 1, 2, and 8 workers even on a single-core host — with
+    // the batched kernels enabled.
     for threads in ["1", "2", "8"] {
         std::env::set_var("RAYON_NUM_THREADS", threads);
         let got = run(PassConfig::default(), steps);
@@ -76,13 +79,26 @@ fn passes_are_bitwise_deterministic_across_thread_counts() {
     let seed = run(PassConfig::seed_serial(), steps);
     assert_bitwise(&reference, &seed, "seed serial path");
 
-    // And the two mixed configurations agree too.
-    for (parallel, fused) in [(false, true), (true, false)] {
-        let got = run(PassConfig { parallel, fused }, steps);
-        assert_bitwise(
-            &reference,
-            &got,
-            &format!("parallel={parallel} fused={fused}"),
-        );
+    // And every other point of the parallel × fused × batched cube
+    // agrees too (batched forces the fused lookup internally, so the
+    // (·, false, true) corners cover batched-over-unfused as well).
+    for parallel in [false, true] {
+        for fused in [false, true] {
+            for batched in [false, true] {
+                let got = run(
+                    PassConfig {
+                        parallel,
+                        fused,
+                        batched,
+                    },
+                    steps,
+                );
+                assert_bitwise(
+                    &reference,
+                    &got,
+                    &format!("parallel={parallel} fused={fused} batched={batched}"),
+                );
+            }
+        }
     }
 }

@@ -15,6 +15,9 @@ pub struct CpeCounters {
     pub bytes_out: u64,
     /// Scalar floating-point operations charged.
     pub flops: u64,
+    /// Lane-batched table accesses charged (one per full lane group of
+    /// the SoA batch kernels; scalar/tail accesses don't count).
+    pub table_batches: u64,
     /// Virtual seconds spent in DMA (outside double-buffer blocks; inside
     /// blocks DMA time is folded by the pipeline model).
     pub dma_time: f64,
@@ -41,6 +44,7 @@ impl CpeCounters {
             bytes_in: self.bytes_in + o.bytes_in,
             bytes_out: self.bytes_out + o.bytes_out,
             flops: self.flops + o.flops,
+            table_batches: self.table_batches + o.table_batches,
             dma_time: self.dma_time + o.dma_time,
             compute_time: self.compute_time + o.compute_time,
         }
@@ -85,6 +89,7 @@ mod tests {
             bytes_in: 1024,
             bytes_out: 256,
             flops: 99,
+            table_batches: 4,
             dma_time: 0.25,
             compute_time: 1.5,
         };

@@ -125,6 +125,27 @@ impl CpeCtx {
         self.charge_flops(locate_flops + segments * seg_flops);
     }
 
+    /// Charges one lane-batched table access covering `lanes` partner
+    /// evaluations: per lane, one segment locate plus `segments` segment
+    /// evaluations — the accounting twin of the host's SoA batch
+    /// kernels, which replay the scalar expression per lane. The flop
+    /// total therefore equals `lanes` scalar
+    /// [`CpeCtx::charge_table_access`] calls (batching changes memory
+    /// access granularity, not arithmetic, so virtual times are
+    /// unchanged); the group is additionally recorded in
+    /// [`CpeCounters::table_batches`] so the flop ledger can reconcile
+    /// batched against scalar access counts.
+    pub fn charge_table_batch(
+        &mut self,
+        locate_flops: u64,
+        seg_flops: u64,
+        segments: u64,
+        lanes: u64,
+    ) {
+        self.counters.table_batches += 1;
+        self.charge_flops(lanes * (locate_flops + segments * seg_flops));
+    }
+
     /// DMA get: copies `src` (main memory) into `dst` (local store) and
     /// charges one transaction.
     pub fn dma_get_f64(&mut self, src: &[f64], dst: &mut LsVec<f64>) {
@@ -401,6 +422,26 @@ mod tests {
         assert_eq!(report.counters.dma_puts, 128);
         assert_eq!(report.counters.bytes_in, 12_800);
         assert_eq!(report.counters.bytes_out, 6_400);
+    }
+
+    #[test]
+    fn batched_table_charge_equals_scalar_total() {
+        // The batch token is pure accounting granularity: flops and
+        // virtual time must equal `lanes` scalar accesses exactly.
+        let model = SwModel::sw26010();
+        let mut scalar = CpeCtx::new(0, model);
+        for _ in 0..8 {
+            scalar.charge_table_access(4, 36, 1);
+        }
+        let mut batched = CpeCtx::new(1, model);
+        batched.charge_table_batch(4, 36, 1, 8);
+        assert_eq!(batched.counters().flops, scalar.counters().flops);
+        // Same flop total; the time sum may differ only by float
+        // accumulation order (8 small adds vs one).
+        let (tb, ts) = (batched.time(), scalar.time());
+        assert!((tb - ts).abs() <= 1e-12 * ts, "{tb} vs {ts}");
+        assert_eq!(batched.counters().table_batches, 1);
+        assert_eq!(scalar.counters().table_batches, 0);
     }
 
     #[test]
