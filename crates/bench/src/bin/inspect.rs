@@ -5,13 +5,23 @@
 //! mmds-inspect timeline <report.telemetry.json | trace.jsonl>
 //! mmds-inspect watch    <trace.jsonl> [--once] [--interval <s>]
 //!                       [--serve <addr>] [--alerts-out <path>]
+//! mmds-inspect causal   <trace.jsonl> [--json <out>] [--strict]
+//!                       [--model <taihulight|free>]
 //! mmds-inspect trace    <trace.jsonl> [-o out.perfetto.json]
 //! mmds-inspect diff     <baseline.json> <fresh.json> [--tolerance 0.15]
 //! ```
 //!
 //! * `summary` prints the per-phase imbalance table, comm-matrix
-//!   heatline (with pairwise symmetry verdict), critical-path
+//!   heatline (with pairwise symmetry verdict), local hot-path
 //!   breakdown, and physics-health counters.
+//! * `causal` analyzes a comm-traced run (`MMDS_COMM_TRACE=1`):
+//!   cross-rank wait states (late sender / late receiver / collective
+//!   skew with per-phase blame) and the true cross-rank critical path
+//!   joined over matched message ids. `--json` writes the full
+//!   [`mmds_bench::causal::CausalReport`] artefact; `--model`
+//!   cross-checks traced virtual clocks against the analytic machine
+//!   model; `--strict` exits 1 when any send/put lacks a matched
+//!   consumer (the CI match-closure gate).
 //! * `timeline` prints the defect-evolution observatory: sparklines of
 //!   every science series (`census.*`, `kmc.exchange.*`), the defect
 //!   budget table, and the measured on-demand comm savings against the
@@ -53,6 +63,8 @@ fn usage() -> ! {
          mmds-inspect timeline <report.telemetry.json | trace.jsonl>\n  \
          mmds-inspect watch <trace.jsonl> [--once] [--interval <s>] [--serve <addr>] \
          [--alerts-out <path>]\n  \
+         mmds-inspect causal <trace.jsonl> [--json <out>] [--strict] \
+         [--model <taihulight|free>]\n  \
          mmds-inspect trace <trace.jsonl> [-o out.json]\n  \
          mmds-inspect diff <baseline.json> <fresh.json> [--tolerance 0.15]"
     );
@@ -80,6 +92,38 @@ fn cmd_summary(path: &str) {
 
 fn cmd_timeline(path: &str) {
     print!("{}", timeline(&load_any(path)));
+}
+
+fn cmd_causal(path: &str, json_out: Option<&str>, strict: bool, model: Option<&str>) -> i32 {
+    let model = match model {
+        Some("taihulight") => Some(mmds_swmpi::MachineModel::taihulight()),
+        Some("free") => Some(mmds_swmpi::MachineModel::free()),
+        Some(other) => {
+            eprintln!("mmds-inspect: unknown --model {other} (taihulight|free)");
+            return 2;
+        }
+        None => None,
+    };
+    let records = load_records(&read(path));
+    let rep = mmds_bench::causal::analyze(&records, model.as_ref());
+    print!("{}", mmds_bench::causal::causal_view(&rep));
+    if let Some(out) = json_out {
+        let json = serde_json::to_string_pretty(&rep).expect("CausalReport serializes");
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("mmds-inspect: cannot write {out}: {e}");
+            return 2;
+        }
+        eprintln!("wrote {out}");
+    }
+    if strict && (rep.wait.unmatched_producers > 0 || rep.wait.unmatched_consumers > 0) {
+        eprintln!(
+            "mmds-inspect: match closure violated ({} unmatched producers, {} unmatched \
+             consumers)",
+            rep.wait.unmatched_producers, rep.wait.unmatched_consumers
+        );
+        return 1;
+    }
+    0
 }
 
 fn cmd_trace(path: &str, out: Option<&str>) {
@@ -172,6 +216,35 @@ fn main() {
                 i += 1;
             }
             run_watch(path, &opts)
+        }
+        Some("causal") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut json_out = None;
+            let mut strict = false;
+            let mut model = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--strict" => strict = true,
+                    "--json" => match args.get(i + 1) {
+                        Some(p) => {
+                            json_out = Some(p.as_str());
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    "--model" => match args.get(i + 1) {
+                        Some(m) => {
+                            model = Some(m.as_str());
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            cmd_causal(path, json_out, strict, model)
         }
         Some("trace") => {
             let Some(path) = args.get(1) else { usage() };

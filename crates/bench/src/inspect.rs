@@ -3,7 +3,7 @@
 //! Loads a [`RunReport`] (`<stem>.telemetry.json`) or a raw JSONL
 //! trace, and renders the rank-resolved views the paper's evaluation
 //! leans on: per-phase load-imbalance, the pairwise communication
-//! matrix, and the critical-path breakdown. Also implements the bench
+//! matrix, and the local hot-path breakdown. Also implements the bench
 //! regression gate that CI runs over `BENCH_mdstep.json`.
 
 use std::fmt::Write as _;
@@ -107,9 +107,12 @@ pub fn comm_matrix_view(report: &RunReport) -> String {
 }
 
 /// The chain of spans from a root to a leaf, following the child with
-/// the largest total at each level — the run's critical path by
-/// aggregate wall time.
-pub fn critical_path(spans: &[SpanReport]) -> Vec<SpanReport> {
+/// the largest total at each level — the run's *local hot path* by
+/// aggregate wall time. This is a single-rank view: it says where
+/// time went, not what the run waited on. For the cross-rank critical
+/// path over matched message edges, see [`crate::causal`] /
+/// `mmds-inspect causal`.
+pub fn local_hot_path(spans: &[SpanReport]) -> Vec<SpanReport> {
     let mut path = Vec::new();
     let Some(mut cur) = spans
         .iter()
@@ -136,9 +139,9 @@ pub fn critical_path(spans: &[SpanReport]) -> Vec<SpanReport> {
     path
 }
 
-/// Renders the critical path with each hop's share of the root total.
-pub fn critical_path_view(spans: &[SpanReport]) -> String {
-    let path = critical_path(spans);
+/// Renders the local hot path with each hop's share of the root total.
+pub fn local_hot_path_view(spans: &[SpanReport]) -> String {
+    let path = local_hot_path(spans);
     let Some(root) = path.first() else {
         return "no spans recorded\n".to_string();
     };
@@ -208,8 +211,8 @@ pub fn summary(report: &RunReport) -> String {
     out.push_str(&imbalance_table(&report.imbalance));
     out.push_str("\n-- comm matrix --\n");
     out.push_str(&comm_matrix_view(report));
-    out.push_str("\n-- critical path --\n");
-    out.push_str(&critical_path_view(&report.spans));
+    out.push_str("\n-- local hot path (cross-rank: `mmds-inspect causal`) --\n");
+    out.push_str(&local_hot_path_view(&report.spans));
     out.push_str("\n-- physics health --\n");
     out.push_str(&health_view(report));
     out.push_str("\n-- alerts --\n");
@@ -611,7 +614,7 @@ mod tests {
     }
 
     #[test]
-    fn critical_path_follows_heaviest_child() {
+    fn local_hot_path_follows_heaviest_child() {
         let mk = |p: &str, t: f64| SpanReport {
             path: p.into(),
             count: 1,
@@ -625,10 +628,10 @@ mod tests {
             mk("run/md/force", 6.0),
             mk("run/md/ghost", 1.0),
         ];
-        let path = critical_path(&spans);
+        let path = local_hot_path(&spans);
         let names: Vec<_> = path.iter().map(|s| s.path.as_str()).collect();
         assert_eq!(names, vec!["run", "run/md", "run/md/force"]);
-        let view = critical_path_view(&spans);
+        let view = local_hot_path_view(&spans);
         assert!(view.contains("force"));
     }
 

@@ -1,0 +1,180 @@
+//! Acceptance checks for causal comm tracing on a live 8-rank coupled
+//! run, in one sequential test (the telemetry global and the tracer
+//! slot are process-wide):
+//!
+//! 1. Tracing is bitwise invisible: per-rank physics summaries and
+//!    virtual clocks of a traced run equal an untraced run exactly.
+//! 2. Match closure: every send/put in the trace has exactly one
+//!    matched consumer, and vice versa.
+//! 3. The cross-rank critical path telescopes: compute + wait sums to
+//!    the walked window exactly, and the window agrees with the widest
+//!    rank span.
+//! 4. Traced virtual clocks reproduce the `swmpi::model` analytic
+//!    exchange times to round-off.
+
+use mmds_bench::causal;
+use mmds_coupled::parallel::{run_coupled_parallel, CoupledRankSummary, ParallelCoupledParams};
+use mmds_kmc::{ExchangeStrategy, KmcConfig};
+use mmds_md::offload::OffloadConfig;
+use mmds_md::MdConfig;
+use mmds_swmpi::world::RankOutput;
+use mmds_swmpi::{MachineModel, World, WorldConfig};
+use mmds_telemetry::{MemorySink, Record};
+
+const RANKS: usize = 8;
+
+fn params() -> ParallelCoupledParams {
+    ParallelCoupledParams {
+        md: MdConfig {
+            temperature: 300.0,
+            thermostat_tau: Some(0.05),
+            table_knots: 1000,
+            ..Default::default()
+        },
+        kmc: KmcConfig {
+            table_knots: 800,
+            events_per_cycle: 1.0,
+            ..Default::default()
+        },
+        offload: OffloadConfig::optimized(),
+        global_cells: [16; 3],
+        md_steps: 2,
+        kmc_cycles: 2,
+        pka_energy: None,
+        seed_concentration: 0.003,
+        strategy: ExchangeStrategy::Traditional,
+    }
+}
+
+fn run_once(traced: bool) -> (Vec<RankOutput<CoupledRankSummary>>, Vec<Record>) {
+    let tel = mmds_telemetry::global();
+    tel.reset();
+    let sink = MemorySink::new();
+    tel.install_sink(Box::new(sink.clone()));
+    if traced {
+        mmds_telemetry::enable_comm_tracing();
+    } else {
+        mmds_telemetry::disable_comm_tracing();
+    }
+    let world = World::new(WorldConfig {
+        model: MachineModel::taihulight(),
+        ..Default::default()
+    });
+    let out = run_coupled_parallel(&world, RANKS, &params());
+    mmds_telemetry::disable_comm_tracing();
+    tel.take_sink();
+    tel.reset();
+    (out, sink.records())
+}
+
+/// The physics- and virtual-time-relevant bits of a run, as exact
+/// bit patterns (no float tolerance: tracing must be invisible).
+fn fingerprint(out: &[RankOutput<CoupledRankSummary>]) -> Vec<(usize, u64, u64, u64, u64, u64)> {
+    out.iter()
+        .map(|r| {
+            (
+                r.result.md_vacancies + r.result.final_vacancies,
+                r.result.kmc_events,
+                r.result.md_time.to_bits(),
+                r.result.kmc_time.to_bits(),
+                r.clock.to_bits(),
+                r.stats.bytes_sent + r.stats.bytes_recv,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn causal_tracing_acceptance() {
+    // ---- 1. bitwise invariance -----------------------------------
+    let (plain, plain_records) = run_once(false);
+    let (traced, records) = run_once(true);
+    assert_eq!(
+        fingerprint(&plain),
+        fingerprint(&traced),
+        "comm tracing perturbed the trajectory"
+    );
+    let plain_comms = plain_records
+        .iter()
+        .filter(|r| matches!(r.event, mmds_telemetry::Event::Comm(_)))
+        .count();
+    assert_eq!(plain_comms, 0, "untraced run leaked comm records");
+
+    // ---- 2. match closure ----------------------------------------
+    let g = causal::build_graph(&records);
+    assert!(!g.events.is_empty(), "traced run produced no comm events");
+    assert_eq!(g.ranks(), RANKS);
+    let wait = causal::wait_states(&g);
+    assert!(wait.producers > 0, "no sends in an 8-rank coupled run?");
+    assert_eq!(
+        wait.unmatched_producers,
+        0,
+        "sends without a matched recv: {:?}",
+        g.unmatched_producers
+            .iter()
+            .map(|&i| &g.events[i])
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(wait.unmatched_consumers, 0);
+    // Exactly-once: every producer claimed by exactly one consumer.
+    assert_eq!(wait.matched, wait.producers);
+    assert_eq!(wait.matched, wait.consumers);
+    // Collectives (allreduce/barrier) all mustered the full world.
+    assert!(wait.collective_calls > 0);
+    for idxs in g.collectives.values() {
+        assert_eq!(idxs.len(), RANKS, "partial collective in the trace");
+    }
+
+    // ---- 3. critical path telescopes to the root window ----------
+    let path = causal::critical_path(&g);
+    assert!(!path.segments.is_empty());
+    assert_eq!(
+        path.compute_ns + path.wait_ns,
+        path.total_ns,
+        "critical-path segments must tile the window exactly"
+    );
+    // Segments are contiguous, latest first.
+    for pair in path.segments.windows(2) {
+        assert_eq!(pair[0].start_ns, pair[1].end_ns, "gap in the path");
+    }
+    let (open, close) = g.root_span_ns.expect("coupled run has a root span");
+    let root_dur = close - open;
+    let diff = path.total_ns.abs_diff(root_dur);
+    assert!(
+        diff * 10 <= root_dur,
+        "path window {} ns vs root span {} ns",
+        path.total_ns,
+        root_dur
+    );
+
+    // ---- 4. virtual clocks reproduce the analytic model ----------
+    let check = causal::model_check(&g, &MachineModel::taihulight(), RANKS);
+    assert_eq!(check.pairs, wait.matched);
+    assert!(check.collective_events > 0);
+    assert!(
+        check.max_p2p_err < 1e-12,
+        "p2p virtual clocks drifted from the model: {}",
+        check.max_p2p_err
+    );
+    assert!(
+        check.max_collective_err < 1e-12,
+        "collective virtual clocks drifted from the model: {}",
+        check.max_collective_err
+    );
+
+    // The rendered view survives a real trace.
+    let rep = causal::analyze(&records, Some(&MachineModel::taihulight()));
+    let text = causal::causal_view(&rep);
+    assert!(text.contains("matched pairs"));
+    assert!(text.contains("cross-rank critical path"));
+
+    // Wait-state sanity: per-rank attributed waits never exceed the
+    // measured blocking time (they are components of it).
+    for r in &rep.wait.per_rank {
+        assert!(
+            r.late_sender_ns + r.collective_wait_ns <= r.block_ns,
+            "rank {} attributed more wait than it blocked",
+            r.rank
+        );
+    }
+}

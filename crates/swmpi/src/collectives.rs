@@ -63,8 +63,10 @@ struct Inner {
     arrived: usize,
     acc: Option<Acc>,
     clock_max: f64,
-    /// generation -> (result, synced clock, readers still to consume).
-    results: HashMap<u64, (Acc, f64, usize)>,
+    lamport_max: u64,
+    /// generation -> (result, synced clock, synced Lamport clock,
+    /// readers still to consume).
+    results: HashMap<u64, (Acc, f64, u64, usize)>,
 }
 
 /// Shared rendezvous point for all collectives of one world.
@@ -85,6 +87,7 @@ impl CollectiveHub {
                 arrived: 0,
                 acc: None,
                 clock_max: f64::NEG_INFINITY,
+                lamport_max: 0,
                 results: HashMap::new(),
             }),
             cond: Condvar::new(),
@@ -96,13 +99,17 @@ impl CollectiveHub {
         self.n
     }
 
-    /// Performs one collective: contributes `mine` and this rank's
-    /// virtual `clock`, blocks until all `n` ranks have arrived, and
-    /// returns `(combined result, max clock over participants)`.
-    pub fn collect(&self, mine: Acc, clock: f64) -> (Acc, f64) {
+    /// Performs one collective: contributes `mine`, this rank's virtual
+    /// `clock`, and its Lamport clock, blocks until all `n` ranks have
+    /// arrived, and returns `(combined result, max clock, max Lamport
+    /// clock, generation)` over the participants. The generation is
+    /// the world-wide collective ordinal — the match id causal traces
+    /// use to join all ranks' halves of one collective call.
+    pub fn collect(&self, mine: Acc, clock: f64, lamport: u64) -> (Acc, f64, u64, u64) {
         let mut g = self.inner.lock();
         let my_gen = g.generation;
         g.clock_max = g.clock_max.max(clock);
+        g.lamport_max = g.lamport_max.max(lamport);
         g.acc = Some(match g.acc.take() {
             None => mine,
             Some(a) => combine(a, mine),
@@ -111,10 +118,12 @@ impl CollectiveHub {
         if g.arrived == self.n {
             let acc = g.acc.take().expect("accumulator present at completion");
             let ck = g.clock_max;
-            g.results.insert(my_gen, (acc, ck, self.n));
+            let lam = g.lamport_max;
+            g.results.insert(my_gen, (acc, ck, lam, self.n));
             g.generation += 1;
             g.arrived = 0;
             g.clock_max = f64::NEG_INFINITY;
+            g.lamport_max = 0;
             self.cond.notify_all();
         } else {
             while !g.results.contains_key(&my_gen) {
@@ -125,9 +134,9 @@ impl CollectiveHub {
             .results
             .get_mut(&my_gen)
             .expect("result published for this generation");
-        let out = (entry.0.clone(), entry.1);
-        entry.2 -= 1;
-        if entry.2 == 0 {
+        let out = (entry.0.clone(), entry.1, entry.2, my_gen);
+        entry.3 -= 1;
+        if entry.3 == 0 {
             g.results.remove(&my_gen);
         }
         out
@@ -159,8 +168,8 @@ mod tests {
 
     #[test]
     fn sum_reduction() {
-        let out = run_ranks(8, |r, hub| hub.collect(Acc::SumF64(r as f64), 0.0));
-        for (acc, _) in out {
+        let out = run_ranks(8, |r, hub| hub.collect(Acc::SumF64(r as f64), 0.0, 0));
+        for (acc, ..) in out {
             match acc {
                 Acc::SumF64(s) => assert_eq!(s, 28.0),
                 _ => panic!("wrong variant"),
@@ -170,9 +179,13 @@ mod tests {
 
     #[test]
     fn clock_sync_takes_max() {
-        let out = run_ranks(4, |r, hub| hub.collect(Acc::Barrier, r as f64 * 10.0));
-        for (_, ck) in out {
+        let out = run_ranks(4, |r, hub| {
+            hub.collect(Acc::Barrier, r as f64 * 10.0, r as u64)
+        });
+        for (_, ck, lam, gen) in out {
             assert_eq!(ck, 30.0);
+            assert_eq!(lam, 3);
+            assert_eq!(gen, 0);
         }
     }
 
@@ -181,9 +194,9 @@ mod tests {
         let out = run_ranks(3, |r, hub| {
             let mut slots = vec![None; 3];
             slots[r] = Some(vec![r as u8; r + 1]);
-            hub.collect(Acc::Gather(slots), 0.0)
+            hub.collect(Acc::Gather(slots), 0.0, 0)
         });
-        for (acc, _) in out {
+        for (acc, ..) in out {
             match acc {
                 Acc::Gather(slots) => {
                     for (i, s) in slots.iter().enumerate() {
@@ -200,7 +213,7 @@ mod tests {
         let out = run_ranks(4, |r, hub| {
             let mut total = 0u64;
             for round in 0..50u64 {
-                let (acc, _) = hub.collect(Acc::SumU64(round + r as u64), 0.0);
+                let (acc, ..) = hub.collect(Acc::SumU64(round + r as u64), 0.0, 0);
                 match acc {
                     Acc::SumU64(s) => total += s,
                     _ => panic!("wrong variant"),
@@ -215,8 +228,8 @@ mod tests {
     #[test]
     fn min_max_reductions() {
         let out = run_ranks(5, |r, hub| {
-            let (mn, _) = hub.collect(Acc::MinF64(r as f64), 0.0);
-            let (mx, _) = hub.collect(Acc::MaxU64(r as u64), 0.0);
+            let (mn, ..) = hub.collect(Acc::MinF64(r as f64), 0.0, 0);
+            let (mx, ..) = hub.collect(Acc::MaxU64(r as u64), 0.0, 0);
             (mn, mx)
         });
         for (mn, mx) in out {

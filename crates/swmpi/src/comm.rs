@@ -9,6 +9,7 @@ use crate::matrix::{CommMatrix, MatrixRecorder};
 use crate::model::MachineModel;
 use crate::onesided::{PutRecord, WindowHub};
 use crate::stats::CommStats;
+use crate::trace::{self, CommEvent, CommOp, OpTimer};
 use crate::{Rank, Tag};
 
 /// State shared by every rank of one [`crate::World`].
@@ -31,6 +32,14 @@ pub struct Comm {
     clock: Cell<f64>,
     stats: RefCell<CommStats>,
     matrix: RefCell<MatrixRecorder>,
+    /// Lamport clock: bumped on every communication event, stamped
+    /// into envelopes/puts, reconciled to the participant maximum by
+    /// receives and collectives. Pure metadata — never read by the
+    /// physics or the cost model.
+    lamport: Cell<u64>,
+    /// Per-rank outgoing message ordinal; `(rank, send_seq)` is the
+    /// globally unique match id of each send/put.
+    send_seq: Cell<u64>,
 }
 
 impl Comm {
@@ -42,6 +51,8 @@ impl Comm {
             clock: Cell::new(0.0),
             stats: RefCell::new(CommStats::default()),
             matrix: RefCell::new(MatrixRecorder::default()),
+            lamport: Cell::new(0),
+            send_seq: Cell::new(0),
         }
     }
 
@@ -63,6 +74,11 @@ impl Comm {
     /// Current virtual time of this rank (seconds).
     pub fn clock(&self) -> f64 {
         self.clock.get()
+    }
+
+    /// Current Lamport clock of this rank.
+    pub fn lamport(&self) -> u64 {
+        self.lamport.get()
     }
 
     /// Snapshot of this rank's accounting counters.
@@ -116,31 +132,53 @@ impl Comm {
     /// buffering: never blocks).
     pub fn send(&self, dst: Rank, tag: Tag, payload: Vec<u8>) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let timer = OpTimer::start(self.clock.get());
         let overhead = self.shared.model.send_overhead;
         let depart = self.clock.get() + overhead;
+        let bytes = payload.len() as u64;
         {
             let mut s = self.stats.borrow_mut();
             s.msgs_sent += 1;
-            s.bytes_sent += payload.len() as u64;
+            s.bytes_sent += bytes;
             s.comm_time += overhead;
         }
-        self.matrix
-            .borrow_mut()
-            .record_send(dst, payload.len() as u64);
+        self.matrix.borrow_mut().record_send(dst, bytes);
         self.clock.set(depart);
+        let seq = self.send_seq.get() + 1;
+        self.send_seq.set(seq);
+        let lamport = self.lamport.get() + 1;
+        self.lamport.set(lamport);
         self.shared.mailboxes[dst].deliver(Envelope {
             src: self.rank,
             tag,
             depart_time: depart,
+            seq,
+            lamport,
             payload,
         });
+        if trace::tracing() {
+            trace::emit(&CommEvent {
+                op: CommOp::Send,
+                rank: self.rank,
+                peer: Some(dst),
+                tag,
+                bytes,
+                match_src: Some(self.rank),
+                match_seq: seq,
+                lamport,
+                vt_enter: timer.vt_enter,
+                vt_exit: depart,
+                wall_ns: timer.elapsed_ns(),
+            });
+        }
     }
 
     /// Blocks until a message matching `(src, tag)` arrives and returns
     /// its payload.
     pub fn recv(&self, src: Source, tag: Tag) -> Vec<u8> {
+        let timer = OpTimer::start(self.clock.get());
         let env = self.shared.mailboxes[self.rank].recv(src, tag);
-        self.finish_recv(env)
+        self.finish_recv(env, timer)
     }
 
     /// Receives from a specific rank (shorthand for `recv(Source::Of(..))`).
@@ -148,16 +186,32 @@ impl Comm {
         self.recv(Source::Of(src), tag)
     }
 
-    fn finish_recv(&self, env: Envelope) -> Vec<u8> {
+    fn finish_recv(&self, env: Envelope, timer: OpTimer) -> Vec<u8> {
         let arrival = env.depart_time + self.shared.model.p2p_time(env.payload.len(), self.size);
         self.advance_comm(arrival);
+        let bytes = env.payload.len() as u64;
         let mut s = self.stats.borrow_mut();
         s.msgs_recv += 1;
-        s.bytes_recv += env.payload.len() as u64;
+        s.bytes_recv += bytes;
         drop(s);
-        self.matrix
-            .borrow_mut()
-            .record_recv(env.src, env.payload.len() as u64);
+        self.matrix.borrow_mut().record_recv(env.src, bytes);
+        let lamport = self.lamport.get().max(env.lamport) + 1;
+        self.lamport.set(lamport);
+        if trace::tracing() {
+            trace::emit(&CommEvent {
+                op: CommOp::Recv,
+                rank: self.rank,
+                peer: Some(env.src),
+                tag: env.tag,
+                bytes,
+                match_src: Some(env.src),
+                match_seq: env.seq,
+                lamport,
+                vt_enter: timer.vt_enter,
+                vt_exit: self.clock.get(),
+                wall_ns: timer.elapsed_ns(),
+            });
+        }
         env.payload
     }
 
@@ -188,23 +242,44 @@ impl Comm {
     // Collectives
     // ------------------------------------------------------------------
 
-    fn collective(&self, mine: Acc, cost: f64) -> Acc {
-        let (acc, clock_max) = self.shared.hub.collect(mine, self.clock.get());
+    fn collective(&self, mine: Acc, cost: f64, op: CommOp, bytes: u64) -> Acc {
+        let timer = OpTimer::start(self.clock.get());
+        let (acc, clock_max, lamport_max, generation) =
+            self.shared
+                .hub
+                .collect(mine, self.clock.get(), self.lamport.get());
         self.advance_comm(clock_max + cost);
         self.stats.borrow_mut().collectives += 1;
+        let lamport = lamport_max + 1;
+        self.lamport.set(lamport);
+        if trace::tracing() {
+            trace::emit(&CommEvent {
+                op,
+                rank: self.rank,
+                peer: None,
+                tag: 0,
+                bytes,
+                match_src: None,
+                match_seq: generation,
+                lamport,
+                vt_enter: timer.vt_enter,
+                vt_exit: self.clock.get(),
+                wall_ns: timer.elapsed_ns(),
+            });
+        }
         acc
     }
 
     /// Global synchronisation point; also reconciles virtual clocks.
     pub fn barrier(&self) {
         let cost = self.shared.model.barrier_time(self.size);
-        self.collective(Acc::Barrier, cost);
+        self.collective(Acc::Barrier, cost, CommOp::Barrier, 0);
     }
 
     /// Allreduce-sum over one `f64`.
     pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
         let cost = self.shared.model.allreduce_time(8, self.size);
-        match self.collective(Acc::SumF64(v), cost) {
+        match self.collective(Acc::SumF64(v), cost, CommOp::Allreduce, 8) {
             Acc::SumF64(s) => s,
             _ => unreachable!(),
         }
@@ -213,7 +288,7 @@ impl Comm {
     /// Allreduce-min over one `f64` (used for the global KMC time step).
     pub fn allreduce_min_f64(&self, v: f64) -> f64 {
         let cost = self.shared.model.allreduce_time(8, self.size);
-        match self.collective(Acc::MinF64(v), cost) {
+        match self.collective(Acc::MinF64(v), cost, CommOp::Allreduce, 8) {
             Acc::MinF64(s) => s,
             _ => unreachable!(),
         }
@@ -222,7 +297,7 @@ impl Comm {
     /// Allreduce-max over one `f64`.
     pub fn allreduce_max_f64(&self, v: f64) -> f64 {
         let cost = self.shared.model.allreduce_time(8, self.size);
-        match self.collective(Acc::MaxF64(v), cost) {
+        match self.collective(Acc::MaxF64(v), cost, CommOp::Allreduce, 8) {
             Acc::MaxF64(s) => s,
             _ => unreachable!(),
         }
@@ -231,7 +306,7 @@ impl Comm {
     /// Allreduce-sum over one `u64`.
     pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
         let cost = self.shared.model.allreduce_time(8, self.size);
-        match self.collective(Acc::SumU64(v), cost) {
+        match self.collective(Acc::SumU64(v), cost, CommOp::Allreduce, 8) {
             Acc::SumU64(s) => s,
             _ => unreachable!(),
         }
@@ -240,7 +315,7 @@ impl Comm {
     /// Allreduce-max over one `u64`.
     pub fn allreduce_max_u64(&self, v: u64) -> u64 {
         let cost = self.shared.model.allreduce_time(8, self.size);
-        match self.collective(Acc::MaxU64(v), cost) {
+        match self.collective(Acc::MaxU64(v), cost, CommOp::Allreduce, 8) {
             Acc::MaxU64(s) => s,
             _ => unreachable!(),
         }
@@ -252,7 +327,7 @@ impl Comm {
         let mut slots = vec![None; self.size];
         slots[self.rank] = Some(mine);
         let cost = self.shared.model.allgather_time(len, self.size);
-        match self.collective(Acc::Gather(slots), cost) {
+        match self.collective(Acc::Gather(slots), cost, CommOp::Allgather, len as u64) {
             Acc::Gather(slots) => slots
                 .into_iter()
                 .map(|s| s.expect("every rank contributed"))
@@ -269,27 +344,48 @@ impl Comm {
     /// (`MPI_Put`-style; completion is deferred to the next fence).
     pub fn win_put(&self, dst: Rank, region: u32, payload: Vec<u8>) {
         assert!(dst < self.size, "put to rank {dst} of {}", self.size);
+        let timer = OpTimer::start(self.clock.get());
         let overhead = self.shared.model.send_overhead;
         let depart = self.clock.get() + overhead;
+        let bytes = payload.len() as u64;
         {
             let mut s = self.stats.borrow_mut();
             s.puts += 1;
-            s.bytes_put += payload.len() as u64;
+            s.bytes_put += bytes;
             s.comm_time += overhead;
         }
-        self.matrix
-            .borrow_mut()
-            .record_put(dst, payload.len() as u64);
+        self.matrix.borrow_mut().record_put(dst, bytes);
         self.clock.set(depart);
+        let seq = self.send_seq.get() + 1;
+        self.send_seq.set(seq);
+        let lamport = self.lamport.get() + 1;
+        self.lamport.set(lamport);
         self.shared.windows.put(
             dst,
             PutRecord {
                 src: self.rank,
                 region,
                 depart_time: depart,
+                seq,
+                lamport,
                 payload,
             },
         );
+        if trace::tracing() {
+            trace::emit(&CommEvent {
+                op: CommOp::Put,
+                rank: self.rank,
+                peer: Some(dst),
+                tag: region,
+                bytes,
+                match_src: Some(self.rank),
+                match_seq: seq,
+                lamport,
+                vt_enter: timer.vt_enter,
+                vt_exit: depart,
+                wall_ns: timer.elapsed_ns(),
+            });
+        }
     }
 
     /// Completes the put epoch: global synchronisation, then returns
@@ -302,7 +398,7 @@ impl Comm {
     /// current drain).
     pub fn win_fence(&self) -> Vec<PutRecord> {
         let cost = self.shared.model.barrier_time(self.size);
-        self.collective(Acc::Barrier, cost);
+        self.collective(Acc::Barrier, cost, CommOp::Fence, 0);
         let recs = self.shared.windows.drain(self.rank);
         // Charge arrival bandwidth for what landed in our window.
         let mut latest = self.clock.get();
@@ -317,7 +413,29 @@ impl Comm {
             latest = latest.max(t);
         }
         self.advance_comm(latest);
-        self.collective(Acc::Barrier, 0.0);
+        // One Lamport tick (and, when tracing, one match event) per
+        // drained put, completing the (src, seq) pair its originator
+        // opened in `win_put`.
+        for r in &recs {
+            let lamport = self.lamport.get().max(r.lamport) + 1;
+            self.lamport.set(lamport);
+            if trace::tracing() {
+                trace::emit(&CommEvent {
+                    op: CommOp::PutIn,
+                    rank: self.rank,
+                    peer: Some(r.src),
+                    tag: r.region,
+                    bytes: r.payload.len() as u64,
+                    match_src: Some(r.src),
+                    match_seq: r.seq,
+                    lamport,
+                    vt_enter: r.depart_time,
+                    vt_exit: r.depart_time + self.shared.model.p2p_time(r.payload.len(), self.size),
+                    wall_ns: 0,
+                });
+            }
+        }
+        self.collective(Acc::Barrier, 0.0, CommOp::Fence, 0);
         recs
     }
 }

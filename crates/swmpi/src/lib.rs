@@ -43,6 +43,7 @@ pub mod model;
 pub mod onesided;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod wire;
 pub mod world;
 
@@ -51,6 +52,7 @@ pub use matrix::{CommMatrix, PairFlow, WorldMatrix};
 pub use model::MachineModel;
 pub use stats::{CommStats, ExchangeSavings};
 pub use topology::CartGrid;
+pub use trace::{CommEvent, CommOp, CommTracer};
 pub use wire::{Packer, Unpacker, Wire};
 pub use world::{World, WorldConfig};
 

@@ -40,6 +40,12 @@ pub struct Envelope {
     pub tag: Tag,
     /// Virtual time at which the sender issued the message.
     pub depart_time: f64,
+    /// Per-sender message ordinal: `(src, seq)` is the globally unique
+    /// match id joining this send with its receive in a causal trace.
+    pub seq: u64,
+    /// Sender's Lamport clock at departure; the receiver reconciles to
+    /// `max(local, lamport) + 1`.
+    pub lamport: u64,
     /// Payload bytes.
     pub payload: Vec<u8>,
 }
@@ -148,6 +154,8 @@ mod tests {
             src,
             tag,
             depart_time: 0.0,
+            seq: 0,
+            lamport: 0,
             payload,
         }
     }

@@ -367,12 +367,71 @@ mod tests {
     }
 
     #[test]
+    fn asymmetric_msg_count_is_a_violation_even_with_equal_bytes() {
+        // One 100 B send observed, but the receiver counted it as two
+        // 50 B messages — bytes balance, msgs don't.
+        let mut ms = matrices();
+        ms[1].recvd[0].msgs = 2;
+        let errs = WorldMatrix::from_ranks(&ms)
+            .validate_symmetry()
+            .unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("two-sided 0->1"), "{errs:?}");
+        assert!(errs[0].contains("sent 1 msgs"), "{errs:?}");
+        assert!(errs[0].contains("received 2 msgs"), "{errs:?}");
+    }
+
+    #[test]
+    fn unfenced_put_is_a_one_sided_violation() {
+        // Rank 1 issued the put but rank 0 never drained it (no fence
+        // before the world ended).
+        let mut ms = matrices();
+        ms[0].puts_in.clear();
+        let errs = WorldMatrix::from_ranks(&ms)
+            .validate_symmetry()
+            .unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("one-sided 1->0"), "{errs:?}");
+        assert!(errs[0].contains("put 40 B, drained 0 B"), "{errs:?}");
+    }
+
+    #[test]
+    fn every_broken_pair_is_reported_not_just_the_first() {
+        let mut ms = matrices();
+        ms[1].recvd[0].bytes = 99; // two-sided mismatch 0->1
+        ms[0].puts_in.clear(); // one-sided mismatch 1->0
+        let errs = WorldMatrix::from_ranks(&ms)
+            .validate_symmetry()
+            .unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("two-sided 0->1")));
+        assert!(errs.iter().any(|e| e.contains("one-sided 1->0")));
+    }
+
+    #[test]
     fn heatline_marks_zero_and_max() {
         let w = WorldMatrix::from_ranks(&matrices());
         let h = w.heatline();
         assert!(h.contains('█'), "max pair gets full shade: {h}");
         assert!(h.contains('·'), "zero pairs dotted: {h}");
         assert!(h.contains("100 B out"));
+    }
+
+    #[test]
+    fn heatline_renders_asymmetric_matrices_from_sender_counts() {
+        // An asymmetric (lost-message) matrix must still render — the
+        // heatline is a debugging aid precisely when symmetry fails —
+        // and it shades from the *sender's* counts, unperturbed by the
+        // receiver's missing record.
+        let mut ms = matrices();
+        ms[1].recvd.clear();
+        let w = WorldMatrix::from_ranks(&ms);
+        assert!(w.validate_symmetry().is_err());
+        let h = w.heatline();
+        assert!(h.contains("max pair 100 B"), "{h}");
+        assert!(h.contains("100 B out"), "{h}");
+        assert!(h.contains("40 B out"), "{h}");
+        assert_eq!(h.lines().count(), 3, "{h}");
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct PutRecord {
     pub region: u32,
     /// Virtual time at which the originator issued the put.
     pub depart_time: f64,
+    /// Per-sender message ordinal: `(src, seq)` matches this put with
+    /// the drain event on the target rank in a causal trace.
+    pub seq: u64,
+    /// Originator's Lamport clock at departure.
+    pub lamport: u64,
     /// Payload bytes.
     pub payload: Vec<u8>,
 }
@@ -68,6 +73,8 @@ mod tests {
             src,
             region,
             depart_time: 0.0,
+            seq: 0,
+            lamport: 0,
             payload,
         }
     }

@@ -109,7 +109,11 @@ impl CommStats {
         all.iter().fold(CommStats::default(), |a, s| a.merge(s))
     }
 
-    /// Maximum communication time across ranks (critical path proxy).
+    /// Maximum communication time across ranks. For the true
+    /// cross-rank critical path — which compute segment or message
+    /// edge the run's end actually waited on — use the causal trace
+    /// (`crate::trace` + `mmds-inspect causal`) instead of this
+    /// per-rank maximum.
     pub fn max_comm_time(all: &[CommStats]) -> f64 {
         all.iter().map(|s| s.comm_time).fold(0.0, f64::max)
     }

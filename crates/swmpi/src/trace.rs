@@ -1,0 +1,254 @@
+//! Causal communication tracing: per-op events with logical clocks.
+//!
+//! Every [`crate::Comm`] primitive maintains two pieces of logical
+//! state regardless of whether tracing is on (both are plain `Cell`
+//! bumps, invisible to the physics):
+//!
+//! * a **Lamport clock** — incremented on every communication event,
+//!   stamped into each [`crate::mailbox::Envelope`] /
+//!   [`crate::onesided::PutRecord`], and reconciled to
+//!   `max(local, incoming) + 1` on receipt (collectives reconcile to
+//!   the participant maximum through the hub);
+//! * **match ids** — each send/put stamps `(src, seq)` from a per-rank
+//!   message counter, and each collective call carries the rank-local
+//!   collective ordinal (which equals the hub generation, since all
+//!   ranks pass through collectives in lockstep). The receive side
+//!   reads the id back out of the envelope, so a cross-rank consumer
+//!   can join both halves of every message without guessing.
+//!
+//! When a [`CommTracer`] is installed (see [`install_tracer`]), each
+//! primitive additionally emits one [`CommEvent`] per operation —
+//! enter/exit virtual clock, wall-clock duration, Lamport clock and
+//! match id. The tracer is a process-global observer so the telemetry
+//! crate (which depends on this one — the dependency cannot point the
+//! other way) can forward events into its own sink. Emission happens
+//! *after* all clock/accounting updates; a tracer cannot perturb them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::{Rank, Tag};
+
+/// The kind of communication operation a [`CommEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOp {
+    /// Eager two-sided send (`Comm::send`, including the send half of
+    /// `Comm::sendrecv`).
+    Send,
+    /// Blocking two-sided receive.
+    Recv,
+    /// Barrier collective.
+    Barrier,
+    /// Allreduce collective (any reduction variant).
+    Allreduce,
+    /// Allgather collective.
+    Allgather,
+    /// One-sided put deposited into a remote window.
+    Put,
+    /// A put drained from this rank's own window at a fence.
+    PutIn,
+    /// A fence epoch boundary (each `win_fence` emits two: open and
+    /// close barriers of the epoch).
+    Fence,
+}
+
+impl CommOp {
+    /// Stable lowercase name used in serialized traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommOp::Send => "send",
+            CommOp::Recv => "recv",
+            CommOp::Barrier => "barrier",
+            CommOp::Allreduce => "allreduce",
+            CommOp::Allgather => "allgather",
+            CommOp::Put => "put",
+            CommOp::PutIn => "put_in",
+            CommOp::Fence => "fence",
+        }
+    }
+
+    /// Parses a serialized [`CommOp::name`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "send" => CommOp::Send,
+            "recv" => CommOp::Recv,
+            "barrier" => CommOp::Barrier,
+            "allreduce" => CommOp::Allreduce,
+            "allgather" => CommOp::Allgather,
+            "put" => CommOp::Put,
+            "put_in" => CommOp::PutIn,
+            "fence" => CommOp::Fence,
+            _ => return None,
+        })
+    }
+
+    /// True for the collective kinds, whose match ids live in the
+    /// per-world epoch space rather than a sender's sequence space.
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            CommOp::Barrier | CommOp::Allreduce | CommOp::Allgather | CommOp::Fence
+        )
+    }
+}
+
+/// One traced communication operation, reported at operation exit.
+#[derive(Debug, Clone)]
+pub struct CommEvent {
+    /// Operation kind.
+    pub op: CommOp,
+    /// The rank that executed the operation.
+    pub rank: Rank,
+    /// Peer rank: destination for send/put, source for recv/put-in,
+    /// `None` for collectives.
+    pub peer: Option<Rank>,
+    /// Message tag (0 for collectives and puts-by-region).
+    pub tag: Tag,
+    /// Payload bytes moved by this operation (0 for pure barriers).
+    pub bytes: u64,
+    /// Match id, sender half: the originating rank for p2p/put pairs,
+    /// `None` for collectives (whose id space is the epoch counter).
+    pub match_src: Option<Rank>,
+    /// Match id, sequence half: per-sender message ordinal for
+    /// p2p/put, hub generation (== rank-local collective ordinal) for
+    /// collectives.
+    pub match_seq: u64,
+    /// This rank's Lamport clock *after* the operation.
+    pub lamport: u64,
+    /// Virtual clock (s) when the operation was entered.
+    pub vt_enter: f64,
+    /// Virtual clock (s) when the operation completed.
+    pub vt_exit: f64,
+    /// Wall-clock nanoseconds the operation blocked this thread.
+    pub wall_ns: u64,
+}
+
+/// A process-global observer of [`CommEvent`]s.
+///
+/// Implementations must be pure observers: they see each event after
+/// the communicator has fully updated its own state, and nothing they
+/// do can flow back into clocks, stats, or payloads.
+pub trait CommTracer: Send + Sync {
+    /// Called once per completed communication operation, on the
+    /// executing rank's thread.
+    fn on_comm(&self, ev: &CommEvent);
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+fn tracer_slot() -> &'static RwLock<Option<Arc<dyn CommTracer>>> {
+    static SLOT: std::sync::OnceLock<RwLock<Option<Arc<dyn CommTracer>>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs the process-global tracer and enables event emission.
+/// Replaces any previous tracer.
+pub fn install_tracer(t: Arc<dyn CommTracer>) {
+    *tracer_slot().write().unwrap() = Some(t);
+    TRACING.store(true, Ordering::Release);
+}
+
+/// Removes the tracer and disables event emission.
+pub fn clear_tracer() {
+    TRACING.store(false, Ordering::Release);
+    *tracer_slot().write().unwrap() = None;
+}
+
+/// Whether a tracer is installed. The hot-path guard: a single relaxed
+/// atomic load when tracing is off.
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Forwards `ev` to the installed tracer, if any.
+pub(crate) fn emit(ev: &CommEvent) {
+    if let Some(t) = tracer_slot().read().unwrap().as_ref() {
+        t.on_comm(ev);
+    }
+}
+
+/// Wall-clock stopwatch armed only while tracing, so the untraced path
+/// never touches `Instant`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpTimer {
+    start: Option<Instant>,
+    pub vt_enter: f64,
+}
+
+impl OpTimer {
+    pub(crate) fn start(vt_enter: f64) -> Self {
+        Self {
+            start: tracing().then(Instant::now),
+            vt_enter,
+        }
+    }
+
+    pub(crate) fn elapsed_ns(&self) -> u64 {
+        self.start
+            .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Collect(Mutex<Vec<CommEvent>>);
+    impl CommTracer for Collect {
+        fn on_comm(&self, ev: &CommEvent) {
+            self.0.lock().unwrap().push(ev.clone());
+        }
+    }
+
+    #[test]
+    fn op_names_round_trip() {
+        for op in [
+            CommOp::Send,
+            CommOp::Recv,
+            CommOp::Barrier,
+            CommOp::Allreduce,
+            CommOp::Allgather,
+            CommOp::Put,
+            CommOp::PutIn,
+            CommOp::Fence,
+        ] {
+            assert_eq!(CommOp::parse(op.name()), Some(op));
+        }
+        assert_eq!(CommOp::parse("bogus"), None);
+    }
+
+    #[test]
+    fn install_emit_clear() {
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        assert!(!tracing());
+        install_tracer(sink.clone());
+        assert!(tracing());
+        emit(&CommEvent {
+            op: CommOp::Send,
+            rank: 0,
+            peer: Some(1),
+            tag: 7,
+            bytes: 16,
+            match_src: Some(0),
+            match_seq: 1,
+            lamport: 1,
+            vt_enter: 0.0,
+            vt_exit: 0.0,
+            wall_ns: 0,
+        });
+        clear_tracer();
+        assert!(!tracing());
+        // Other tests in this binary may run worlds concurrently while
+        // the tracer was briefly installed; look only for our event.
+        let got = sink.0.lock().unwrap();
+        let ours: Vec<_> = got.iter().filter(|e| e.tag == 7).collect();
+        assert_eq!(ours.len(), 1);
+        assert_eq!(ours[0].op, CommOp::Send);
+        assert_eq!(ours[0].match_seq, 1);
+    }
+}

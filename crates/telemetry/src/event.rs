@@ -123,6 +123,64 @@ pub struct AlertRecord {
     pub t_ns: u64,
 }
 
+/// One communication operation observed by the causal comm trace — the
+/// telemetry-side mirror of [`mmds_swmpi::CommEvent`]. Each record
+/// carries enough to rebuild the cross-rank event graph offline: the
+/// match id (`match_src`, `match_seq`) joins a send with its recv (or a
+/// put with its fence-drain, or all ranks' halves of one collective),
+/// the Lamport clock orders causally-related records, and the virtual
+/// enter/exit times place the operation on the modelled machine
+/// timeline. Pure observation: emitting these never perturbs the
+/// simulation, so trajectories are bitwise identical traced or not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommRecord {
+    /// Operation name (`send`, `recv`, `barrier`, `allreduce`,
+    /// `allgather`, `put`, `put_in`, `fence`).
+    pub op: String,
+    /// Emitting rank (from the swmpi world, independent of the
+    /// telemetry rank tag).
+    pub rank: u32,
+    /// Peer rank for point-to-point and one-sided ops; `None` for
+    /// collectives.
+    pub peer: Option<u32>,
+    /// Message tag (p2p) or window region (one-sided); 0 otherwise.
+    pub tag: u32,
+    /// Payload bytes moved by the operation.
+    pub bytes: u64,
+    /// Source-rank half of the match id; `None` for collectives, where
+    /// `match_seq` alone (the hub generation) identifies the call.
+    pub match_src: Option<u32>,
+    /// Sequence half of the match id: the sender's per-rank message
+    /// ordinal (p2p/one-sided) or the collective generation.
+    pub match_seq: u64,
+    /// Emitter's Lamport clock at operation exit.
+    pub lamport: u64,
+    /// Virtual time at operation entry (modelled seconds).
+    pub vt_enter: f64,
+    /// Virtual time at operation exit (modelled seconds).
+    pub vt_exit: f64,
+    /// Wall-clock duration of the blocking part of the call, ns.
+    pub dur_ns: u64,
+}
+
+impl From<&mmds_swmpi::CommEvent> for CommRecord {
+    fn from(ev: &mmds_swmpi::CommEvent) -> Self {
+        CommRecord {
+            op: ev.op.name().to_string(),
+            rank: ev.rank as u32,
+            peer: ev.peer.map(|p| p as u32),
+            tag: ev.tag,
+            bytes: ev.bytes,
+            match_src: ev.match_src.map(|s| s as u32),
+            match_seq: ev.match_seq,
+            lamport: ev.lamport,
+            vt_enter: ev.vt_enter,
+            vt_exit: ev.vt_exit,
+            dur_ns: ev.wall_ns,
+        }
+    }
+}
+
 /// Everything the telemetry layer can observe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -155,6 +213,8 @@ pub enum Event {
     Heartbeat(HeartbeatSample),
     /// A watchdog alert raised by the live monitor.
     Alert(AlertRecord),
+    /// One traced communication operation (causal comm tracing).
+    Comm(CommRecord),
 }
 
 /// An event with its total-order stamp.
@@ -374,6 +434,25 @@ mod tests {
             },
             Record {
                 seq: 5,
+                t_ns: 115,
+                rank: Some(1),
+                tid: Some(3),
+                event: Event::Comm(CommRecord {
+                    op: "recv".into(),
+                    rank: 1,
+                    peer: Some(0),
+                    tag: 11,
+                    bytes: 640,
+                    match_src: Some(0),
+                    match_seq: 4,
+                    lamport: 9,
+                    vt_enter: 1.5e-3,
+                    vt_exit: 1.75e-3,
+                    dur_ns: 2_500,
+                }),
+            },
+            Record {
+                seq: 6,
                 t_ns: 120,
                 rank: None,
                 tid: Some(0),

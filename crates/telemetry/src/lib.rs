@@ -56,12 +56,12 @@ pub mod span;
 use std::sync::{Arc, OnceLock};
 
 pub use event::{
-    AlertRecord, AlertSeverity, Event, EventSink, FileSink, HeartbeatSample, KmcCycleSample,
-    MdStepSample, MemorySink, Record, SeriesSample,
+    AlertRecord, AlertSeverity, CommRecord, Event, EventSink, FileSink, HeartbeatSample,
+    KmcCycleSample, MdStepSample, MemorySink, Record, SeriesSample,
 };
 pub use monitor::{
     render_prometheus, validate_prometheus_text, LiveAggregator, LiveMonitor, TailReader,
-    WatchdogConfig, ALERT_COUNTERS, MONITOR_COUNTERS,
+    WatchdogConfig, ALERT_COUNTERS, COMM_COUNTERS, MONITOR_COUNTERS,
 };
 pub use report::{
     CounterRegistry, PhaseImbalance, RankComm, RankReport, RunReport, SeriesPoint, SeriesTrack,
@@ -109,10 +109,61 @@ static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
 
 /// The process-wide telemetry instance.
 ///
-/// Initialized lazily from `MMDS_TELEMETRY` on first touch; the mode
-/// can be changed later with [`set_mode`].
+/// Initialized lazily from `MMDS_TELEMETRY` on first touch (and, when
+/// `MMDS_COMM_TRACE` asks for it, wires the causal comm tracer); the
+/// mode can be changed later with [`set_mode`].
 pub fn global() -> &'static Telemetry {
-    GLOBAL.get_or_init(|| Telemetry::with_mode(Mode::from_env()))
+    GLOBAL.get_or_init(|| {
+        if comm_trace_env_on() {
+            enable_comm_tracing();
+        }
+        Telemetry::with_mode(Mode::from_env())
+    })
+}
+
+fn comm_trace_env_on() -> bool {
+    std::env::var("MMDS_COMM_TRACE")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+        })
+        .unwrap_or(false)
+}
+
+/// Forwards every swmpi communication event into the telemetry stream
+/// as an [`Event::Comm`] record. Installed process-globally; events are
+/// dropped (one relaxed load on the swmpi side, one enabled check here)
+/// whenever telemetry is off.
+struct CommForwarder;
+
+impl mmds_swmpi::CommTracer for CommForwarder {
+    fn on_comm(&self, ev: &mmds_swmpi::CommEvent) {
+        let tel = global();
+        if tel.enabled() {
+            tel.emit(Event::Comm(CommRecord::from(ev)));
+        }
+    }
+}
+
+/// Turns on causal comm tracing: installs a tracer into
+/// [`mmds_swmpi::trace`] that forwards every primitive's enter/exit
+/// record into the telemetry stream. Also happens automatically when
+/// `MMDS_COMM_TRACE=1` is set at first telemetry touch. Tracing is
+/// pure observation — the swmpi Lamport/seq bookkeeping runs
+/// identically with the tracer absent, so trajectories are bitwise
+/// unchanged.
+pub fn enable_comm_tracing() {
+    mmds_swmpi::trace::install_tracer(Arc::new(CommForwarder));
+}
+
+/// Detaches the causal comm tracer (events stop flowing immediately).
+pub fn disable_comm_tracing() {
+    mmds_swmpi::trace::clear_tracer();
+}
+
+/// True while a causal comm tracer is installed.
+pub fn comm_tracing_enabled() -> bool {
+    mmds_swmpi::trace::tracing()
 }
 
 /// Reconfigures the global instance (mainly for tests and binaries

@@ -21,7 +21,8 @@
 //!   construction.
 //! * [`WatchdogConfig`] + [`LiveAggregator::evaluate`] — declarative
 //!   alert rules (heartbeat staleness, health-counter thresholds,
-//!   phase imbalance, comm-savings regression) producing structured
+//!   phase imbalance, comm-savings regression, stream parse errors)
+//!   producing structured
 //!   [`AlertRecord`]s, deduplicated per `(rule, subject)` while the
 //!   condition persists.
 //!
@@ -44,12 +45,18 @@ use crate::report::{CounterRegistry, RunReport, SpanReport};
 /// Alert rule names the watchdog can raise, in evaluation order. The
 /// audit manifest pass keys on this array, so a rule rename must also
 /// touch `TELEMETRY_MANIFEST.md`.
-pub const ALERT_COUNTERS: [&str; 4] = [
+pub const ALERT_COUNTERS: [&str; 5] = [
     "alert.heartbeat_stale",
     "alert.health_threshold",
     "alert.phase_imbalance",
     "alert.comm_regression",
+    "alert.parse_errors",
 ];
+
+/// Named counters the aggregator derives from traced [`Event::Comm`]
+/// records (causal comm tracing), so a live watch shows comm-op volume
+/// without replaying the trace. Manifest contract as above.
+pub const COMM_COUNTERS: [&str; 3] = ["comm.events", "comm.bytes", "comm.block_ns"];
 
 /// Stream-statistics names the monitor exposes on `/metrics` and the
 /// `watch` dashboard header (same manifest contract as
@@ -391,6 +398,20 @@ impl LiveAggregator {
                 if !self.retain_all && tail.points.len() > SERIES_TAIL_CAP {
                     tail.points.pop_front();
                 }
+            }
+            Event::Comm(c) => {
+                *self
+                    .named
+                    .entry(COMM_COUNTERS[0].to_string())
+                    .or_insert(0.0) += 1.0;
+                *self
+                    .named
+                    .entry(COMM_COUNTERS[1].to_string())
+                    .or_insert(0.0) += c.bytes as f64;
+                *self
+                    .named
+                    .entry(COMM_COUNTERS[2].to_string())
+                    .or_insert(0.0) += c.dur_ns as f64;
             }
             Event::Heartbeat(h) => self.fold_heartbeat(r.rank, h, r.t_ns),
             Event::Alert(a) => {
@@ -734,6 +755,28 @@ impl LiveAggregator {
                     },
                 );
             }
+        }
+
+        // Stream integrity: complete-but-unparseable lines reported by
+        // the feeding reader. Latched once per stream (the count only
+        // grows); a corrupt producer should be visible, not silent.
+        if self.parse_errors > 0 {
+            self.raise(
+                &mut raised,
+                AlertRecord {
+                    rule: ALERT_COUNTERS[4].to_string(),
+                    severity: AlertSeverity::Warn,
+                    rank: None,
+                    subject: "stream".to_string(),
+                    message: format!(
+                        "{} unparseable JSONL line(s) skipped by the tail reader",
+                        self.parse_errors,
+                    ),
+                    value: self.parse_errors as f64,
+                    threshold: 0.0,
+                    t_ns: now_ns,
+                },
+            );
         }
 
         raised
@@ -1338,6 +1381,52 @@ mod tests {
         assert!(text.contains("mmds_counter_total{name=\"kmc.ghost_bytes\"} 52"));
         assert!(text.contains("mmds_heartbeat_progress{source=\"md.heartbeat\",rank=\"0\"} 2"));
         assert!(text.contains("mmds_monitor{stat=\"monitor.records\"} 5"));
+    }
+
+    #[test]
+    fn parse_errors_raise_one_latched_warn_alert() {
+        let mut agg = LiveAggregator::live(WatchdogConfig::default());
+        agg.fold(&rec(0, 1_000, Some(0), beat(0, 1)));
+        assert!(agg.evaluate(2_000).is_empty());
+        agg.note_parse_errors(3);
+        let raised = agg.evaluate(3_000);
+        assert_eq!(raised.len(), 1);
+        assert_eq!(raised[0].rule, ALERT_COUNTERS[4]);
+        assert_eq!(raised[0].severity, AlertSeverity::Warn);
+        assert_eq!(raised[0].value, 3.0);
+        assert!(raised[0].message.contains("unparseable"));
+        // Latched: a growing count does not re-raise.
+        agg.note_parse_errors(5);
+        assert!(agg.evaluate(4_000).is_empty());
+    }
+
+    #[test]
+    fn comm_records_fold_into_comm_counters() {
+        let mut agg = LiveAggregator::live(WatchdogConfig::default());
+        for (rank, bytes, dur) in [(0u32, 640u64, 1_500u64), (1, 1_024, 2_500)] {
+            agg.fold(&rec(
+                rank as u64,
+                1_000 + rank as u64,
+                Some(rank),
+                Event::Comm(crate::CommRecord {
+                    op: "send".into(),
+                    rank,
+                    peer: Some(rank ^ 1),
+                    tag: 4,
+                    bytes,
+                    match_src: Some(rank),
+                    match_seq: 1,
+                    lamport: 2,
+                    vt_enter: 0.0,
+                    vt_exit: 1.0e-6,
+                    dur_ns: dur,
+                }),
+            ));
+        }
+        let named = agg.named();
+        assert_eq!(named[COMM_COUNTERS[0]], 2.0);
+        assert_eq!(named[COMM_COUNTERS[1]], 1_664.0);
+        assert_eq!(named[COMM_COUNTERS[2]], 4_000.0);
     }
 
     #[test]

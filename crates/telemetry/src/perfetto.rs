@@ -20,7 +20,7 @@
 
 use serde::Value;
 
-use crate::event::{Event, Record};
+use crate::event::{CommRecord, Event, Record};
 
 /// Pid assigned to records with no rank tag.
 pub const DRIVER_PID: u64 = 0;
@@ -113,6 +113,9 @@ fn event_value(r: &Record) -> Option<Value> {
                 ("message", Value::Str(a.message.clone())),
             ]),
         ),
+        // Comm records expand to several events (slice + flow) and are
+        // routed through `comm_values` by `export`.
+        Event::Comm(_) => return None,
     };
     let mut fields = vec![
         ("name", Value::Str(name)),
@@ -128,6 +131,68 @@ fn event_value(r: &Record) -> Option<Value> {
     }
     fields.push(("args", args));
     Some(map(fields))
+}
+
+/// Comm records always know their swmpi rank, so they land on the
+/// right process even when the emitting thread has no telemetry rank
+/// tag (a bare `World::run` outside `rank_scope`).
+fn pid_for(r: &Record) -> u64 {
+    match &r.event {
+        Event::Comm(c) => c.rank as u64 + 1,
+        _ => pid_of(r),
+    }
+}
+
+/// Expands one traced comm operation: an `X` slice spanning the
+/// blocking wall time, plus — for the matched p2p/one-sided kinds — a
+/// flow event (`s` at the send/put, `t` at the recv/drain) whose id is
+/// the match id, so the viewer draws a src→dst arrow per message.
+fn comm_values(r: &Record, c: &CommRecord) -> Vec<Value> {
+    let pid = pid_for(r);
+    let tid = tid_of(r);
+    let start_us = r.t_ns.saturating_sub(c.dur_ns) as f64 / 1000.0;
+    let mut args = vec![
+        ("op", Value::Str(c.op.clone())),
+        ("bytes", Value::U64(c.bytes)),
+        ("tag", Value::U64(c.tag as u64)),
+        ("lamport", Value::U64(c.lamport)),
+        ("vt_enter", Value::F64(c.vt_enter)),
+        ("vt_exit", Value::F64(c.vt_exit)),
+        ("match_seq", Value::U64(c.match_seq)),
+    ];
+    if let Some(p) = c.peer {
+        args.push(("peer", Value::U64(p as u64)));
+    }
+    if let Some(s) = c.match_src {
+        args.push(("match_src", Value::U64(s as u64)));
+    }
+    let mut out = vec![map(vec![
+        ("name", Value::Str(format!("comm.{}", c.op))),
+        ("cat", Value::Str("comm".to_string())),
+        ("ph", Value::Str("X".to_string())),
+        ("ts", Value::F64(start_us)),
+        ("dur", Value::F64(c.dur_ns as f64 / 1000.0)),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("args", map(args)),
+    ])];
+    let flow_ph = match c.op.as_str() {
+        "send" | "put" => Some("s"),
+        "recv" | "put_in" => Some("t"),
+        _ => None,
+    };
+    if let (Some(ph), Some(src)) = (flow_ph, c.match_src) {
+        out.push(map(vec![
+            ("name", Value::Str("comm.msg".to_string())),
+            ("cat", Value::Str("comm".to_string())),
+            ("ph", Value::Str(ph.to_string())),
+            ("id", Value::Str(format!("{src}:{}", c.match_seq))),
+            ("ts", ts_of(r)),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(tid)),
+        ]));
+    }
+    out
 }
 
 fn metadata(name: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
@@ -154,7 +219,7 @@ pub fn export(records: &[Record]) -> String {
     let mut pids: Vec<u64> = Vec::new();
     let mut threads: Vec<(u64, u64)> = Vec::new();
     for r in records {
-        let pid = pid_of(r);
+        let pid = pid_for(r);
         if !pids.contains(&pid) {
             pids.push(pid);
         }
@@ -180,7 +245,12 @@ pub fn export(records: &[Record]) -> String {
         ));
     }
 
-    events.extend(records.iter().filter_map(event_value));
+    for r in records {
+        match &r.event {
+            Event::Comm(c) => events.extend(comm_values(r, c)),
+            _ => events.extend(event_value(r)),
+        }
+    }
 
     let doc = map(vec![
         ("traceEvents", Value::Seq(events)),
@@ -297,6 +367,59 @@ mod tests {
             })
             .expect("rank-0 B event");
         assert_eq!(num(span_b.get("tid")), Some(1));
+    }
+
+    #[test]
+    fn comm_records_become_slices_and_flows() {
+        fn comm(op: &str, rank: u32, peer: u32) -> CommRecord {
+            CommRecord {
+                op: op.into(),
+                rank,
+                peer: Some(peer),
+                tag: 5,
+                bytes: 64,
+                match_src: Some(0),
+                match_seq: 1,
+                lamport: 2,
+                vt_enter: 0.0,
+                vt_exit: 1e-6,
+                dur_ns: 500,
+            }
+        }
+        // Untagged records (rank: None): the pid must still come from
+        // the swmpi rank inside the comm record.
+        let records = vec![
+            rec(0, 1_000, None, 0, Event::Comm(comm("send", 0, 1))),
+            rec(1, 2_000, None, 1, Event::Comm(comm("recv", 1, 0))),
+        ];
+        let json = export(&records);
+        let doc = serde_json::parse(&json).unwrap();
+        let events = match doc.get("traceEvents").unwrap() {
+            Value::Seq(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        let ph = |p: &str| {
+            events
+                .iter()
+                .filter(|e| matches!(e.get("ph"), Some(Value::Str(s)) if s == p))
+                .collect::<Vec<_>>()
+        };
+        // One X slice per op, one flow start, one flow step.
+        assert_eq!(ph("X").len(), 2);
+        let (s, t) = (ph("s"), ph("t"));
+        assert_eq!((s.len(), t.len()), (1, 1));
+        // Both halves share the match id and sit on their rank's pid.
+        assert_eq!(s[0].get("id"), t[0].get("id"));
+        assert_eq!(num(s[0].get("pid")), Some(1));
+        assert_eq!(num(t[0].get("pid")), Some(2));
+        // The slice spans the blocking wall time ending at t_ns.
+        let x_send = ph("X")
+            .into_iter()
+            .find(|e| num(e.get("pid")) == Some(1))
+            .unwrap()
+            .clone();
+        assert_eq!(x_send.get("ts"), Some(&Value::F64(0.5)));
+        assert_eq!(x_send.get("dur"), Some(&Value::F64(0.5)));
     }
 
     #[test]

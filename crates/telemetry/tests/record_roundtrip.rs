@@ -4,8 +4,8 @@
 //! silently decode to a wrong record.
 
 use mmds_telemetry::{
-    AlertRecord, AlertSeverity, Event, HeartbeatSample, KmcCycleSample, MdStepSample, Record,
-    SeriesSample,
+    AlertRecord, AlertSeverity, CommRecord, Event, HeartbeatSample, KmcCycleSample, MdStepSample,
+    Record, SeriesSample,
 };
 
 /// One representative record per `Event` variant. The match below is
@@ -62,6 +62,19 @@ fn one_of_each() -> Vec<Record> {
             threshold: 0.2,
             t_ns: 1_000_000,
         }),
+        Event::Comm(CommRecord {
+            op: "send".into(),
+            rank: 2,
+            peer: Some(3),
+            tag: 11,
+            bytes: 4096,
+            match_src: Some(2),
+            match_seq: 17,
+            lamport: 41,
+            vt_enter: 1.25e-3,
+            vt_exit: 1.5e-3,
+            dur_ns: 7_250,
+        }),
     ];
     for e in &events {
         // Exhaustiveness guard: new variants must be added above.
@@ -73,7 +86,8 @@ fn one_of_each() -> Vec<Record> {
             | Event::Counter { .. }
             | Event::Series(_)
             | Event::Heartbeat(_)
-            | Event::Alert(_) => {}
+            | Event::Alert(_)
+            | Event::Comm(_) => {}
         }
     }
     events
