@@ -32,8 +32,16 @@ use std::path::Path;
 use crate::findings::{Finding, Pass};
 use crate::workspace::{self, SourceFile};
 
-/// Directories whose live code must be deterministic.
-const PHYSICS_DIRS: [&str; 3] = ["crates/md/src", "crates/kmc/src", "crates/coupled/src"];
+/// Directories whose live code must be deterministic: the physics
+/// engines plus the crates that feed them numbers (EAM tables) or
+/// digest their output into regression baselines (analysis).
+const PHYSICS_DIRS: [&str; 5] = [
+    "crates/md/src",
+    "crates/kmc/src",
+    "crates/coupled/src",
+    "crates/eam/src",
+    "crates/analysis/src",
+];
 
 /// Lints every live physics source under `root`.
 pub fn run(root: &Path) -> Vec<Finding> {
@@ -63,39 +71,7 @@ pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
 /// Line ranges covered by a `nondeterministic_ok` marker: from the
 /// marker through the end of the following brace block (or statement).
 fn suppressed_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let scrubbed = file.scrubbed.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = file.raw[from..].find("nondeterministic_ok") {
-        let at = from + pos;
-        from = at + "nondeterministic_ok".len();
-        let start_line = file.line_of(at);
-        // Walk the *scrubbed* text (no braces hiding in strings) to the
-        // end of the next brace block, or the next `;` if none opens.
-        let mut i = from.min(scrubbed.len());
-        let mut end = i;
-        let mut depth = 0usize;
-        while i < scrubbed.len() {
-            match scrubbed[i] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        end = i;
-                        break;
-                    }
-                }
-                b';' if depth == 0 => {
-                    end = i;
-                    break;
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        ranges.push((start_line, file.line_of(end)));
-    }
-    ranges
+    workspace::marker_ranges(file, "nondeterministic_ok")
 }
 
 fn is_ident(c: u8) -> bool {

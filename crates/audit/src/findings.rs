@@ -1,5 +1,6 @@
 //! Audit findings: one violation, attributed to a pass and a source
-//! position.
+//! position, renderable as text or as a stable machine-readable JSON
+//! record (`mmds-audit --json`).
 
 /// Which analysis pass produced a finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +15,8 @@ pub enum Pass {
     UnsafeAudit,
     /// Telemetry counter-manifest cross-checker.
     CounterManifest,
+    /// Communication-protocol verifier (skeleton IR prover).
+    Protocol,
 }
 
 impl Pass {
@@ -25,6 +28,28 @@ impl Pass {
             Pass::FlopLedger => "flop-ledger",
             Pass::UnsafeAudit => "unsafe-audit",
             Pass::CounterManifest => "counter-manifest",
+            Pass::Protocol => "protocol",
+        }
+    }
+}
+
+/// How serious a finding is. Every current pass emits `Error` (CI
+/// gates on any finding); the level exists in the record schema so
+/// advisory lints can be added without breaking consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Advisory: worth a look, does not fail the audit by itself.
+    Warning,
+    /// Violation: fails the audit.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in rendered and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
         }
     }
 }
@@ -38,12 +63,14 @@ pub struct Finding {
     pub file: String,
     /// 1-based line, 0 when the finding has no line anchor.
     pub line: usize,
+    /// Seriousness (all gating passes emit [`Severity::Error`]).
+    pub severity: Severity,
     /// What is wrong and how to fix it.
     pub message: String,
 }
 
 impl Finding {
-    /// Creates a finding anchored to `file:line`.
+    /// Creates an error-severity finding anchored to `file:line`.
     pub fn at(
         pass: Pass,
         file: impl Into<String>,
@@ -54,9 +81,42 @@ impl Finding {
             pass,
             file: file.into(),
             line,
+            severity: Severity::Error,
             message: message.into(),
         }
     }
+}
+
+impl serde::Serialize for Finding {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("pass".into(), serde::Value::Str(self.pass.tag().into())),
+            ("file".into(), serde::Value::Str(self.file.clone())),
+            ("line".into(), serde::Value::U64(self.line as u64)),
+            (
+                "severity".into(),
+                serde::Value::Str(self.severity.name().into()),
+            ),
+            ("message".into(), serde::Value::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// The versioned machine-readable report `mmds-audit --json` writes:
+/// `{"schema": 1, "findings": [{pass, file, line, severity, message}]}`.
+/// Bump `schema` on any field rename/removal; additions are allowed.
+pub fn json_report(findings: &[Finding]) -> String {
+    use serde::{Serialize, Value};
+    let report = Value::Map(vec![
+        ("schema".into(), Value::U64(1)),
+        (
+            "findings".into(),
+            Value::Seq(findings.iter().map(|f| f.to_value()).collect()),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&report).expect("report serializes");
+    text.push('\n');
+    text
 }
 
 impl std::fmt::Display for Finding {
@@ -75,5 +135,66 @@ impl std::fmt::Display for Finding {
                 self.message
             )
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `--json` schema is a contract with CI artefact consumers:
+    /// field names, order-independent presence, and the schema version
+    /// must stay stable (additive changes only).
+    #[test]
+    fn json_schema_is_stable() {
+        let findings = vec![
+            Finding::at(Pass::Protocol, "crates/kmc/src/exchange.rs", 12, "oops"),
+            Finding::at(Pass::LdmBudget, "", 0, "workspace-level \"fact\""),
+        ];
+        let text = json_report(&findings);
+        let v = serde_json::parse(&text).expect("report parses back");
+        // The parser may read integers back as I64; compare through
+        // the numeric Deserialize impl, not the Value variant.
+        let as_u64 = |v: &serde::Value| <u64 as serde::Deserialize>::from_value(v).unwrap();
+        assert_eq!(as_u64(v.get("schema").expect("schema key")), 1);
+        let serde::Value::Seq(records) = v.get("findings").expect("findings array") else {
+            panic!("findings must be an array");
+        };
+        assert_eq!(records.len(), 2);
+        for (key, want) in [
+            ("pass", serde::Value::Str("protocol".into())),
+            (
+                "file",
+                serde::Value::Str("crates/kmc/src/exchange.rs".into()),
+            ),
+            ("severity", serde::Value::Str("error".into())),
+            ("message", serde::Value::Str("oops".into())),
+        ] {
+            assert_eq!(records[0].get(key), Some(&want), "field `{key}`");
+        }
+        assert_eq!(as_u64(records[0].get("line").expect("line key")), 12);
+        // Quotes in messages must be escaped, not corrupt the document.
+        assert_eq!(
+            records[1].get("message"),
+            Some(&serde::Value::Str("workspace-level \"fact\"".into()))
+        );
+        // An empty report is still a valid document with both keys.
+        let empty = serde_json::parse(&json_report(&[])).unwrap();
+        assert_eq!(as_u64(empty.get("schema").expect("schema key")), 1);
+        assert_eq!(
+            empty.get("findings"),
+            Some(&serde::Value::Seq(Vec::new())),
+            "empty findings key present"
+        );
+    }
+
+    #[test]
+    fn severity_names() {
+        assert_eq!(Severity::Error.name(), "error");
+        assert_eq!(Severity::Warning.name(), "warning");
+        assert_eq!(
+            Finding::at(Pass::Protocol, "f", 1, "m").severity,
+            Severity::Error
+        );
     }
 }

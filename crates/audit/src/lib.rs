@@ -42,8 +42,18 @@
 //!    manifest (`TELEMETRY_MANIFEST.md`), and every manifest row must
 //!    still be charged somewhere (no typo'd names silently dropping
 //!    observatory data, no stale documentation).
+//! 6. [`protocol`] — **communication-protocol verifier**: the exchange
+//!    code declares its per-phase communication skeletons as
+//!    `mmds_swmpi::CommPlan`s (symbolic op sequences over rank-offset
+//!    expressions); this pass proves match closure, deadlock freedom
+//!    and fence enclosure for every declared plan, executes each on
+//!    the lock-step oracle at P = 8 and 27, and lexically rejects
+//!    rank-guarded collectives and unfenced `win_put`s in `md`, `kmc`,
+//!    `coupled` (opt-out: `// mmds: collective_uniform_ok`). The
+//!    dynamic half — reconciling the declared skeletons against a real
+//!    traced 8-rank run — lives in `mmds-bench::reconcile`.
 //!
-//! The sixth pass is dynamic but exhaustive: [`interleave`] is a
+//! The seventh check is dynamic but exhaustive: [`interleave`] is a
 //! loom-style scheduler that enumerates *every* interleaving of a set
 //! of modelled threads; `tests/model_checks.rs` (behind the
 //! `model-checks` feature) uses it to check the swmpi window
@@ -59,6 +69,7 @@ pub mod findings;
 pub mod flops;
 pub mod interleave;
 pub mod ldm;
+pub mod protocol;
 pub mod unsafe_audit;
 pub mod workspace;
 
@@ -68,12 +79,16 @@ pub use findings::Finding;
 /// rendered budget table and all findings (empty = audit passed).
 pub fn run_all(root: &std::path::Path) -> (String, Vec<Finding>) {
     let mut findings = Vec::new();
-    let (table, f) = ldm::run(root);
+    let (mut table, f) = ldm::run(root);
     findings.extend(f);
     findings.extend(determinism::run(root));
     findings.extend(flops::run(root));
     findings.extend(unsafe_audit::run(root));
     findings.extend(counters::run(root));
+    let (skeletons, f) = protocol::run(root);
+    findings.extend(f);
+    table.push('\n');
+    table.push_str(&skeletons);
     (table, findings)
 }
 

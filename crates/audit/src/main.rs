@@ -2,8 +2,8 @@
 //! command line (CI gates on the exit status).
 //!
 //! ```text
-//! mmds-audit [--all | --ldm --determinism --flops --unsafe-audit --counters]
-//!            [--root PATH] [--quiet]
+//! mmds-audit [--all | --ldm --determinism --flops --unsafe-audit --counters
+//!             --protocol] [--root PATH] [--json PATH] [--quiet]
 //! ```
 //!
 //! Exit status 0 = clean, 1 = findings, 2 = usage error.
@@ -13,7 +13,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mmds_audit::{counters, determinism, findings::Finding, flops, ldm, unsafe_audit, workspace};
+use mmds_audit::{
+    counters, determinism, findings, findings::Finding, flops, ldm, protocol, unsafe_audit,
+    workspace,
+};
 
 const USAGE: &str = "mmds-audit: workspace static-analysis passes
 
@@ -23,14 +26,16 @@ USAGE:
 PASSES (default: --all):
     --all             run every pass
     --ldm             LDM budget prover + capacity-literal scan
-    --determinism     determinism linter (md, kmc, coupled)
+    --determinism     determinism linter (md, kmc, coupled, eam, analysis)
     --flops           flop-ledger cross-checker
     --unsafe-audit    forbid(unsafe_code) + unsafe-token audit
     --counters        telemetry counter-manifest cross-checker
+    --protocol        comm-skeleton prover + rank-uniformity lint
 
 OPTIONS:
     --root PATH       workspace root (default: nearest [workspace] above cwd)
-    --quiet           findings only, no budget table
+    --json PATH       also write the findings as JSON (stable schema) to PATH
+    --quiet           findings only, no budget/skeleton tables
     --help            this text";
 
 struct Options {
@@ -39,8 +44,30 @@ struct Options {
     flops: bool,
     unsafe_audit: bool,
     counters: bool,
+    protocol: bool,
     root: Option<PathBuf>,
+    json: Option<PathBuf>,
     quiet: bool,
+}
+
+impl Options {
+    fn any_pass(&self) -> bool {
+        self.ldm
+            || self.determinism
+            || self.flops
+            || self.unsafe_audit
+            || self.counters
+            || self.protocol
+    }
+
+    fn all_passes(&mut self) {
+        self.ldm = true;
+        self.determinism = true;
+        self.flops = true;
+        self.unsafe_audit = true;
+        self.counters = true;
+        self.protocol = true;
+    }
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -50,39 +77,36 @@ fn parse(args: &[String]) -> Result<Options, String> {
         flops: false,
         unsafe_audit: false,
         counters: false,
+        protocol: false,
         root: None,
+        json: None,
         quiet: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--all" => {
-                opts.ldm = true;
-                opts.determinism = true;
-                opts.flops = true;
-                opts.unsafe_audit = true;
-                opts.counters = true;
-            }
+            "--all" => opts.all_passes(),
             "--ldm" => opts.ldm = true,
             "--determinism" => opts.determinism = true,
             "--flops" => opts.flops = true,
             "--unsafe-audit" => opts.unsafe_audit = true,
             "--counters" => opts.counters = true,
+            "--protocol" => opts.protocol = true,
             "--quiet" => opts.quiet = true,
             "--root" => {
                 let path = it.next().ok_or("--root requires a PATH")?;
                 opts.root = Some(PathBuf::from(path));
             }
+            "--json" => {
+                let path = it.next().ok_or("--json requires a PATH")?;
+                opts.json = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !(opts.ldm || opts.determinism || opts.flops || opts.unsafe_audit || opts.counters) {
-        opts.ldm = true;
-        opts.determinism = true;
-        opts.flops = true;
-        opts.unsafe_audit = true;
-        opts.counters = true;
+    if !opts.any_pass() {
+        opts.all_passes();
     }
     Ok(opts)
 }
@@ -133,6 +157,23 @@ fn main() -> ExitCode {
     if opts.counters {
         findings.extend(counters::run(&root));
     }
+    if opts.protocol {
+        let (table, f) = protocol::run(&root);
+        if !opts.quiet {
+            println!("{table}");
+        }
+        findings.extend(f);
+    }
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, findings::json_report(&findings)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            println!("mmds-audit: findings JSON -> {}", path.display());
+        }
+    }
 
     if findings.is_empty() {
         if !opts.quiet {
@@ -164,6 +205,9 @@ fn passes_run(opts: &Options) -> String {
     }
     if opts.counters {
         names.push("counter-manifest");
+    }
+    if opts.protocol {
+        names.push("protocol");
     }
     names.join(", ")
 }

@@ -1,0 +1,373 @@
+//! Communication-protocol verifier.
+//!
+//! The exchange code in `md`, `kmc` and `coupled` *declares* its
+//! communication skeleton as [`mmds_swmpi::CommPlan`]s: per-phase
+//! symbolic op sequences over rank-offset expressions on the periodic
+//! 3-D decomposition, with symbolic byte counts (see
+//! `mmds_swmpi::skeleton`). This pass proves every declared plan
+//! well-formed without running anything:
+//!
+//! * **match closure** — every symbolic send has a matching receive on
+//!   the image rank, and vice versa (no orphan sends/recvs);
+//! * **deadlock freedom** — no variant orders a blocking receive ahead
+//!   of the send that feeds it;
+//! * **fence enclosure** — every one-sided `win_put` is closed by a
+//!   later `win_fence` epoch;
+//! * **concrete execution** — each symbolically clean plan also runs to
+//!   completion on the lock-step oracle
+//!   ([`mmds_swmpi::skeleton::simulate`]) at P = 8 and P = 27, the
+//!   smallest non-degenerate periodic grids.
+//!
+//! A lexical half guards the property the IR cannot express: rank
+//! uniformity. Collective invocations (`barrier` / `allreduce` /
+//! `allgather` / `win_fence`) lexically inside rank-dependent control
+//! flow deadlock the real machine when only some ranks reach them, and
+//! a `win_put` with no later `win_fence` in its enclosing function
+//! leaves deposits invisible. Sites where the divergence is provably
+//! rank-uniform opt out with `// mmds: collective_uniform_ok` plus a
+//! justification.
+//!
+//! The dynamic half of the same contract lives in
+//! `mmds-bench::reconcile`: the causal-smoke driver replays a traced
+//! 8-rank coupled run against these same declared plans and fails CI
+//! unless every traced op, payload and match id reconciles.
+
+use std::path::Path;
+
+use mmds_swmpi::skeleton;
+use mmds_swmpi::{CartGrid, CommPlan};
+
+use crate::findings::{Finding, Pass};
+use crate::workspace::{self, SourceFile};
+
+/// Directories whose live code invokes communication primitives and is
+/// therefore subject to the rank-uniformity lint. `swmpi` itself is
+/// exempt: it *implements* the primitives.
+const COMM_DIRS: [&str; 3] = ["crates/md/src", "crates/kmc/src", "crates/coupled/src"];
+
+/// Every communication skeleton the workspace declares: the MD ghost /
+/// offload halo plans, the KMC exchange plans under all three
+/// strategies (the on-demand dirty plans differ per mode), and the
+/// coupled driver's phase barriers.
+pub fn collect_plans() -> Vec<CommPlan> {
+    use mmds_kmc::{ExchangeStrategy, OnDemandMode};
+    let mut plans = mmds_md::domain::comm_plans();
+    plans.extend(mmds_kmc::comm_plans(ExchangeStrategy::Traditional));
+    for mode in [OnDemandMode::TwoSided, OnDemandMode::OneSided] {
+        plans.extend(
+            mmds_kmc::exchange::exchange_plans(ExchangeStrategy::OnDemand(mode))
+                .into_iter()
+                .filter(|p| p.phase == "kmc.exchange.dirty"),
+        );
+    }
+    plans.extend(mmds_coupled::parallel::comm_plans());
+    plans
+}
+
+/// Runs the protocol pass: proves the declared plans and lints the
+/// communication call sites under `root`. Returns the rendered
+/// skeleton table and all findings.
+pub fn run(root: &Path) -> (String, Vec<Finding>) {
+    let plans = collect_plans();
+    let table = skeleton::render_skeleton_table(&plans);
+    let mut findings = prove_plans(&plans);
+    for file in workspace::load_sources(root, &COMM_DIRS) {
+        findings.extend(lint_file(&file));
+    }
+    (table, findings)
+}
+
+/// Proves each plan symbolically (match closure, deadlock freedom,
+/// fence enclosure), then executes the symbolically clean ones on the
+/// lock-step oracle at P = 8 and P = 27.
+pub fn prove_plans(plans: &[CommPlan]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for plan in plans {
+        let violations = skeleton::verify_plan(plan);
+        let symbolic_clean = violations.is_empty();
+        for v in violations {
+            findings.push(Finding::at(
+                Pass::Protocol,
+                plan.declared_in.clone(),
+                0,
+                v.to_string(),
+            ));
+        }
+        if !symbolic_clean {
+            continue;
+        }
+        for ranks in [8usize, 27] {
+            let grid = CartGrid::for_ranks(ranks);
+            let instances = 2 * plan.variants.len().max(1);
+            if let Err(v) = skeleton::simulate(plan, &grid, instances) {
+                findings.push(Finding::at(
+                    Pass::Protocol,
+                    plan.declared_in.clone(),
+                    0,
+                    format!("lock-step execution at P={ranks}: {v}"),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Lints one source file for rank-guarded collectives and unfenced
+/// puts. Findings inside `#[cfg(test)]` items or under a
+/// `collective_uniform_ok` marker are suppressed.
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let live = workspace::strip_test_blocks(&file.scrubbed);
+    let suppressed = workspace::marker_ranges(file, "collective_uniform_ok");
+    let mut findings = Vec::new();
+
+    rank_guarded_collectives(file, &live, &mut findings);
+    unfenced_puts(file, &live, &mut findings);
+
+    findings.retain(|f| !suppressed.iter().any(|&(a, b)| (a..=b).contains(&f.line)));
+    findings.sort_by_key(|f| f.line);
+    findings.dedup();
+    findings
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Whole-word containment: `rank` matches `comm.rank()` but not
+/// `ranks` or `rank_of`.
+fn has_word(text: &str, word: &str) -> bool {
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        from = at + word.len();
+        let pre = at == 0 || !is_ident(b[at - 1]);
+        let end = at + word.len();
+        let post = end >= b.len() || !is_ident(b[end]);
+        if pre && post {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_control(header: &str) -> bool {
+    ["if", "match", "while", "for"]
+        .iter()
+        .any(|w| has_word(header, w))
+}
+
+/// Flags collective invocations lexically inside rank-dependent
+/// control flow. A block is rank-guarded when its header (the text
+/// between the previous `;`/`{`/`}` and its `{`) is a control
+/// construct mentioning the word `rank`, or an `else` whose `if`
+/// closed as rank-guarded; guardedness propagates to nested blocks.
+fn rank_guarded_collectives(file: &SourceFile, live: &str, findings: &mut Vec<Finding>) {
+    const COLLECTIVES: [(&str, &str); 4] = [
+        (".barrier(", "barrier"),
+        (".allreduce", "allreduce"),
+        (".allgather", "allgather"),
+        (".win_fence(", "win_fence"),
+    ];
+    struct Blk {
+        guarded: bool,
+        own_guard: bool,
+    }
+    let bytes = live.as_bytes();
+    let mut stack: Vec<Blk> = Vec::new();
+    let mut last_break = 0usize;
+    let mut last_closed_guard = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        if stack.last().is_some_and(|b| b.guarded) {
+            for (needle, name) in COLLECTIVES {
+                if live[i..].starts_with(needle) {
+                    findings.push(Finding::at(
+                        Pass::Protocol,
+                        file.rel.clone(),
+                        file.line_of(i),
+                        format!(
+                            "rank-guarded collective: `{name}` inside rank-dependent \
+                             control flow — a collective some ranks never reach deadlocks; \
+                             hoist it out or mark the site // mmds: collective_uniform_ok \
+                             with a justification"
+                        ),
+                    ));
+                }
+            }
+        }
+        match bytes[i] {
+            b';' => {
+                last_break = i + 1;
+                last_closed_guard = false;
+            }
+            b'{' => {
+                let header = &live[last_break..i];
+                let parent = stack.last().is_some_and(|b| b.guarded);
+                let own = (is_control(header) && has_word(header, "rank"))
+                    || (has_word(header, "else") && last_closed_guard);
+                stack.push(Blk {
+                    guarded: parent || own,
+                    own_guard: own,
+                });
+                last_break = i + 1;
+                last_closed_guard = false;
+            }
+            b'}' => {
+                last_closed_guard = stack.pop().is_some_and(|b| b.own_guard);
+                last_break = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Flags `win_put` calls with no later `win_fence` inside the same
+/// enclosing `fn` block (the epoch that makes the deposit visible).
+fn unfenced_puts(file: &SourceFile, live: &str, findings: &mut Vec<Finding>) {
+    let bytes = live.as_bytes();
+    // Matching close position for every open brace.
+    let mut close_of: std::collections::BTreeMap<usize, usize> = Default::default();
+    let mut opens = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => opens.push(i),
+            b'}' => {
+                if let Some(o) = opens.pop() {
+                    close_of.insert(o, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Walk again tracking which open braces start `fn` bodies.
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    let mut last_break = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        if live[i..].starts_with(".win_put(") {
+            let end = stack
+                .iter()
+                .rev()
+                .find(|&&(_, is_fn)| is_fn)
+                .and_then(|&(o, _)| close_of.get(&o).copied())
+                .unwrap_or(live.len());
+            if !live[i..end].contains(".win_fence(") {
+                findings.push(Finding::at(
+                    Pass::Protocol,
+                    file.rel.clone(),
+                    file.line_of(i),
+                    "unfenced put: `win_put` has no later `win_fence` in the enclosing \
+                     function — one-sided deposits are only visible after the closing \
+                     fence epoch"
+                        .to_string(),
+                ));
+            }
+        }
+        match bytes[i] {
+            b';' => last_break = i + 1,
+            b'{' => {
+                let header = &live[last_break..i];
+                stack.push((i, has_word(header, "fn")));
+                last_break = i + 1;
+            }
+            b'}' => {
+                stack.pop();
+                last_break = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmds_swmpi::{ByteSpec, SkelOp};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "crates/kmc/src/fake.rs".into(),
+            raw: src.to_string(),
+            scrubbed: workspace::scrub(src),
+        }
+    }
+
+    #[test]
+    fn declared_plans_prove_clean() {
+        let findings = prove_plans(&collect_plans());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn orphan_send_plan_is_reported() {
+        let plan = CommPlan::new(
+            "bad.phase",
+            "nowhere.rs",
+            vec![SkelOp::Send {
+                to: [1, 0, 0],
+                bytes: ByteSpec::Exact(8),
+            }],
+            "",
+        );
+        let findings = prove_plans(&[plan]);
+        assert!(!findings.is_empty());
+        assert!(findings[0].message.contains("orphan send"), "{findings:?}");
+    }
+
+    #[test]
+    fn rank_guarded_collective_is_flagged() {
+        let src =
+            "fn f(comm: &Comm) {\n    if comm.rank() == 0 {\n        comm.barrier();\n    }\n}\n";
+        let findings = lint_file(&file(src));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("rank-guarded collective"));
+    }
+
+    #[test]
+    fn uniform_collective_is_clean() {
+        let src = "fn f(comm: &Comm) {\n    comm.barrier();\n    if comm.rank() == 0 {\n        log_something();\n    }\n}\n";
+        assert!(lint_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn else_branch_inherits_the_guard() {
+        let src = "fn f(c: &Comm) {\n    if c.rank() == 0 {\n        a();\n    } else {\n        c.allreduce(&mut x);\n    }\n}\n";
+        let findings = lint_file(&file(src));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn marker_suppresses_the_finding() {
+        let src = "fn f(c: &Comm) {\n    // mmds: collective_uniform_ok — every rank computes the same flag\n    if c.rank() == flag {\n        c.barrier();\n    }\n}\n";
+        assert!(lint_file(&file(src)).is_empty());
+    }
+
+    #[test]
+    fn unfenced_put_is_flagged_fenced_is_clean() {
+        let bad = "fn f(c: &Comm) {\n    c.win_put(1, 0, &data);\n}\n";
+        let findings = lint_file(&file(bad));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("unfenced put"));
+
+        let ok = "fn f(c: &Comm) {\n    c.win_put(1, 0, &data);\n    c.win_fence();\n}\n";
+        assert!(lint_file(&file(ok)).is_empty());
+
+        let split = "fn f(c: &Comm) {\n    c.win_put(1, 0, &data);\n}\nfn g(c: &Comm) {\n    c.win_fence();\n}\n";
+        assert_eq!(
+            lint_file(&file(split)).len(),
+            1,
+            "a fence in another fn does not close the epoch"
+        );
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t(c: &Comm) { if c.rank() == 0 { c.barrier(); } }\n}\n";
+        assert!(lint_file(&file(src)).is_empty());
+    }
+}

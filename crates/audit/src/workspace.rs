@@ -250,6 +250,45 @@ pub fn scrub(src: &str) -> String {
     out.into_iter().collect()
 }
 
+/// Line ranges covered by an allowlist `marker` (attribute or comment
+/// form): from the marker through the end of the following brace block
+/// (or statement). Shared by the linters' opt-out machinery.
+pub fn marker_ranges(file: &SourceFile, marker: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let scrubbed = file.scrubbed.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = file.raw[from..].find(marker) {
+        let at = from + pos;
+        from = at + marker.len();
+        let start_line = file.line_of(at);
+        // Walk the *scrubbed* text (no braces hiding in strings) to the
+        // end of the next brace block, or the next `;` if none opens.
+        let mut i = from.min(scrubbed.len());
+        let mut end = i;
+        let mut depth = 0usize;
+        while i < scrubbed.len() {
+            match scrubbed[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        ranges.push((start_line, file.line_of(end)));
+    }
+    ranges
+}
+
 /// Blanks every `#[cfg(test)]`-gated item (its attribute through the
 /// matching close brace of its body) in already-scrubbed text,
 /// preserving newlines. Test modules get to use `HashMap` iteration,

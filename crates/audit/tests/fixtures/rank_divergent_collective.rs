@@ -1,0 +1,9 @@
+//! Protocol-lint fixture: a collective reached by rank 0 only.
+//! Never compiled — consumed as text by `tests/protocol_fixtures.rs`.
+
+fn report_and_sync(comm: &Comm) {
+    if comm.rank() == 0 {
+        println!("cycle done");
+        comm.barrier();
+    }
+}

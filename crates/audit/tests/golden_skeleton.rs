@@ -1,0 +1,44 @@
+//! Golden test for the communication-skeleton table: the declared
+//! per-phase `CommPlan`s are the statically proved contract between
+//! the exchange code and the causal-trace reconciler, so any drift
+//! must show up as a reviewed diff of
+//! `tests/golden/skeleton_table.txt`, not a silent change.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! cargo run -p mmds-audit --bin mmds-audit -- --protocol \
+//!   | grep -v '^mmds-audit: clean' > crates/audit/tests/golden/skeleton_table.txt
+//! ```
+
+use mmds_audit::protocol::collect_plans;
+use mmds_swmpi::skeleton::render_skeleton_table;
+
+#[test]
+fn skeleton_table_matches_golden() {
+    let table = render_skeleton_table(&collect_plans());
+    let golden = include_str!("golden/skeleton_table.txt");
+    assert_eq!(
+        table.trim_end(),
+        golden.trim_end(),
+        "skeleton table drifted from tests/golden/skeleton_table.txt — if the \
+         change is intentional, regenerate per the header of this test"
+    );
+}
+
+#[test]
+fn golden_covers_every_phase() {
+    let golden = include_str!("golden/skeleton_table.txt");
+    for phase in [
+        "md.ghost",
+        "md.offload",
+        "kmc.exchange.full",
+        "kmc.exchange.get",
+        "kmc.exchange.put",
+        "kmc.exchange.dirty",
+        "kmc.sync_dt",
+        "coupled.rank",
+    ] {
+        assert!(golden.contains(phase), "golden table lists {phase}");
+    }
+}

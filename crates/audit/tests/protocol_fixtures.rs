@@ -1,0 +1,72 @@
+//! Negative fixtures for the protocol pass: each seeded-bad skeleton
+//! (or source file) must produce *exactly* its expected finding — the
+//! prover may not go quiet on a broken plan, and may not pile
+//! unrelated findings onto a single seeded defect.
+
+use mmds_audit::protocol::{lint_file, prove_plans};
+use mmds_audit::workspace::{self, SourceFile};
+use mmds_swmpi::CommPlan;
+
+fn load_plan(json: &str) -> CommPlan {
+    serde_json::from_str(json).expect("fixture plan parses")
+}
+
+/// Runs the prover on one fixture plan and asserts a single finding
+/// whose message carries the expected diagnosis.
+fn assert_single_finding(json: &str, expect: &str) {
+    let plan = load_plan(json);
+    let findings = prove_plans(std::slice::from_ref(&plan));
+    assert_eq!(
+        findings.len(),
+        1,
+        "fixture `{}` must produce exactly one finding, got {findings:?}",
+        plan.phase
+    );
+    assert_eq!(findings[0].file, plan.declared_in);
+    assert!(
+        findings[0].message.contains(expect),
+        "fixture `{}`: expected a `{expect}` diagnosis, got: {}",
+        plan.phase,
+        findings[0].message
+    );
+}
+
+#[test]
+fn orphan_send_is_diagnosed() {
+    assert_single_finding(include_str!("fixtures/orphan_send.json"), "orphan send");
+}
+
+#[test]
+fn cyclic_exchange_order_is_diagnosed() {
+    assert_single_finding(
+        include_str!("fixtures/cyclic_order.json"),
+        "cyclic exchange order",
+    );
+}
+
+#[test]
+fn unfenced_put_is_diagnosed() {
+    assert_single_finding(include_str!("fixtures/unfenced_put.json"), "unfenced put");
+}
+
+#[test]
+fn rank_divergent_collective_is_diagnosed() {
+    let src = include_str!("fixtures/rank_divergent_collective.rs");
+    let file = SourceFile {
+        rel: "crates/audit/tests/fixtures/rank_divergent_collective.rs".into(),
+        raw: src.to_string(),
+        scrubbed: workspace::scrub(src),
+    };
+    let findings = lint_file(&file);
+    assert_eq!(
+        findings.len(),
+        1,
+        "fixture must produce exactly one finding, got {findings:?}"
+    );
+    assert!(
+        findings[0].message.contains("rank-guarded collective"),
+        "expected a rank-guarded-collective diagnosis, got: {}",
+        findings[0].message
+    );
+    assert_eq!(findings[0].line, 7, "finding anchors on the barrier line");
+}

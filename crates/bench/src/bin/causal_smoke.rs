@@ -7,12 +7,12 @@
 //! `MMDS_TELEMETRY=jsonl:… MMDS_COMM_TRACE=1` and feeds the trace to
 //! `mmds-inspect causal --strict` to gate match closure.
 
-use mmds_bench::header;
+use mmds_bench::{header, inspect, reconcile};
 use mmds_coupled::parallel::{run_coupled_parallel, ParallelCoupledParams};
 use mmds_kmc::{ExchangeStrategy, KmcConfig};
 use mmds_md::offload::OffloadConfig;
 use mmds_md::MdConfig;
-use mmds_swmpi::{MachineModel, World, WorldConfig};
+use mmds_swmpi::{CartGrid, MachineModel, World, WorldConfig};
 
 fn main() {
     header("Causal-tracing smoke: one traced 8-rank coupled run");
@@ -57,4 +57,40 @@ fn main() {
         }
     );
     mmds_telemetry::global().flush_sink();
+
+    // Reconcile the trace against the declared communication
+    // skeletons: every traced op, payload and match id must be
+    // accounted for by the `CommPlan`s the exchange code declares
+    // (the dynamic half of the `mmds-audit --protocol` proof).
+    let Some(trace_path) = mmds_telemetry::global().jsonl_path() else {
+        return;
+    };
+    if !mmds_telemetry::comm_tracing_enabled() {
+        return;
+    }
+    let text = std::fs::read_to_string(&trace_path).expect("read back the trace stream");
+    let mut records = inspect::load_records(&text);
+    records.sort_by_key(|r| r.seq);
+    let graph = mmds_bench::causal::build_graph(&records);
+    let plans = reconcile::declared_plans(params.strategy);
+    match reconcile::reconcile(&graph, &CartGrid::for_ranks(ranks), &plans) {
+        Ok(rep) => {
+            print!("{}", reconcile::render_report(&rep));
+            println!(
+                "skeleton reconciliation: ok ({} traced comm events, {} phases)",
+                rep.events_claimed,
+                rep.leaves.len()
+            );
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("skeleton reconciliation: {e}");
+            }
+            eprintln!(
+                "skeleton reconciliation: FAILED ({} error(s))",
+                errors.len()
+            );
+            std::process::exit(1);
+        }
+    }
 }

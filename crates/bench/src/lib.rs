@@ -14,6 +14,7 @@
 
 pub mod causal;
 pub mod inspect;
+pub mod reconcile;
 pub mod watch;
 
 use std::path::PathBuf;

@@ -1,0 +1,673 @@
+//! Trace ↔ skeleton reconciliation: proves a traced run against the
+//! declared communication skeletons.
+//!
+//! The static protocol pass (`mmds-audit --protocol`) proves the
+//! declared [`CommPlan`]s internally consistent for all P; this module
+//! closes the loop with reality. Given the causal event graph of a
+//! traced run ([`crate::causal::build_graph`]) and the plans the run's
+//! code declares, [`reconcile`] re-parses every rank's per-phase event
+//! stream against the declared op sequences and checks:
+//!
+//! * **Ops**: each phase instance's traced events are exactly one plan
+//!   variant (cycled `k % V` for sector-parameterised phases) — kind,
+//!   order, and peer rank (`grid.neighbor(rank, offset)`) all match.
+//! * **Bytes**: every traced payload satisfies the declared
+//!   [`ByteSpec`] (exact, record-multiple, or dynamic).
+//! * **Match ids**: every matched recv's producer is the *declared*
+//!   partner — same phase, same instance, the paired send op index on
+//!   the declared neighbor — and every collective generation is
+//!   rank-uniform: all P ranks participate with the identical
+//!   (phase, instance, op) assignment.
+//! * **Coverage**: no traced comm event escapes the declared skeletons
+//!   and no rank runs a different number of phase instances.
+//!
+//! One declared limitation: an [`SkelOp::Allreduce`] with a
+//! `uniform_skip` predicate is parsed greedily (present unless the
+//! phase's event stream ends). A run where the skip actually fires
+//! reconciles only if it fires in every instance tail; the smoke runs
+//! CI gates on are configured so the skip never fires.
+
+use std::collections::BTreeMap;
+
+use mmds_swmpi::skeleton::{pair_ops, CommPlan, SkelOp};
+use mmds_swmpi::{CartGrid, CommOp};
+
+use crate::causal::CausalGraph;
+
+/// Per-phase reconciliation summary.
+#[derive(Debug, Clone)]
+pub struct LeafSummary {
+    /// Leaf phase name (last span-path segment).
+    pub leaf: String,
+    /// Instances each rank ran (proven rank-uniform).
+    pub instances: usize,
+    /// Traced comm events claimed by the plan, all ranks.
+    pub events: u64,
+    /// Traced payload bytes claimed, all ranks.
+    pub bytes: u64,
+}
+
+/// The outcome of a clean reconciliation.
+#[derive(Debug, Clone)]
+pub struct ReconcileReport {
+    /// Per-phase summaries, by leaf name.
+    pub leaves: Vec<LeafSummary>,
+    /// Total comm events claimed (== every event in the trace).
+    pub events_claimed: u64,
+}
+
+/// Every plan the coupled pipeline declares under `strategy` — the
+/// set a coupled-run trace must reconcile against.
+pub fn declared_plans(strategy: mmds_kmc::ExchangeStrategy) -> Vec<CommPlan> {
+    let mut plans = mmds_md::domain::comm_plans();
+    plans.extend(mmds_kmc::comm_plans(strategy));
+    plans.extend(mmds_coupled::parallel::comm_plans());
+    plans
+}
+
+/// What one traced event was claimed as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Claim {
+    plan: usize,
+    instance: usize,
+    op: usize,
+}
+
+fn leaf_of(phase: &str) -> &str {
+    phase.rsplit('/').next().unwrap_or(phase)
+}
+
+/// Reconciles a traced run against its declared skeletons. Returns the
+/// per-phase summary on success, or every discrepancy found.
+pub fn reconcile(
+    g: &CausalGraph,
+    grid: &CartGrid,
+    plans: &[CommPlan],
+) -> Result<ReconcileReport, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let plan_ix: BTreeMap<&str, usize> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.phase.as_str(), i))
+        .collect();
+
+    // Per-(rank, leaf) event streams, in trace order (callers sort
+    // records by seq, so per-rank order is program order).
+    let mut buckets: BTreeMap<(u32, String), Vec<usize>> = BTreeMap::new();
+    for (i, e) in g.events.iter().enumerate() {
+        buckets
+            .entry((e.rank, leaf_of(&e.phase).to_string()))
+            .or_default()
+            .push(i);
+    }
+
+    let mut claims: Vec<Option<Claim>> = vec![None; g.events.len()];
+    // leaf → rank → instances parsed.
+    let mut instances: BTreeMap<String, BTreeMap<u32, usize>> = BTreeMap::new();
+
+    for ((rank, leaf), idxs) in &buckets {
+        let Some(&pi) = plan_ix.get(leaf.as_str()) else {
+            errors.push(format!(
+                "rank {rank}: {} traced comm event(s) in phase `{leaf}` with no declared plan",
+                idxs.len()
+            ));
+            continue;
+        };
+        let plan = &plans[pi];
+        let n = parse_bucket(
+            g,
+            grid,
+            *rank,
+            leaf,
+            plan,
+            pi,
+            idxs,
+            &mut claims,
+            &mut errors,
+        );
+        instances.entry(leaf.clone()).or_default().insert(*rank, n);
+    }
+
+    // Instance counts must be rank-uniform, across every rank of the
+    // decomposition (a phase no rank entered is simply absent).
+    let ranks = grid.len();
+    for (leaf, per_rank) in &instances {
+        let counts: Vec<usize> = per_rank.values().copied().collect();
+        if per_rank.len() != ranks {
+            errors.push(format!(
+                "phase `{leaf}`: only {}/{ranks} ranks traced it",
+                per_rank.len()
+            ));
+        } else if counts.iter().any(|&c| c != counts[0]) {
+            errors.push(format!(
+                "phase `{leaf}`: instance counts diverge across ranks: {counts:?}"
+            ));
+        }
+    }
+
+    check_match_ids(g, grid, plans, &claims, &mut errors);
+    check_collectives(g, ranks, &claims, &mut errors);
+
+    if !errors.is_empty() {
+        errors.sort();
+        errors.dedup();
+        return Err(errors);
+    }
+
+    let mut leaves = Vec::new();
+    for (leaf, per_rank) in &instances {
+        let (mut events, mut bytes) = (0u64, 0u64);
+        for ((r, l), idxs) in &buckets {
+            if l == leaf && per_rank.contains_key(r) {
+                events += idxs.len() as u64;
+                bytes += idxs.iter().map(|&i| g.events[i].bytes).sum::<u64>();
+            }
+        }
+        leaves.push(LeafSummary {
+            leaf: leaf.clone(),
+            instances: per_rank.values().next().copied().unwrap_or(0),
+            events,
+            bytes,
+        });
+    }
+    Ok(ReconcileReport {
+        leaves,
+        events_claimed: claims.iter().flatten().count() as u64,
+    })
+}
+
+/// Parses one rank's event stream for one leaf phase against the
+/// plan's (cycling) variants, claiming every event. Returns the number
+/// of complete instances parsed.
+#[allow(clippy::too_many_arguments)]
+fn parse_bucket(
+    g: &CausalGraph,
+    grid: &CartGrid,
+    rank: u32,
+    leaf: &str,
+    plan: &CommPlan,
+    pi: usize,
+    idxs: &[usize],
+    claims: &mut [Option<Claim>],
+    errors: &mut Vec<String>,
+) -> usize {
+    let mut pos = 0usize;
+    let mut instance = 0usize;
+    let ctx =
+        |instance: usize, oi: usize| format!("rank {rank} `{leaf}` instance {instance} op {oi}");
+    while pos < idxs.len() {
+        let variant = &plan.variants[instance % plan.variants.len()];
+        for (oi, op) in variant.iter().enumerate() {
+            let next = idxs.get(pos).map(|&i| &g.events[i]);
+            let claim = Claim {
+                plan: pi,
+                instance,
+                op: oi,
+            };
+            let observed = |e: &crate::causal::TraceEvent| {
+                format!("{} peer {:?} ({} B)", e.op.name(), e.peer, e.bytes)
+            };
+            match *op {
+                SkelOp::Send { to, bytes } | SkelOp::Recv { from: to, bytes } => {
+                    let want_op = if matches!(op, SkelOp::Send { .. }) {
+                        CommOp::Send
+                    } else {
+                        CommOp::Recv
+                    };
+                    let peer = grid.neighbor(rank as usize, to) as u32;
+                    match next {
+                        Some(e) if e.op == want_op && e.peer == Some(peer) => {
+                            if !bytes.admits(e.bytes) {
+                                errors.push(format!(
+                                    "{}: {} B violates declared {}",
+                                    ctx(instance, oi),
+                                    e.bytes,
+                                    bytes.describe()
+                                ));
+                            }
+                            claims[idxs[pos]] = Some(claim);
+                            pos += 1;
+                        }
+                        Some(e) => {
+                            errors.push(format!(
+                                "{}: declared {} to/from peer {peer}, traced {}",
+                                ctx(instance, oi),
+                                want_op.name(),
+                                observed(e)
+                            ));
+                            return instance;
+                        }
+                        None => {
+                            errors.push(format!(
+                                "{}: phase ended mid-instance (declared {} missing)",
+                                ctx(instance, oi),
+                                want_op.name()
+                            ));
+                            return instance;
+                        }
+                    }
+                }
+                SkelOp::Barrier => match next {
+                    Some(e) if e.op == CommOp::Barrier => {
+                        claims[idxs[pos]] = Some(claim);
+                        pos += 1;
+                    }
+                    other => {
+                        errors.push(format!(
+                            "{}: declared barrier, traced {}",
+                            ctx(instance, oi),
+                            other.map(observed).unwrap_or_else(|| "phase end".into())
+                        ));
+                        return instance;
+                    }
+                },
+                SkelOp::Allreduce {
+                    bytes,
+                    ref uniform_skip,
+                } => match next {
+                    Some(e) if e.op == CommOp::Allreduce => {
+                        if !bytes.admits(e.bytes) {
+                            errors.push(format!(
+                                "{}: allreduce moved {} B, declared {}",
+                                ctx(instance, oi),
+                                e.bytes,
+                                bytes.describe()
+                            ));
+                        }
+                        claims[idxs[pos]] = Some(claim);
+                        pos += 1;
+                    }
+                    _ if uniform_skip.is_some() => {} // declared-skippable, absent
+                    other => {
+                        errors.push(format!(
+                            "{}: declared allreduce, traced {}",
+                            ctx(instance, oi),
+                            other.map(observed).unwrap_or_else(|| "phase end".into())
+                        ));
+                        return instance;
+                    }
+                },
+                SkelOp::Allgather { bytes } => match next {
+                    Some(e) if e.op == CommOp::Allgather => {
+                        if !bytes.admits(e.bytes) {
+                            errors.push(format!(
+                                "{}: allgather contributed {} B, declared {}",
+                                ctx(instance, oi),
+                                e.bytes,
+                                bytes.describe()
+                            ));
+                        }
+                        claims[idxs[pos]] = Some(claim);
+                        pos += 1;
+                    }
+                    other => {
+                        errors.push(format!(
+                            "{}: declared allgather, traced {}",
+                            ctx(instance, oi),
+                            other.map(observed).unwrap_or_else(|| "phase end".into())
+                        ));
+                        return instance;
+                    }
+                },
+                SkelOp::WinPut {
+                    to,
+                    bytes,
+                    optional,
+                } => {
+                    let peer = grid.neighbor(rank as usize, to) as u32;
+                    match next {
+                        Some(e) if e.op == CommOp::Put && e.peer == Some(peer) => {
+                            if !bytes.admits(e.bytes) {
+                                errors.push(format!(
+                                    "{}: put of {} B violates declared {}",
+                                    ctx(instance, oi),
+                                    e.bytes,
+                                    bytes.describe()
+                                ));
+                            }
+                            claims[idxs[pos]] = Some(claim);
+                            pos += 1;
+                        }
+                        _ if optional => {} // nothing to say to this neighbor
+                        other => {
+                            errors.push(format!(
+                                "{}: declared win_put to peer {peer}, traced {}",
+                                ctx(instance, oi),
+                                other.map(observed).unwrap_or_else(|| "phase end".into())
+                            ));
+                            return instance;
+                        }
+                    }
+                }
+                SkelOp::WinFence => {
+                    // Observed shape: fence, any put-ins drained, fence.
+                    for half in 0..2 {
+                        match idxs.get(pos).map(|&i| &g.events[i]) {
+                            Some(e) if e.op == CommOp::Fence => {
+                                claims[idxs[pos]] = Some(claim);
+                                pos += 1;
+                            }
+                            other => {
+                                errors.push(format!(
+                                    "{}: declared fence (half {half}), traced {}",
+                                    ctx(instance, oi),
+                                    other.map(observed).unwrap_or_else(|| "phase end".into())
+                                ));
+                                return instance;
+                            }
+                        }
+                        if half == 0 {
+                            while let Some(&i) = idxs.get(pos) {
+                                if g.events[i].op != CommOp::PutIn {
+                                    break;
+                                }
+                                claims[i] = Some(claim);
+                                pos += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        instance += 1;
+    }
+    instance
+}
+
+/// Checks every matched producer↔consumer edge against the declared
+/// pairing: same plan, same instance, declared neighbor, and (for
+/// recvs) the exact paired send op index.
+fn check_match_ids(
+    g: &CausalGraph,
+    grid: &CartGrid,
+    plans: &[CommPlan],
+    claims: &[Option<Claim>],
+    errors: &mut Vec<String>,
+) {
+    for (&c, &p) in &g.matched {
+        let (cons, prod) = (&g.events[c], &g.events[p]);
+        let (Some(cc), Some(pc)) = (claims[c], claims[p]) else {
+            continue; // unclaimed halves already reported
+        };
+        let what = format!(
+            "match id ({:?}, {}): rank {} {} in `{}`",
+            cons.match_src,
+            cons.match_seq,
+            cons.rank,
+            cons.op.name(),
+            leaf_of(&cons.phase)
+        );
+        if cc.plan != pc.plan || cc.instance != pc.instance {
+            errors.push(format!(
+                "{what}: producer claimed by `{}` instance {}, consumer by `{}` instance {}",
+                plans[pc.plan].phase, pc.instance, plans[cc.plan].phase, cc.instance
+            ));
+            continue;
+        }
+        let variant = &plans[cc.plan].variants[cc.instance % plans[cc.plan].variants.len()];
+        match variant.get(cc.op) {
+            Some(SkelOp::Recv { from, .. }) => {
+                let declared_peer = grid.neighbor(cons.rank as usize, *from) as u32;
+                if prod.rank != declared_peer {
+                    errors.push(format!(
+                        "{what}: produced by rank {}, declared neighbor is {declared_peer}",
+                        prod.rank
+                    ));
+                }
+                if pair_ops(variant)[cc.op] != Some(pc.op) {
+                    errors.push(format!(
+                        "{what}: paired with producer op {} — declared pairing is {:?}",
+                        pc.op,
+                        pair_ops(variant)[cc.op]
+                    ));
+                }
+            }
+            // A drained put-in: its producer must be a declared put
+            // in the same plan instance (already checked above).
+            Some(SkelOp::WinFence)
+                if !matches!(variant.get(pc.op), Some(SkelOp::WinPut { .. })) =>
+            {
+                errors.push(format!(
+                    "{what}: put-in produced by op {} which is not a declared win_put",
+                    pc.op
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every traced collective generation must span all P ranks with the
+/// identical (plan, instance, op) claim — the dynamic half of the
+/// collective-uniformity proof.
+fn check_collectives(
+    g: &CausalGraph,
+    ranks: usize,
+    claims: &[Option<Claim>],
+    errors: &mut Vec<String>,
+) {
+    for (&generation, idxs) in &g.collectives {
+        let claimed: Vec<Claim> = idxs.iter().filter_map(|&i| claims[i]).collect();
+        if claimed.is_empty() {
+            continue; // whole group unclaimed — already reported per event
+        }
+        if idxs.len() != ranks {
+            errors.push(format!(
+                "collective generation {generation}: {}/{ranks} ranks participated \
+                 (rank-divergent collective)",
+                idxs.len()
+            ));
+        }
+        if claimed.len() == idxs.len() && claimed.iter().any(|c| *c != claimed[0]) {
+            errors.push(format!(
+                "collective generation {generation}: ranks disagree on which declared \
+                 op it is (rank-divergent collective)"
+            ));
+        }
+    }
+}
+
+/// Renders the per-phase summary table of a clean reconciliation.
+pub fn render_report(rep: &ReconcileReport) -> String {
+    let mut out = String::new();
+    out.push_str("phase                  inst/rank     events          bytes\n");
+    for l in &rep.leaves {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>10} {:>14}\n",
+            l.leaf, l.instances, l.events, l.bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::TraceEvent;
+    use mmds_swmpi::skeleton::ByteSpec;
+
+    fn ev(op: CommOp, rank: u32, peer: Option<u32>, bytes: u64, phase: &str) -> TraceEvent {
+        TraceEvent {
+            op,
+            rank,
+            peer,
+            bytes,
+            match_src: None,
+            match_seq: 0,
+            lamport: 0,
+            vt_enter: 0.0,
+            vt_exit: 0.0,
+            t_enter_ns: 0,
+            t_exit_ns: 0,
+            phase: phase.into(),
+        }
+    }
+
+    fn shift_plan(bytes: u64) -> CommPlan {
+        CommPlan::new(
+            "t.shift",
+            "test",
+            SkelOp::shift(0, true, ByteSpec::Exact(bytes)).to_vec(),
+            "",
+        )
+    }
+
+    /// A clean 2-rank +x shift: sends/recvs pair across ranks with the
+    /// declared op indices.
+    fn shift_graph(bytes: u64) -> CausalGraph {
+        let mut g = CausalGraph {
+            events: vec![
+                ev(CommOp::Send, 0, Some(1), bytes, "run/t.shift"),
+                ev(CommOp::Recv, 0, Some(1), bytes, "run/t.shift"),
+                ev(CommOp::Send, 1, Some(0), bytes, "run/t.shift"),
+                ev(CommOp::Recv, 1, Some(0), bytes, "run/t.shift"),
+            ],
+            ..Default::default()
+        };
+        g.matched.insert(1, 2); // rank 0's recv ← rank 1's send
+        g.matched.insert(3, 0); // rank 1's recv ← rank 0's send
+        g
+    }
+
+    #[test]
+    fn clean_shift_reconciles() {
+        let g = shift_graph(24);
+        let grid = CartGrid::new([2, 1, 1]);
+        let rep = reconcile(&g, &grid, &[shift_plan(24)]).expect("clean");
+        assert_eq!(rep.events_claimed, 4);
+        assert_eq!(rep.leaves.len(), 1);
+        assert_eq!(rep.leaves[0].instances, 1);
+        assert_eq!(rep.leaves[0].bytes, 4 * 24);
+        assert!(render_report(&rep).contains("t.shift"));
+    }
+
+    #[test]
+    fn byte_spec_violation_is_reported() {
+        let g = shift_graph(25);
+        let grid = CartGrid::new([2, 1, 1]);
+        let errors = reconcile(&g, &grid, &[shift_plan(24)]).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("violates declared")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn cross_instance_match_is_reported() {
+        let mut g = shift_graph(24);
+        // Corrupt the match edges: rank 0's recv "matched" rank 0's
+        // own send (wrong producer rank and wrong pairing).
+        g.matched.clear();
+        g.matched.insert(1, 0);
+        g.matched.insert(3, 2);
+        let grid = CartGrid::new([2, 1, 1]);
+        let errors = reconcile(&g, &grid, &[shift_plan(24)]).unwrap_err();
+        // The producer is the rank's own send — not the declared
+        // neighbor across the axis.
+        assert!(
+            errors.iter().any(|e| e.contains("declared neighbor")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_phase_is_reported() {
+        let g = CausalGraph {
+            events: vec![ev(CommOp::Barrier, 0, None, 0, "run/mystery")],
+            ..Default::default()
+        };
+        let grid = CartGrid::new([1, 1, 1]);
+        let errors = reconcile(&g, &grid, &[]).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("no declared plan")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn rank_divergent_collective_is_reported() {
+        let plan = CommPlan::new("t.bar", "test", vec![SkelOp::Barrier], "");
+        let mut g = CausalGraph {
+            events: vec![
+                ev(CommOp::Barrier, 0, None, 0, "t.bar"),
+                ev(CommOp::Barrier, 1, None, 0, "t.bar"),
+            ],
+            ..Default::default()
+        };
+        // Each rank joined a *different* barrier generation: nobody
+        // else showed up to either.
+        g.events[0].match_seq = 5;
+        g.events[1].match_seq = 6;
+        g.collectives.insert(5, vec![0]);
+        g.collectives.insert(6, vec![1]);
+        let grid = CartGrid::new([2, 1, 1]);
+        let errors = reconcile(&g, &grid, &[plan]).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("rank-divergent collective")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn instance_count_divergence_is_reported() {
+        let plan = CommPlan::new(
+            "t.ar",
+            "test",
+            vec![SkelOp::Allreduce {
+                bytes: ByteSpec::Exact(8),
+                uniform_skip: None,
+            }],
+            "",
+        );
+        let mut g = CausalGraph {
+            events: vec![
+                ev(CommOp::Allreduce, 0, None, 8, "t.ar"),
+                ev(CommOp::Allreduce, 0, None, 8, "t.ar"),
+                ev(CommOp::Allreduce, 1, None, 8, "t.ar"),
+            ],
+            ..Default::default()
+        };
+        for (i, e) in g.events.iter().enumerate() {
+            g.collectives.entry(e.match_seq).or_default().push(i);
+        }
+        let grid = CartGrid::new([2, 1, 1]);
+        let errors = reconcile(&g, &grid, &[plan]).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("instance counts diverge")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn declared_plans_cover_the_coupled_phases() {
+        for strategy in [
+            mmds_kmc::ExchangeStrategy::Traditional,
+            mmds_kmc::ExchangeStrategy::OnDemand(mmds_kmc::OnDemandMode::TwoSided),
+            mmds_kmc::ExchangeStrategy::OnDemand(mmds_kmc::OnDemandMode::OneSided),
+        ] {
+            let plans = declared_plans(strategy);
+            for needed in [
+                "md.ghost",
+                "md.offload",
+                "kmc.exchange.full",
+                "kmc.sync_dt",
+                "coupled.rank",
+            ] {
+                assert!(
+                    plans.iter().any(|p| p.phase == needed),
+                    "{strategy:?} missing `{needed}`"
+                );
+            }
+            // And every declared plan proves clean on its own.
+            for p in &plans {
+                assert!(
+                    mmds_swmpi::skeleton::verify_plan(p).is_empty(),
+                    "`{}` has violations",
+                    p.phase
+                );
+            }
+        }
+    }
+}

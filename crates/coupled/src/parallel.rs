@@ -140,6 +140,19 @@ pub fn run_coupled_parallel(
     out
 }
 
+/// Declared communication skeleton of the coupled driver itself: the
+/// two bare phase barriers in [`run_coupled_parallel`] (everything
+/// else it emits belongs to the MD/KMC phase plans).
+pub fn comm_plans() -> Vec<mmds_swmpi::CommPlan> {
+    use mmds_swmpi::{CommPlan, SkelOp};
+    vec![CommPlan::new(
+        "coupled.rank",
+        "crates/coupled/src/parallel.rs",
+        vec![SkelOp::Barrier, SkelOp::Barrier],
+        "per run: the MD-phase and KMC-phase closing barriers",
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

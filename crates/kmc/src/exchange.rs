@@ -495,6 +495,133 @@ pub fn post_sector(
     }
 }
 
+/// Declared communication skeletons of the KMC exchange phases under
+/// `strategy` (the `mmds-audit` protocol pass proves and reconciles
+/// these against traced runs — keep them in lock-step with the
+/// exchange functions above).
+///
+/// Traditional slabs are exactly [`SLAB_SITE_BYTES`] per site and
+/// on-demand records exactly [`DIRTY_SITE_BYTES`] per site, but the
+/// site *counts* depend on the subdomain geometry, so both are
+/// `Records` specs. The sector-parameterised phases cycle through 8
+/// variants in [`sectors`](crate::solver::sectors) order — instance
+/// `k` of a phase runs variant `k % 8`.
+pub fn exchange_plans(strategy: ExchangeStrategy) -> Vec<mmds_swmpi::CommPlan> {
+    use mmds_swmpi::{ByteSpec, CommPlan, SkelOp};
+    let here = "crates/kmc/src/exchange.rs";
+    let slab = ByteSpec::Records {
+        header: 0,
+        record: SLAB_SITE_BYTES,
+    };
+    let dirty = ByteSpec::Records {
+        header: 0,
+        record: DIRTY_SITE_BYTES,
+    };
+    // full_exchange: axis 0..3, toward_high true then false.
+    let mut full = Vec::new();
+    for axis in 0..3 {
+        for toward_high in [true, false] {
+            full.extend(SkelOp::shift(axis, toward_high, slab));
+        }
+    }
+    let mut plans = vec![CommPlan::new(
+        "kmc.exchange.full",
+        here,
+        full,
+        "initial 6-direction ghost fill (kmc.init)",
+    )];
+    let sectors = crate::solver::sectors();
+    match strategy {
+        ExchangeStrategy::Traditional => {
+            // traditional_get: ascending axes, toward the sector corner.
+            let get = sectors
+                .iter()
+                .map(|sec| {
+                    (0..3)
+                        .flat_map(|axis| SkelOp::shift(axis, sec[axis] == 0, slab))
+                        .collect()
+                })
+                .collect();
+            // traditional_put: descending axes, the time reversal.
+            let put = sectors
+                .iter()
+                .map(|sec| {
+                    (0..3)
+                        .rev()
+                        .flat_map(|axis| SkelOp::shift(axis, sec[axis] != 0, slab))
+                        .collect()
+                })
+                .collect();
+            plans.push(CommPlan::cycled(
+                "kmc.exchange.get",
+                here,
+                get,
+                "pre-sector full-slab refresh, one variant per sector",
+            ));
+            plans.push(CommPlan::cycled(
+                "kmc.exchange.put",
+                here,
+                put,
+                "post-sector slab write-back (event-reach deep), one variant per sector",
+            ));
+        }
+        ExchangeStrategy::OnDemand(OnDemandMode::TwoSided) => {
+            // neighbor_exchange: 7 eager sends (zero-size included),
+            // then 7 probed receives, in sector_dirs order.
+            let variants = sectors
+                .iter()
+                .map(|&sec| {
+                    let dirs = sector_dirs(sec);
+                    let mut ops: Vec<SkelOp> = dirs
+                        .iter()
+                        .map(|&d| SkelOp::Send {
+                            to: d,
+                            bytes: dirty,
+                        })
+                        .collect();
+                    ops.extend(dirs.iter().map(|&d| SkelOp::Recv {
+                        from: [-d[0], -d[1], -d[2]],
+                        bytes: dirty,
+                    }));
+                    ops
+                })
+                .collect();
+            plans.push(CommPlan::cycled(
+                "kmc.exchange.dirty",
+                here,
+                variants,
+                "post-sector on-demand updates, two-sided (zero-size messages flow)",
+            ));
+        }
+        ExchangeStrategy::OnDemand(OnDemandMode::OneSided) => {
+            // put_fence: puts only for non-empty payloads, then one
+            // fence epoch drains every deposit.
+            let variants = sectors
+                .iter()
+                .map(|&sec| {
+                    let mut ops: Vec<SkelOp> = sector_dirs(sec)
+                        .iter()
+                        .map(|&d| SkelOp::WinPut {
+                            to: d,
+                            bytes: dirty,
+                            optional: true,
+                        })
+                        .collect();
+                    ops.push(SkelOp::WinFence);
+                    ops
+                })
+                .collect();
+            plans.push(CommPlan::cycled(
+                "kmc.exchange.dirty",
+                here,
+                variants,
+                "post-sector on-demand updates, one-sided (no zero-size messages)",
+            ));
+        }
+    }
+    plans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,3 +42,11 @@ pub use exchange::{ExchangeStrategy, OnDemandMode};
 pub use lattice::{KmcLattice, SiteState};
 pub use model::EnergyModel;
 pub use sublattice::KmcSimulation;
+
+/// Every communication skeleton the KMC engine declares under
+/// `strategy`: the exchange phases plus the per-cycle dt reduction.
+pub fn comm_plans(strategy: ExchangeStrategy) -> Vec<mmds_swmpi::CommPlan> {
+    let mut plans = exchange::exchange_plans(strategy);
+    plans.push(sublattice::sync_dt_plan());
+    plans
+}

@@ -193,6 +193,33 @@ impl KmcSimulation {
     }
 }
 
+/// Declared communication skeleton of [`KmcSimulation::compute_dt`]
+/// (span `kmc.sync_dt`): the vacancy-count sum, then the dt maximum —
+/// the latter skipped on a predicate every rank computes from the
+/// *globally summed* count, so the skip is provably rank-uniform.
+pub fn sync_dt_plan() -> mmds_swmpi::CommPlan {
+    use mmds_swmpi::{ByteSpec, CommPlan, SkelOp};
+    CommPlan::new(
+        "kmc.sync_dt",
+        "crates/kmc/src/sublattice.rs",
+        vec![
+            SkelOp::Allreduce {
+                bytes: ByteSpec::Exact(8),
+                uniform_skip: None,
+            },
+            SkelOp::Allreduce {
+                bytes: ByteSpec::Exact(8),
+                uniform_skip: Some(
+                    "skipped when the globally-summed vacancy count is zero — \
+                     a value every rank agrees on"
+                        .into(),
+                ),
+            },
+        ],
+        "per cycle: global vacancy census, then the Fig. 15 dt reduction",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -342,6 +342,51 @@ pub fn migrate_runaways(l: &mut LatticeNeighborList, t: &mut impl Transport) -> 
     emitted
 }
 
+/// Declared communication skeletons of the MD exchange phases (the
+/// `mmds-audit` protocol pass proves and reconciles these against
+/// traced runs — keep them in lock-step with [`exchange_ghosts`] and
+/// [`migrate_runaways`]).
+///
+/// * `md.ghost` — one per MD step: the run-away migration allgather
+///   (u32 count + 88 B records), then the staged 6-shift Positions
+///   exchange. Slab payloads carry per-site run-away chains, so their
+///   size is dynamic.
+/// * `md.offload` — one per MD step: the F'(ρ) exchange between the
+///   two force passes, driven from inside the offload span.
+pub fn comm_plans() -> Vec<mmds_swmpi::CommPlan> {
+    use mmds_swmpi::{ByteSpec, CommPlan, SkelOp};
+    let staged_shifts = || {
+        let mut ops = Vec::new();
+        for axis in 0..3 {
+            for toward_high in [true, false] {
+                ops.extend(SkelOp::shift(axis, toward_high, ByteSpec::Dynamic));
+            }
+        }
+        ops
+    };
+    let mut ghost = vec![SkelOp::Allgather {
+        bytes: ByteSpec::Records {
+            header: 4,
+            record: 88,
+        },
+    }];
+    ghost.extend(staged_shifts());
+    vec![
+        CommPlan::new(
+            "md.ghost",
+            "crates/md/src/domain.rs",
+            ghost,
+            "per MD step: run-away migration allgather + staged Positions exchange",
+        ),
+        CommPlan::new(
+            "md.offload",
+            "crates/md/src/domain.rs",
+            staged_shifts(),
+            "per MD step: staged F'(rho) exchange between the two force passes",
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,10 @@
 //!   records *who* it talked to — the src→dst message/byte matrix that
 //!   [`matrix::WorldMatrix`] assembles and validates for pairwise
 //!   send/recv symmetry.
+//! * **Declared skeletons** ([`skeleton::CommPlan`]): each exchange
+//!   phase declares its symbolic op sequence over rank expressions;
+//!   match closure, deadlock freedom and fence enclosure are proven
+//!   for all P and reconciled against traced runs by `mmds-audit`.
 //!
 //! Communication *volume* results (paper Fig. 12) read the exact counters;
 //! communication *time* results (Figs. 10–16) read the virtual clocks, and
@@ -41,6 +45,7 @@ pub mod mailbox;
 pub mod matrix;
 pub mod model;
 pub mod onesided;
+pub mod skeleton;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -50,6 +55,7 @@ pub mod world;
 pub use comm::Comm;
 pub use matrix::{CommMatrix, PairFlow, WorldMatrix};
 pub use model::MachineModel;
+pub use skeleton::{ByteSpec, CommPlan, SkelOp, SkelViolation};
 pub use stats::{CommStats, ExchangeSavings};
 pub use topology::CartGrid;
 pub use trace::{CommEvent, CommOp, CommTracer};

@@ -1,0 +1,877 @@
+//! Declared communication-skeleton IR (paper §2.2.1 protocol, proven
+//! statically).
+//!
+//! Every communicating phase of the MD/KMC/coupled pipeline declares a
+//! [`CommPlan`] next to its exchange code: the symbolic sequence of
+//! communication operations one rank performs per phase instance,
+//! written over *rank expressions* — periodic offsets on the 3-D
+//! Cartesian decomposition ([`CartGrid::neighbor`]) — instead of
+//! concrete rank ids, and over *symbolic byte counts* ([`ByteSpec`])
+//! instead of concrete payload sizes. Because the program is SPMD
+//! (every rank executes the same plan), a plan is a complete
+//! description of the global communication pattern for **all** world
+//! sizes P at once, which makes three protocol properties provable
+//! symbolically:
+//!
+//! * **Match closure** ([`match_closure`]): a `Recv { from: e }`
+//!   consumes exactly the sends declared as `Send { to: -e }` — on a
+//!   periodic grid, `neighbor(neighbor(r, d), -d) == r` for every rank
+//!   `r` and every dims vector, so per-direction send/recv counts must
+//!   balance. Small grids only *alias* extra directions onto the same
+//!   concrete peer; aliasing can never unmatch a message (see
+//!   [`symbolic_match`] / [`concrete_match`] and the proptests).
+//! * **Deadlock freedom** ([`deadlock_free`]): sends are eager (never
+//!   block), so an SPMD straight-line plan can only deadlock when some
+//!   rank blocks in a `Recv` whose matching `Send` has not been issued
+//!   yet — i.e. the k-th `Recv { from: -d }` must appear *after* the
+//!   k-th `Send { to: d }` in the plan. [`simulate`] cross-checks the
+//!   symbolic proof by lock-step execution on concrete grids.
+//! * **Fence enclosure** ([`fences_enclose`]): every `WinPut` must be
+//!   completed by a `WinFence` later in the same plan instance (the
+//!   window epoch discipline the swmpi one-sided model checker
+//!   verifies dynamically).
+//!
+//! The same declarations are *reconciled against reality*: the audit
+//! golden table pins their rendered form, `replay` executes them
+//! through a real [`Comm`], and `mmds-bench`'s causal smoke run checks
+//! traced [`CommEvent`](crate::trace::CommEvent)s — ops, bytes and
+//! match ids — against the declared plans, so a declaration can never
+//! rot. The verified IR is also the designated input format for the
+//! future million-rank skeleton-replay mode (ROADMAP item 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::CartGrid;
+use crate::{Comm, Rank, Tag};
+
+/// A symbolic rank expression: a periodic offset on the Cartesian
+/// grid. `neighbor(axis, ±1)` is `[±1, 0, 0]` etc.; corner directions
+/// have several non-zero components.
+pub type Offset = [i64; 3];
+
+/// Negates an offset componentwise (the matching direction).
+pub fn neg(d: Offset) -> Offset {
+    [-d[0], -d[1], -d[2]]
+}
+
+/// Symbolic payload size of one declared operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByteSpec {
+    /// Exactly this many bytes, every time (e.g. one f64 allreduce).
+    Exact(u64),
+    /// `header + n * record` bytes for some count `n >= 0` (e.g. the
+    /// run-away migration allgather: a u32 count plus 88 B records).
+    Records {
+        /// Fixed bytes independent of the record count.
+        header: u64,
+        /// Bytes per record.
+        record: u64,
+    },
+    /// Size depends on run state in a way the plan cannot bound
+    /// (e.g. MD ghost slabs, whose run-away chains vary per site).
+    Dynamic,
+}
+
+impl ByteSpec {
+    /// Whether a traced payload size is consistent with this spec.
+    pub fn admits(&self, bytes: u64) -> bool {
+        match *self {
+            ByteSpec::Exact(n) => bytes == n,
+            ByteSpec::Records { header, record } => {
+                if bytes < header {
+                    return false;
+                }
+                if record == 0 {
+                    bytes == header
+                } else {
+                    (bytes - header).is_multiple_of(record)
+                }
+            }
+            ByteSpec::Dynamic => true,
+        }
+    }
+
+    /// A representative concrete size, used by [`replay`].
+    pub fn sample(&self) -> u64 {
+        match *self {
+            ByteSpec::Exact(n) => n,
+            ByteSpec::Records { header, record } => header + 2 * record,
+            ByteSpec::Dynamic => 64,
+        }
+    }
+
+    /// Compact rendering for the skeleton table (`8 B`, `4+88n B`, …).
+    pub fn describe(&self) -> String {
+        match *self {
+            ByteSpec::Exact(n) => format!("{n} B"),
+            ByteSpec::Records { header: 0, record } => format!("{record}n B"),
+            ByteSpec::Records { header, record } => format!("{header}+{record}n B"),
+            ByteSpec::Dynamic => "dyn B".to_string(),
+        }
+    }
+}
+
+/// One declared communication operation, mirroring the granularity at
+/// which [`crate::trace::CommOp`] events are emitted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkelOp {
+    /// Eager send to the neighbour at `to`.
+    Send {
+        /// Destination rank expression.
+        to: Offset,
+        /// Payload size.
+        bytes: ByteSpec,
+    },
+    /// Blocking receive from the neighbour at `from`.
+    Recv {
+        /// Source rank expression.
+        from: Offset,
+        /// Payload size.
+        bytes: ByteSpec,
+    },
+    /// Global barrier.
+    Barrier,
+    /// Allreduce over one value.
+    Allreduce {
+        /// Payload size (8 for a single f64/u64).
+        bytes: ByteSpec,
+        /// `Some(reason)` when the op may be skipped under a predicate
+        /// that is *provably rank-uniform* (computed from a globally
+        /// agreed value), so skipping cannot diverge ranks. The
+        /// reconciler treats the op as optional but requires the skip
+        /// decision to be uniform per instance.
+        uniform_skip: Option<String>,
+    },
+    /// Allgather of per-rank buffers.
+    Allgather {
+        /// Per-rank contribution size.
+        bytes: ByteSpec,
+    },
+    /// One-sided window put to the neighbour at `to`; completes at the
+    /// next `WinFence`.
+    WinPut {
+        /// Destination rank expression.
+        to: Offset,
+        /// Payload size.
+        bytes: ByteSpec,
+        /// True when the put is elided for empty payloads (the
+        /// on-demand one-sided exchange skips zero-size puts — the
+        /// whole point of the variant).
+        optional: bool,
+    },
+    /// Window fence: collective epoch close that drains puts.
+    WinFence,
+}
+
+impl SkelOp {
+    /// The two ops of one staged `sendrecv` shift along `axis`:
+    /// send to `axis/toward_high`, receive from the opposite neighbour.
+    pub fn shift(axis: usize, toward_high: bool, bytes: ByteSpec) -> [SkelOp; 2] {
+        let mut d = [0i64; 3];
+        d[axis] = if toward_high { 1 } else { -1 };
+        [
+            SkelOp::Send { to: d, bytes },
+            SkelOp::Recv {
+                from: neg(d),
+                bytes,
+            },
+        ]
+    }
+
+    fn render(&self) -> String {
+        let off = |d: Offset| format!("({:+},{:+},{:+})", d[0], d[1], d[2]);
+        match self {
+            SkelOp::Send { to, bytes } => {
+                format!("send      -> {:<12} {}", off(*to), bytes.describe())
+            }
+            SkelOp::Recv { from, bytes } => {
+                format!("recv      <- {:<12} {}", off(*from), bytes.describe())
+            }
+            SkelOp::Barrier => "barrier".to_string(),
+            SkelOp::Allreduce {
+                bytes,
+                uniform_skip,
+            } => match uniform_skip {
+                Some(reason) => format!(
+                    "allreduce    {:<12} {}  [uniform-skip: {reason}]",
+                    "",
+                    bytes.describe()
+                ),
+                None => format!("allreduce    {:<12} {}", "", bytes.describe()),
+            },
+            SkelOp::Allgather { bytes } => {
+                format!("allgather    {:<12} {}", "", bytes.describe())
+            }
+            SkelOp::WinPut {
+                to,
+                bytes,
+                optional,
+            } => format!(
+                "win_put   -> {:<12} {}{}",
+                off(*to),
+                bytes.describe(),
+                if *optional { "  [optional]" } else { "" }
+            ),
+            SkelOp::WinFence => "win_fence".to_string(),
+        }
+    }
+}
+
+/// The declared communication skeleton of one telemetry phase.
+///
+/// `phase` names the *leaf* telemetry span the ops are emitted under
+/// (e.g. `md.ghost`); one phase instance executes `variants[k % V]`
+/// where `k` is the instance ordinal — sector-parameterised phases
+/// (the KMC pre/post-sector exchanges) cycle through 8 variants, one
+/// per sector, while simple phases have a single variant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommPlan {
+    /// Leaf telemetry span name this plan describes.
+    pub phase: String,
+    /// Workspace-relative source file declaring the exchange.
+    pub declared_in: String,
+    /// Op sequences; instance `k` executes `variants[k % len]`.
+    pub variants: Vec<Vec<SkelOp>>,
+    /// One-line description for the skeleton table.
+    pub note: String,
+}
+
+impl CommPlan {
+    /// A single-variant plan.
+    pub fn new(
+        phase: impl Into<String>,
+        declared_in: impl Into<String>,
+        ops: Vec<SkelOp>,
+        note: impl Into<String>,
+    ) -> Self {
+        Self {
+            phase: phase.into(),
+            declared_in: declared_in.into(),
+            variants: vec![ops],
+            note: note.into(),
+        }
+    }
+
+    /// A sector-cycled plan (instance `k` runs `variants[k % len]`).
+    pub fn cycled(
+        phase: impl Into<String>,
+        declared_in: impl Into<String>,
+        variants: Vec<Vec<SkelOp>>,
+        note: impl Into<String>,
+    ) -> Self {
+        assert!(!variants.is_empty(), "plan needs at least one variant");
+        Self {
+            phase: phase.into(),
+            declared_in: declared_in.into(),
+            variants,
+            note: note.into(),
+        }
+    }
+}
+
+/// One symbolic protocol violation found in a declared plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkelViolation {
+    /// Phase of the offending plan.
+    pub plan: String,
+    /// Variant index within the plan.
+    pub variant: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl SkelViolation {
+    fn new(plan: &CommPlan, variant: usize, message: String) -> Self {
+        Self {
+            plan: plan.phase.clone(),
+            variant,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for SkelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan `{}` variant {}: {}",
+            self.plan, self.variant, self.message
+        )
+    }
+}
+
+/// Symbolic matching rule: on an SPMD periodic grid, `Recv { from: e }`
+/// consumes `Send { to: d }` for **every** world size iff `e == -d`.
+pub fn symbolic_match(send_to: Offset, recv_from: Offset) -> bool {
+    recv_from == neg(send_to)
+}
+
+/// Brute-force matching on one concrete grid: the send from every rank
+/// `r` lands on the rank that will read it, i.e.
+/// `neighbor(neighbor(r, d), e) == r` for all `r`. Equals
+/// [`symbolic_match`] whenever every axis has ≥ 3 ranks; smaller axes
+/// only *alias* additional offsets onto the same peer (periodic wrap),
+/// which adds concrete matches but never removes one.
+pub fn concrete_match(grid: &CartGrid, send_to: Offset, recv_from: Offset) -> bool {
+    (0..grid.len()).all(|r| grid.neighbor(grid.neighbor(r, send_to), recv_from) == r)
+}
+
+/// For each op, the index of the plan op it pairs with:
+/// `pair[recv] == Some(send)` for two-sided pairs (k-th `Recv{from:-d}`
+/// pairs the k-th `Send{to:d}`); non-consuming ops map to `None`.
+pub fn pair_ops(ops: &[SkelOp]) -> Vec<Option<usize>> {
+    let mut sends: std::collections::BTreeMap<Offset, Vec<usize>> = Default::default();
+    for (i, op) in ops.iter().enumerate() {
+        if let SkelOp::Send { to, .. } = op {
+            sends.entry(*to).or_default().push(i);
+        }
+    }
+    let mut taken: std::collections::BTreeMap<Offset, usize> = Default::default();
+    ops.iter()
+        .map(|op| {
+            if let SkelOp::Recv { from, .. } = op {
+                let d = neg(*from);
+                let k = taken.entry(d).or_insert(0);
+                let j = sends.get(&d).and_then(|v| v.get(*k)).copied();
+                *k += 1;
+                j
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// **Match closure**: every send has exactly one matching recv and
+/// vice versa, per variant, for symbolic P.
+pub fn match_closure(plan: &CommPlan) -> Vec<SkelViolation> {
+    let mut out = Vec::new();
+    for (vi, ops) in plan.variants.iter().enumerate() {
+        let mut sends: std::collections::BTreeMap<Offset, i64> = Default::default();
+        for op in ops {
+            match op {
+                SkelOp::Send { to, .. } => *sends.entry(*to).or_insert(0) += 1,
+                SkelOp::Recv { from, .. } => *sends.entry(neg(*from)).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        for (d, n) in sends {
+            if n > 0 {
+                out.push(SkelViolation::new(
+                    plan,
+                    vi,
+                    format!(
+                        "orphan send: {n} send(s) to ({:+},{:+},{:+}) with no \
+                         matching recv from ({:+},{:+},{:+})",
+                        d[0], d[1], d[2], -d[0], -d[1], -d[2]
+                    ),
+                ));
+            } else if n < 0 {
+                out.push(SkelViolation::new(
+                    plan,
+                    vi,
+                    format!(
+                        "orphan recv: {} recv(s) from ({:+},{:+},{:+}) with no \
+                         matching send to ({:+},{:+},{:+})",
+                        -n, -d[0], -d[1], -d[2], d[0], d[1], d[2]
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// **Deadlock freedom**: sends are eager, so an SPMD plan deadlocks
+/// iff some `Recv` precedes its matching `Send` — every rank would
+/// block in the recv with nobody left to send. Requires each recv's
+/// paired send (per [`pair_ops`]) to appear earlier in the variant.
+pub fn deadlock_free(plan: &CommPlan) -> Vec<SkelViolation> {
+    let mut out = Vec::new();
+    for (vi, ops) in plan.variants.iter().enumerate() {
+        let pairs = pair_ops(ops);
+        for (i, op) in ops.iter().enumerate() {
+            if let SkelOp::Recv { from, .. } = op {
+                match pairs[i] {
+                    Some(j) if j < i => {}
+                    Some(j) => out.push(SkelViolation::new(
+                        plan,
+                        vi,
+                        format!(
+                            "cyclic exchange order: recv (op {i}) from \
+                             ({:+},{:+},{:+}) precedes its matching send (op {j}) \
+                             — every rank would block here (SPMD)",
+                            from[0], from[1], from[2]
+                        ),
+                    )),
+                    // Unmatched recvs are reported by match_closure.
+                    None => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// **Fence enclosure**: every `WinPut` must be completed by a
+/// `WinFence` later in the same variant.
+pub fn fences_enclose(plan: &CommPlan) -> Vec<SkelViolation> {
+    let mut out = Vec::new();
+    for (vi, ops) in plan.variants.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            if matches!(op, SkelOp::WinPut { .. })
+                && !ops[i + 1..].iter().any(|o| matches!(o, SkelOp::WinFence))
+            {
+                out.push(SkelViolation::new(
+                    plan,
+                    vi,
+                    format!("unfenced put: win_put (op {i}) has no later win_fence"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs every symbolic check on a plan.
+pub fn verify_plan(plan: &CommPlan) -> Vec<SkelViolation> {
+    let mut out = match_closure(plan);
+    out.extend(deadlock_free(plan));
+    out.extend(fences_enclose(plan));
+    out
+}
+
+/// Aggregate op/byte counts of one lock-step [`simulate`] run (world
+/// totals, sample byte sizes), for cross-checking against a real
+/// [`Comm`] replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Point-to-point messages sent (world total).
+    pub p2p_msgs: u64,
+    /// Point-to-point payload bytes (sample sizes, world total).
+    pub p2p_bytes: u64,
+    /// Collective invocations (world total; barrier/allreduce/
+    /// allgather, and one per fence).
+    pub collectives: u64,
+    /// Window puts deposited (world total).
+    pub puts: u64,
+}
+
+/// Brute-force lock-step execution of `instances` instances of `plan`
+/// on a concrete `grid`: eager sends, blocking recvs, rendezvous
+/// collectives/fences. Returns the op census, or the violation that
+/// stalled it (deadlock, left-over messages). This is the concrete
+/// oracle the symbolic checks are proptested against.
+pub fn simulate(
+    plan: &CommPlan,
+    grid: &CartGrid,
+    instances: usize,
+) -> Result<SimReport, SkelViolation> {
+    let p = grid.len();
+    let nv = plan.variants.len();
+    let program: Vec<&SkelOp> = (0..instances)
+        .flat_map(|k| plan.variants[k % nv].iter())
+        .collect();
+    let mut pc = vec![0usize; p];
+    // FIFO per (src, dst) of pending payload sizes.
+    let mut mail: std::collections::BTreeMap<(Rank, Rank), std::collections::VecDeque<u64>> =
+        Default::default();
+    let mut window_deposits = vec![0u64; p];
+    let mut report = SimReport::default();
+    loop {
+        if pc.iter().all(|&c| c == program.len()) {
+            break;
+        }
+        let mut advanced = false;
+        // Phase 1: advance every rank through its non-blocking and
+        // satisfiable blocking ops.
+        for r in 0..p {
+            while pc[r] < program.len() {
+                match program[pc[r]] {
+                    SkelOp::Send { to, bytes } => {
+                        let dst = grid.neighbor(r, *to);
+                        mail.entry((r, dst)).or_default().push_back(bytes.sample());
+                        report.p2p_msgs += 1;
+                        report.p2p_bytes += bytes.sample();
+                    }
+                    SkelOp::Recv { from, .. } => {
+                        let src = grid.neighbor(r, *from);
+                        match mail.get_mut(&(src, r)).and_then(|q| q.pop_front()) {
+                            Some(_) => {}
+                            None => break, // block until the send lands
+                        }
+                    }
+                    SkelOp::WinPut { to, bytes, .. } => {
+                        let dst = grid.neighbor(r, *to);
+                        window_deposits[dst] += 1;
+                        report.puts += 1;
+                        report.p2p_bytes += bytes.sample();
+                    }
+                    SkelOp::Barrier
+                    | SkelOp::Allreduce { .. }
+                    | SkelOp::Allgather { .. }
+                    | SkelOp::WinFence => break, // rendezvous below
+                }
+                pc[r] += 1;
+                advanced = true;
+            }
+        }
+        // Phase 2: release a collective rendezvous when every rank is
+        // parked at one.
+        let parked = (0..p).all(|r| {
+            pc[r] < program.len()
+                && matches!(
+                    program[pc[r]],
+                    SkelOp::Barrier
+                        | SkelOp::Allreduce { .. }
+                        | SkelOp::Allgather { .. }
+                        | SkelOp::WinFence
+                )
+        });
+        if parked {
+            if pc.iter().any(|&c| c != pc[0]) {
+                return Err(SkelViolation::new(
+                    plan,
+                    pc[0] % plan.variants[0].len().max(1),
+                    format!(
+                        "rank-divergent collective: ranks parked at different plan \
+                         ops {:?}",
+                        pc
+                    ),
+                ));
+            }
+            if matches!(program[pc[0]], SkelOp::WinFence) {
+                for d in window_deposits.iter_mut() {
+                    *d = 0; // fence drains every deposit
+                }
+            }
+            report.collectives += p as u64;
+            for c in pc.iter_mut() {
+                *c += 1;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            let r = (0..p).find(|&r| pc[r] < program.len()).unwrap_or(0);
+            return Err(SkelViolation::new(
+                plan,
+                0,
+                format!(
+                    "deadlock: no rank can advance; rank {r} blocked at program op \
+                     {} ({:?})",
+                    pc[r], program[pc[r]]
+                ),
+            ));
+        }
+    }
+    if mail.values().any(|q| !q.is_empty()) {
+        let ((src, dst), q) = mail.iter().find(|(_, q)| !q.is_empty()).unwrap();
+        return Err(SkelViolation::new(
+            plan,
+            0,
+            format!(
+                "orphan send: {} message(s) from rank {src} to rank {dst} never \
+                 received",
+                q.len()
+            ),
+        ));
+    }
+    if window_deposits.iter().any(|&d| d > 0) {
+        return Err(SkelViolation::new(
+            plan,
+            0,
+            "unfenced put: window deposits left undrained at exit".to_string(),
+        ));
+    }
+    Ok(report)
+}
+
+/// Executes one plan instance on a real [`Comm`]: peers resolved via
+/// `grid`, payloads at their [`ByteSpec::sample`] sizes, tags derived
+/// from `base_tag` plus the *send's* op index (so each recv names its
+/// paired send's tag). Used to cross-check declarations against the
+/// live substrate and as the seed of the future skeleton-replay mode.
+pub fn replay(comm: &Comm, grid: &CartGrid, plan: &CommPlan, instance: usize, base_tag: Tag) {
+    let ops = &plan.variants[instance % plan.variants.len()];
+    let pairs = pair_ops(ops);
+    let me = comm.rank();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            SkelOp::Send { to, bytes } => {
+                let dst = grid.neighbor(me, *to);
+                comm.send(dst, base_tag + i as Tag, vec![0u8; bytes.sample() as usize]);
+            }
+            SkelOp::Recv { from, .. } => {
+                let src = grid.neighbor(me, *from);
+                let j = pairs[i].expect("replay requires a match-closed plan");
+                let _ = comm.recv_from(src, base_tag + j as Tag);
+            }
+            SkelOp::Barrier => comm.barrier(),
+            SkelOp::Allreduce { .. } => {
+                // Replay always takes the un-skipped path.
+                let _ = comm.allreduce_sum_f64(0.0);
+            }
+            SkelOp::Allgather { bytes } => {
+                let _ = comm.allgather_bytes(vec![0u8; bytes.sample() as usize]);
+            }
+            SkelOp::WinPut { to, bytes, .. } => {
+                let dst = grid.neighbor(me, *to);
+                comm.win_put(dst, i as u32, vec![0u8; bytes.sample() as usize]);
+            }
+            SkelOp::WinFence => {
+                let _ = comm.win_fence();
+            }
+        }
+    }
+}
+
+/// Renders the golden skeleton table (the protocol analogue of the LDM
+/// budget table): one block per plan, one line per declared op.
+pub fn render_skeleton_table(plans: &[CommPlan]) -> String {
+    let mut out =
+        String::from("Communication skeleton (declared per-phase plans, symbolic over all P)\n");
+    for plan in plans {
+        out.push('\n');
+        out.push_str(&format!(
+            "{}  [{} variant(s)]  {}\n",
+            plan.phase,
+            plan.variants.len(),
+            plan.declared_in
+        ));
+        if !plan.note.is_empty() {
+            out.push_str(&format!("  # {}\n", plan.note));
+        }
+        for (vi, ops) in plan.variants.iter().enumerate() {
+            if plan.variants.len() > 1 {
+                out.push_str(&format!("  variant {vi}:\n"));
+            }
+            for (i, op) in ops.iter().enumerate() {
+                out.push_str(&format!("    {i:>2}  {}\n", op.render()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineModel, World, WorldConfig};
+
+    fn shift_plan() -> CommPlan {
+        let mut ops = Vec::new();
+        for axis in 0..3 {
+            for toward_high in [true, false] {
+                ops.extend(SkelOp::shift(axis, toward_high, ByteSpec::Dynamic));
+            }
+        }
+        CommPlan::new("test.shift", "here.rs", ops, "6 staged shifts")
+    }
+
+    #[test]
+    fn staged_shifts_verify_clean() {
+        let plan = shift_plan();
+        assert!(verify_plan(&plan).is_empty());
+        for p in [1, 2, 8, 27, 64] {
+            let grid = CartGrid::for_ranks(p);
+            let rep = simulate(&plan, &grid, 2).expect("lock-step completes");
+            assert_eq!(rep.p2p_msgs, (p * 6 * 2) as u64);
+        }
+    }
+
+    #[test]
+    fn orphan_send_is_caught_symbolically_and_concretely() {
+        let plan = CommPlan::new(
+            "test.orphan",
+            "here.rs",
+            vec![SkelOp::Send {
+                to: [1, 0, 0],
+                bytes: ByteSpec::Exact(8),
+            }],
+            "",
+        );
+        let v = match_closure(&plan);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("orphan send"), "{}", v[0]);
+        let sim = simulate(&plan, &CartGrid::for_ranks(8), 1);
+        assert!(sim.unwrap_err().message.contains("orphan send"));
+    }
+
+    #[test]
+    fn recv_before_send_deadlocks() {
+        let d = [1i64, 0, 0];
+        let plan = CommPlan::new(
+            "test.cyclic",
+            "here.rs",
+            vec![
+                SkelOp::Recv {
+                    from: neg(d),
+                    bytes: ByteSpec::Dynamic,
+                },
+                SkelOp::Send {
+                    to: d,
+                    bytes: ByteSpec::Dynamic,
+                },
+            ],
+            "",
+        );
+        assert!(match_closure(&plan).is_empty(), "counts do balance");
+        let v = deadlock_free(&plan);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("cyclic exchange order"));
+        let sim = simulate(&plan, &CartGrid::for_ranks(8), 1);
+        assert!(sim.unwrap_err().message.contains("deadlock"));
+    }
+
+    #[test]
+    fn unfenced_put_is_caught() {
+        let plan = CommPlan::new(
+            "test.put",
+            "here.rs",
+            vec![SkelOp::WinPut {
+                to: [0, 0, 1],
+                bytes: ByteSpec::Records {
+                    header: 0,
+                    record: 14,
+                },
+                optional: true,
+            }],
+            "",
+        );
+        let v = fences_enclose(&plan);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unfenced put"));
+        let sim = simulate(&plan, &CartGrid::for_ranks(2), 1);
+        assert!(sim.unwrap_err().message.contains("unfenced put"));
+        let fenced = CommPlan::new(
+            "test.put_fenced",
+            "here.rs",
+            vec![
+                SkelOp::WinPut {
+                    to: [0, 0, 1],
+                    bytes: ByteSpec::Exact(14),
+                    optional: false,
+                },
+                SkelOp::WinFence,
+            ],
+            "",
+        );
+        assert!(verify_plan(&fenced).is_empty());
+        assert!(simulate(&fenced, &CartGrid::for_ranks(8), 2).is_ok());
+    }
+
+    #[test]
+    fn byte_specs_admit_expected_sizes() {
+        assert!(ByteSpec::Exact(8).admits(8));
+        assert!(!ByteSpec::Exact(8).admits(16));
+        let rec = ByteSpec::Records {
+            header: 4,
+            record: 88,
+        };
+        assert!(rec.admits(4));
+        assert!(rec.admits(4 + 88 * 3));
+        assert!(!rec.admits(5));
+        assert!(!rec.admits(0));
+        assert!(ByteSpec::Dynamic.admits(12345));
+    }
+
+    #[test]
+    fn pair_ops_pairs_kth_recv_with_kth_send() {
+        let d = [0i64, 1, 0];
+        let ops = vec![
+            SkelOp::Send {
+                to: d,
+                bytes: ByteSpec::Dynamic,
+            },
+            SkelOp::Send {
+                to: d,
+                bytes: ByteSpec::Dynamic,
+            },
+            SkelOp::Recv {
+                from: neg(d),
+                bytes: ByteSpec::Dynamic,
+            },
+            SkelOp::Recv {
+                from: neg(d),
+                bytes: ByteSpec::Dynamic,
+            },
+        ];
+        assert_eq!(pair_ops(&ops), vec![None, None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn replay_runs_clean_plans_through_a_real_world() {
+        let plan = shift_plan();
+        for p in [1, 2, 8] {
+            let world = World::new(WorldConfig {
+                model: MachineModel::free(),
+                ..Default::default()
+            });
+            let grid = CartGrid::for_ranks(p);
+            let sim = simulate(&plan, &grid, 1).unwrap();
+            let out = world.run(p, |comm| {
+                replay(comm, &grid, &plan, 0, 0x5348_0000);
+                (comm.stats().msgs_sent, comm.stats().bytes_sent)
+            });
+            let msgs: u64 = out.iter().map(|r| r.result.0).sum();
+            let bytes: u64 = out.iter().map(|r| r.result.1).sum();
+            assert_eq!(msgs, sim.p2p_msgs, "replay matches lock-step census");
+            assert_eq!(bytes, sim.p2p_bytes);
+        }
+    }
+
+    #[test]
+    fn replay_cross_checks_collectives_and_fences() {
+        let plan = CommPlan::new(
+            "test.mixed",
+            "here.rs",
+            vec![
+                SkelOp::Allreduce {
+                    bytes: ByteSpec::Exact(8),
+                    uniform_skip: None,
+                },
+                SkelOp::WinPut {
+                    to: [1, 0, 0],
+                    bytes: ByteSpec::Exact(14),
+                    optional: false,
+                },
+                SkelOp::WinFence,
+                SkelOp::Barrier,
+            ],
+            "",
+        );
+        assert!(verify_plan(&plan).is_empty());
+        let grid = CartGrid::for_ranks(4);
+        let sim = simulate(&plan, &grid, 1).unwrap();
+        let world = World::new(WorldConfig {
+            model: MachineModel::free(),
+            ..Default::default()
+        });
+        let out = world.run(4, |comm| {
+            replay(comm, &grid, &plan, 0, 0);
+            (comm.stats().collectives, comm.stats().puts)
+        });
+        let colls: u64 = out.iter().map(|r| r.result.0).sum();
+        let puts: u64 = out.iter().map(|r| r.result.1).sum();
+        // win_fence counts as 2 collectives in CommStats (epoch open +
+        // close barriers); the lock-step model counts it once.
+        assert_eq!(colls, sim.collectives + 4, "fence double-barrier");
+        assert_eq!(puts, sim.puts);
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = shift_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: CommPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn table_lists_every_phase_and_op() {
+        let t = render_skeleton_table(&[shift_plan()]);
+        assert!(t.contains("test.shift"));
+        assert!(t.contains("send      -> (+1,+0,+0)"));
+        assert!(t.contains("recv      <- (-1,-0,-0)") || t.contains("recv      <- (-1,+0,+0)"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the skeleton IR's rank-expression matching:
+//! the symbolic rule (`recv_from == -send_to`) must agree with
+//! brute-force enumeration over concrete decompositions.
+
+use mmds_swmpi::skeleton::{
+    concrete_match, match_closure, neg, simulate, symbolic_match, ByteSpec, CommPlan, SkelOp,
+};
+use mmds_swmpi::CartGrid;
+use proptest::prelude::*;
+
+/// The decompositions the paper's runs (and our tests) actually use,
+/// plus deliberately non-cubic ones.
+fn grids() -> Vec<CartGrid> {
+    let mut g: Vec<CartGrid> = [1usize, 2, 8, 27, 64]
+        .iter()
+        .map(|&p| CartGrid::for_ranks(p))
+        .collect();
+    g.push(CartGrid::new([4, 2, 1]));
+    g.push(CartGrid::new([1, 3, 5]));
+    g.push(CartGrid::new([6, 2, 2]));
+    g
+}
+
+proptest! {
+    /// Soundness: a symbolic match is a concrete match on EVERY
+    /// decomposition — periodic wrap can alias extra offsets onto the
+    /// same peer but can never unmatch `neighbor(neighbor(r, d), -d)`.
+    #[test]
+    fn symbolic_match_holds_on_every_grid(
+        dt in (-1i64..2, -1i64..2, -1i64..2),
+        et in (-1i64..2, -1i64..2, -1i64..2),
+    ) {
+        let d = [dt.0, dt.1, dt.2];
+        let e = [et.0, et.1, et.2];
+        if symbolic_match(d, e) {
+            for grid in grids() {
+                prop_assert!(
+                    concrete_match(&grid, d, e),
+                    "symbolic match broken on dims {:?}", grid.dims
+                );
+            }
+        }
+    }
+
+    /// Completeness: on a grid with >= 3 ranks per axis there is no
+    /// aliasing for single-cell offsets, so the brute-force check
+    /// agrees with the symbolic rule exactly.
+    #[test]
+    fn no_aliasing_at_three_or_more_per_axis(
+        dt in (-1i64..2, -1i64..2, -1i64..2),
+        et in (-1i64..2, -1i64..2, -1i64..2),
+    ) {
+        let d = [dt.0, dt.1, dt.2];
+        let e = [et.0, et.1, et.2];
+        let grid = CartGrid::for_ranks(27);
+        prop_assert_eq!(grid.dims, [3, 3, 3]);
+        prop_assert_eq!(symbolic_match(d, e), concrete_match(&grid, d, e));
+        let wide = CartGrid::new([4, 3, 5]);
+        prop_assert_eq!(symbolic_match(d, e), concrete_match(&wide, d, e));
+    }
+
+    /// Aliasing only ever ADDS concrete matches on smaller grids: if
+    /// the brute-force check fails anywhere, the symbolic rule must
+    /// have rejected the pair too.
+    #[test]
+    fn concrete_mismatch_implies_symbolic_mismatch(
+        dt in (-1i64..2, -1i64..2, -1i64..2),
+        et in (-1i64..2, -1i64..2, -1i64..2),
+    ) {
+        let d = [dt.0, dt.1, dt.2];
+        let e = [et.0, et.1, et.2];
+        for grid in grids() {
+            if !concrete_match(&grid, d, e) {
+                prop_assert!(!symbolic_match(d, e));
+            }
+        }
+    }
+
+    /// A symbolically match-closed single-direction exchange completes
+    /// (and drains) under lock-step execution on every decomposition;
+    /// a symbolically orphaned send leaves undelivered messages on
+    /// every decomposition — even when the offset self-aliases back
+    /// onto the sender, nobody ever posts the recv.
+    #[test]
+    fn closure_verdict_agrees_with_lockstep(
+        dt in (-1i64..2, -1i64..2, -1i64..2),
+        paired in any::<bool>(),
+    ) {
+        let d = if dt == (0, 0, 0) {
+            [1i64, 0, 0] // recanonicalise the one excluded offset
+        } else {
+            [dt.0, dt.1, dt.2]
+        };
+        let mut ops = vec![SkelOp::Send { to: d, bytes: ByteSpec::Exact(16) }];
+        if paired {
+            ops.push(SkelOp::Recv { from: neg(d), bytes: ByteSpec::Exact(16) });
+        }
+        let plan = CommPlan::new("prop.closure", "props.rs", ops, "");
+        let symbolically_closed = match_closure(&plan).is_empty();
+        prop_assert_eq!(symbolically_closed, paired);
+        for grid in grids() {
+            let sim = simulate(&plan, &grid, 2);
+            if symbolically_closed {
+                prop_assert!(sim.is_ok(), "closed plan must complete on {:?}", grid.dims);
+            } else {
+                prop_assert!(sim.is_err(), "orphan send must strand on {:?}", grid.dims);
+            }
+        }
+    }
+}
