@@ -8,7 +8,8 @@
 //! manifest (`TELEMETRY_MANIFEST.md` at the workspace root):
 //!
 //! 1. every name charged from live (non-test) code in `crates/md`,
-//!    `crates/kmc`, `crates/coupled`, `crates/telemetry` — via
+//!    `crates/kmc`, `crates/coupled`, `crates/telemetry`,
+//!    `crates/bench` — via
 //!    `mmds_telemetry::add_counter(…)`, `emit_series(…)`,
 //!    `add_named(…)`, `emit_heartbeat(…)` or `emit_phase_heartbeat(…)`,
 //!    or spelled in a `const …_SERIES` / `const …_COUNTERS` name array
@@ -30,12 +31,14 @@ use crate::workspace::{self, SourceFile};
 /// The checked-in registry manifest, relative to the workspace root.
 pub const MANIFEST: &str = "TELEMETRY_MANIFEST.md";
 
-/// The crates whose charges the manifest must cover.
-const CHARGED_DIRS: [&str; 4] = [
+/// The crates whose charges the manifest must cover. `crates/bench`
+/// joined when the run archive started charging `archive.*` counters.
+const CHARGED_DIRS: [&str; 5] = [
     "crates/md",
     "crates/kmc",
     "crates/coupled",
     "crates/telemetry",
+    "crates/bench",
 ];
 
 /// Call tokens that charge a name as their first argument.
@@ -118,7 +121,12 @@ pub fn charged_names(file: &SourceFile) -> Vec<Charge> {
     for (ln, line) in live_lines.iter().enumerate() {
         let is_decl =
             line.trim_start().starts_with("pub const") || line.trim_start().starts_with("const");
-        if is_decl && (line.contains("_SERIES") || line.contains("_COUNTERS")) {
+        // `&str` keeps numeric consts like `MAX_SERIES_ROWS: usize`
+        // from dragging unrelated string literals into the scan.
+        if is_decl
+            && (line.contains("_SERIES") || line.contains("_COUNTERS"))
+            && line.contains("&str")
+        {
             out.extend(array_literals(&live_lines, &raw_lines, ln).into_iter().map(
                 |(name, line)| Charge {
                     name,
@@ -255,8 +263,8 @@ pub fn run(root: &Path) -> Vec<Finding> {
                 MANIFEST,
                 0,
                 format!(
-                    "manifest entry `{name}` is charged nowhere in md/kmc/coupled/telemetry \
-                     — stale row"
+                    "manifest entry `{name}` is charged nowhere in \
+                     md/kmc/coupled/telemetry/bench — stale row"
                 ),
             ));
         }
@@ -310,7 +318,7 @@ mod tests {
 
     #[test]
     fn series_arrays_are_collected() {
-        let src = "pub const HIST_SERIES: [&str; 2] = [\n    \"census.h.b1\",\n    \"census.h.b2\",\n];\nconst OTHER: [&str; 1] = [\"not.collected\"];\n";
+        let src = "pub const HIST_SERIES: [&str; 2] = [\n    \"census.h.b1\",\n    \"census.h.b2\",\n];\nconst OTHER: [&str; 1] = [\"not.collected\"];\nconst MAX_SERIES_ROWS: usize = 12;\nfn g() { let x = [\"fake.name\"]; }\n";
         let names: Vec<String> = charged_names(&file(src))
             .into_iter()
             .map(|c| c.name)

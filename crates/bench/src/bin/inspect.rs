@@ -8,7 +8,13 @@
 //! mmds-inspect causal   <trace.jsonl> [--json <out>] [--strict]
 //!                       [--model <taihulight|free>]
 //! mmds-inspect trace    <trace.jsonl> [-o out.perfetto.json]
-//! mmds-inspect diff     <baseline.json> <fresh.json> [--tolerance 0.15]
+//! mmds-inspect diff     <baseline.json> <fresh.json> [--tolerance <rel>]
+//! mmds-inspect history  <config-hash | scenario> [--archive <dir>]
+//!                       [--window <n>] [--json]
+//! mmds-inspect regress  <config-hash | scenario> [--archive <dir>]
+//!                       [--window <n>] [--floor <rel>]
+//! mmds-inspect flamediff <a.json> <b.json>
+//! mmds-inspect archive-seed <scenario> <bench.json> [--archive <dir>]
 //! ```
 //!
 //! * `summary` prints the per-phase imbalance table, comm-matrix
@@ -36,14 +42,33 @@
 //! * `trace` converts a JSONL event stream to Chrome `trace_event`
 //!   JSON for <https://ui.perfetto.dev>.
 //! * `diff` compares two artefacts. For bench artefacts
-//!   (`BENCH_mdstep.json`) it is the regression gate: exit code 1 when
+//!   (`BENCH_mdstep.json`) it is the *fixed-tolerance* fallback gate
+//!   and requires an explicit `--tolerance` (the old 15% default is
+//!   retired — archive-derived gating lives in `regress`): exit 1 when
 //!   any configuration's `atoms_steps_per_sec` drops by more than the
-//!   tolerance, a warning for smaller regressions. For telemetry
-//!   reports it prints a span-by-span comparison.
+//!   tolerance, exit 2 when a baseline configuration is missing from
+//!   the candidate. For telemetry reports it prints a span-by-span
+//!   comparison.
+//! * `history` renders the cross-run trend (per-phase sparklines with
+//!   min/max/last, plus throughput trends) over the last N archived
+//!   runs of one config hash; `--json` emits the machine-readable
+//!   `HistoryDoc`. The selector is a 16-hex config hash or a scenario
+//!   name (resolved to its most recently archived hash).
+//! * `regress` is the noise-aware CI gate: the newest archived run is
+//!   the candidate, every prior run of the same config hash is the
+//!   history, and each phase's tolerance is its archived dispersion
+//!   floored at `--floor`. Exit 0/1/2 as pass-or-warn / regression /
+//!   structural break, plus a change-point report naming the first run
+//!   where a phase shifted.
+//! * `flamediff` diffs the span trees of two archived records (or bare
+//!   telemetry reports) path by path.
+//! * `archive-seed` converts a committed `BENCH_*.json` baseline into
+//!   an archive record so history starts non-empty.
 
+use mmds_bench::archive::{self, Archive};
 use mmds_bench::inspect::{
     diff_bench, diff_reports, load_bench, load_records, load_report, report_from_records, summary,
-    timeline, DEFAULT_TOLERANCE,
+    timeline,
 };
 use mmds_bench::watch::{run_watch, WatchOptions};
 
@@ -66,7 +91,13 @@ fn usage() -> ! {
          mmds-inspect causal <trace.jsonl> [--json <out>] [--strict] \
          [--model <taihulight|free>]\n  \
          mmds-inspect trace <trace.jsonl> [-o out.json]\n  \
-         mmds-inspect diff <baseline.json> <fresh.json> [--tolerance 0.15]"
+         mmds-inspect diff <baseline.json> <fresh.json> [--tolerance <rel>]\n  \
+         mmds-inspect history <config-hash | scenario> [--archive <dir>] [--window <n>] \
+         [--json]\n  \
+         mmds-inspect regress <config-hash | scenario> [--archive <dir>] [--window <n>] \
+         [--floor <rel>]\n  \
+         mmds-inspect flamediff <a.json> <b.json>\n  \
+         mmds-inspect archive-seed <scenario> <bench.json> [--archive <dir>]"
     );
     std::process::exit(2);
 }
@@ -141,12 +172,22 @@ fn cmd_trace(path: &str, out: Option<&str>) {
     }
 }
 
-fn cmd_diff(base_path: &str, fresh_path: &str, tolerance: f64) -> i32 {
+fn cmd_diff(base_path: &str, fresh_path: &str, tolerance: Option<f64>) -> i32 {
     let base_text = read(base_path);
     let fresh_text = read(fresh_path);
     // Bench artefacts have a `configs` table; telemetry reports don't.
     match (load_bench(&base_text), load_bench(&fresh_text)) {
         (Ok(base), Ok(fresh)) => {
+            // The fixed 15% default is retired: gating bench artefacts
+            // needs either an explicit tolerance or (better) the
+            // archive-derived `regress` gate.
+            let Some(tolerance) = tolerance else {
+                eprintln!(
+                    "mmds-inspect: bench diff needs an explicit --tolerance <rel>; \
+                     prefer `mmds-inspect regress` for archive-derived tolerances"
+                );
+                return 2;
+            };
             let (gate, text) = diff_bench(&base, &fresh, tolerance);
             print!("{text}");
             gate.exit_code()
@@ -164,6 +205,104 @@ fn cmd_diff(base_path: &str, fresh_path: &str, tolerance: f64) -> i32 {
                 2
             }
         },
+    }
+}
+
+fn open_archive(dir: Option<&str>) -> Archive {
+    let result = match dir {
+        Some(d) => Archive::open(d),
+        None => Archive::open_default(),
+    };
+    match result {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mmds-inspect: cannot open archive: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn archive_window(
+    archive: &Archive,
+    selector: &str,
+    window: usize,
+) -> Vec<(archive::IndexEntry, archive::ArchiveRecord)> {
+    let hash = match archive.resolve_selector(selector) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mmds-inspect: {e}");
+            std::process::exit(2);
+        }
+    };
+    archive.runs_for(&hash, window)
+}
+
+fn cmd_history(selector: &str, dir: Option<&str>, window: usize, json: bool) -> i32 {
+    let archive = open_archive(dir);
+    let runs = archive_window(&archive, selector, window);
+    if runs.is_empty() {
+        eprintln!(
+            "mmds-inspect: no archived runs for `{selector}` in {}",
+            archive.dir().display()
+        );
+        return 2;
+    }
+    let doc = archive::history_doc(&runs);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("HistoryDoc serializes")
+        );
+    } else {
+        print!("{}", archive::history_view(&doc));
+    }
+    0
+}
+
+fn cmd_regress(selector: &str, dir: Option<&str>, window: usize, floor: f64) -> i32 {
+    let archive = open_archive(dir);
+    let runs = archive_window(&archive, selector, window);
+    let (gate, text) = archive::regress(&runs, floor);
+    print!("{text}");
+    gate.exit_code()
+}
+
+fn cmd_flamediff(a_path: &str, b_path: &str) -> i32 {
+    let load = |path: &str| match archive::load_report_operand(&read(path), path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mmds-inspect: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (a, b) = (load(a_path), load(b_path));
+    print!("{}", archive::flamediff(&a, &b));
+    0
+}
+
+fn cmd_archive_seed(scenario: &str, bench_path: &str, dir: Option<&str>) -> i32 {
+    let archive = open_archive(dir);
+    let record = match archive::record_from_bench_doc(scenario, &read(bench_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mmds-inspect: {bench_path}: {e}");
+            return 2;
+        }
+    };
+    match archive.write(&record) {
+        Ok(path) => {
+            println!(
+                "seeded {} run {} -> {}",
+                scenario,
+                record.config_hash,
+                path.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("mmds-inspect: cannot archive {bench_path}: {e}");
+            2
+        }
     }
 }
 
@@ -265,13 +404,76 @@ fn main() {
             };
             let tolerance = match args.get(3).map(String::as_str) {
                 Some("--tolerance") => match args.get(4).and_then(|s| s.parse().ok()) {
-                    Some(t) => t,
+                    Some(t) => Some(t),
                     None => usage(),
                 },
                 Some(_) => usage(),
-                None => DEFAULT_TOLERANCE,
+                None => None,
             };
             cmd_diff(base, fresh, tolerance)
+        }
+        Some(cmd @ ("history" | "regress")) => {
+            let Some(selector) = args.get(1) else { usage() };
+            let mut dir = None;
+            let mut window = archive::DEFAULT_WINDOW;
+            let mut floor = archive::DEFAULT_FLOOR;
+            let mut json = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--archive" => match args.get(i + 1) {
+                        Some(d) => {
+                            dir = Some(d.as_str());
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    "--window" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        Some(n) => {
+                            window = n;
+                            i += 1;
+                        }
+                        None => usage(),
+                    },
+                    "--floor" if cmd == "regress" => {
+                        match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                            Some(f) => {
+                                floor = f;
+                                i += 1;
+                            }
+                            None => usage(),
+                        }
+                    }
+                    "--json" if cmd == "history" => json = true,
+                    _ => usage(),
+                }
+                i += 1;
+            }
+            if cmd == "history" {
+                cmd_history(selector, dir, window, json)
+            } else {
+                cmd_regress(selector, dir, window, floor)
+            }
+        }
+        Some("flamediff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            cmd_flamediff(a, b)
+        }
+        Some("archive-seed") => {
+            let (Some(scenario), Some(bench)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let dir = match args.get(3).map(String::as_str) {
+                Some("--archive") => match args.get(4) {
+                    Some(d) => Some(d.as_str()),
+                    None => usage(),
+                },
+                Some(_) => usage(),
+                None => None,
+            };
+            cmd_archive_seed(scenario, bench, dir)
         }
         _ => usage(),
     };

@@ -179,8 +179,9 @@ fn main() {
         configs,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_kmcstep.json", json + "\n").expect("write BENCH_kmcstep.json");
+    std::fs::write("BENCH_kmcstep.json", json.clone() + "\n").expect("write BENCH_kmcstep.json");
     println!("\n[artefact] BENCH_kmcstep.json");
+    mmds_bench::archive::auto_archive_bench("kmcstep", &json);
     mmds_telemetry::flush();
     mmds_bench::metrics_linger();
     drop(monitor);

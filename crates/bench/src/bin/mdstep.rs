@@ -271,8 +271,11 @@ fn main() {
         speedup_parallel_fused_vs_serial: speedup_pf,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write("BENCH_mdstep.json", json + "\n").expect("write BENCH_mdstep.json");
+    std::fs::write("BENCH_mdstep.json", json.clone() + "\n").expect("write BENCH_mdstep.json");
     println!("\n[artefact] BENCH_mdstep.json");
+    // Archive after the timed work: the run keys under the same config
+    // hash a seeded BENCH_mdstep.json baseline produces.
+    mmds_bench::archive::auto_archive_bench("mdstep", &json);
     mmds_telemetry::flush();
     mmds_bench::metrics_linger();
     drop(monitor);

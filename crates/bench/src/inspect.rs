@@ -11,9 +11,6 @@ use std::fmt::Write as _;
 use mmds_telemetry::{PhaseImbalance, Record, RunReport, SpanReport};
 use serde::{Deserialize, Serialize};
 
-/// Default relative throughput loss tolerated by [`diff_bench`].
-pub const DEFAULT_TOLERANCE: f64 = 0.15;
-
 /// Outcome of the bench regression gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Gate {
@@ -23,13 +20,19 @@ pub enum Gate {
     Warn,
     /// At least one configuration regressed beyond tolerance.
     Fail,
+    /// A phase or configuration present in the baseline is missing
+    /// from the candidate — a structural break, distinct from a
+    /// performance regression so CI can tell them apart.
+    Missing,
 }
 
 impl Gate {
-    /// Process exit code the CLI maps this outcome to.
+    /// Process exit code the CLI maps this outcome to: 0 pass/warn,
+    /// 1 performance regression, 2 structural break (missing side).
     pub fn exit_code(self) -> i32 {
         match self {
             Gate::Fail => 1,
+            Gate::Missing => 2,
             _ => 0,
         }
     }
@@ -424,11 +427,15 @@ pub fn load_bench(text: &str) -> Result<BenchDoc, String> {
 
 /// Compares a fresh bench artefact against the committed baseline.
 /// A configuration regressing by more than `tolerance` (relative
-/// `atoms_steps_per_sec` loss) fails the gate; any smaller regression
-/// warns. Configurations present on only one side are reported but do
-/// not gate.
+/// `atoms_steps_per_sec` loss) fails the gate (exit 1); a baseline
+/// configuration missing from the fresh run is a structural break and
+/// gates [`Gate::Missing`] (exit 2) with a one-line reason, so a
+/// silently-dropped benchmark can never pass as "no regression".
+/// Note: fixed-tolerance `diff` is the fallback path — the archive-
+/// driven `regress` gate derives tolerances from history instead.
 pub fn diff_bench(baseline: &BenchDoc, fresh: &BenchDoc, tolerance: f64) -> (Gate, String) {
     let mut gate = Gate::Pass;
+    let mut missing: Vec<String> = Vec::new();
     let mut rows = Vec::new();
     for b in &baseline.configs {
         let pad = |name: &str, note: &str| {
@@ -441,6 +448,7 @@ pub fn diff_bench(baseline: &BenchDoc, fresh: &BenchDoc, tolerance: f64) -> (Gat
             ]
         };
         let Some(f) = fresh.configs.iter().find(|c| c.name == b.name) else {
+            missing.push(b.name.clone());
             rows.push(pad(&b.name, "MISSING in fresh run"));
             continue;
         };
@@ -483,6 +491,14 @@ pub fn diff_bench(baseline: &BenchDoc, fresh: &BenchDoc, tolerance: f64) -> (Gat
         &["config", "base a·s/s", "fresh a·s/s", "delta", "gate"],
         &rows,
     );
+    if !missing.is_empty() {
+        gate = Gate::Missing;
+        let _ = writeln!(
+            out,
+            "missing: baseline config(s) [{}] absent from the candidate — structural break, exit 2",
+            missing.join(", ")
+        );
+    }
     let _ = writeln!(
         out,
         "gate: {:?} (tolerance {:.0}%)",
@@ -587,7 +603,7 @@ mod tests {
         let (gate, text) = diff_bench(
             &bench(&[("serial", 1000.0), ("parallel+fused", 4000.0)]),
             &bench(&[("serial", 1000.0), ("parallel+fused", 2000.0)]),
-            DEFAULT_TOLERANCE,
+            0.15,
         );
         assert_eq!(gate, Gate::Fail);
         assert_eq!(gate.exit_code(), 1);
@@ -602,15 +618,27 @@ mod tests {
     }
 
     #[test]
-    fn missing_config_does_not_gate() {
+    fn missing_config_gates_with_exit_2() {
         let (gate, text) = diff_bench(
             &bench(&[("serial", 1000.0), ("gone", 5.0)]),
             &bench(&[("serial", 1000.0), ("new", 7.0)]),
             0.15,
         );
-        assert_eq!(gate, Gate::Pass);
+        assert_eq!(gate, Gate::Missing);
+        assert_eq!(gate.exit_code(), 2);
         assert!(text.contains("MISSING"));
+        assert!(
+            text.contains("missing: baseline config(s) [gone]"),
+            "one-line reason expected: {text}"
+        );
         assert!(text.contains("new (no baseline)"));
+        // Missing outranks a simultaneous performance failure.
+        let (gate, _) = diff_bench(
+            &bench(&[("serial", 1000.0), ("gone", 5.0)]),
+            &bench(&[("serial", 100.0)]),
+            0.15,
+        );
+        assert_eq!(gate, Gate::Missing);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Canonical run-configuration keys and their content hash.
+//!
+//! The run archive (`mmds-bench::archive`) stores every benchmark run
+//! under a *config hash*: a stable digest of the scenario name plus the
+//! build/run facets that make two runs comparable (box size, step
+//! count, thread count, table form, fused/batched flags, exchange
+//! strategy, …). Two runs with the same facets hash to the same id and
+//! land in the same history trend; changing any facet changes the id.
+//! The same key is the exact-result-cache key a future `mmds-serve`
+//! needs: bitwise determinism (proven by the audit linter and the
+//! determinism tests) makes a cached result for an identical key exact.
+//!
+//! The hash is computed over a *canonical serialization*, not over
+//! whatever JSON happens to be emitted: facets are sorted by key, every
+//! value carries a type tag, strings are length-prefixed, and floats
+//! are rendered with Rust's shortest-round-trip formatting. Non-finite
+//! floats are rejected with an error *before* hashing — the JSON layer
+//! would silently turn them into `null`, which is exactly the kind of
+//! accidental aliasing a cache key must never have.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Version prefix of the canonical serialization. Bump when the
+/// rendering rules change — old archives then key under a different
+/// hash instead of silently colliding.
+pub const CANON_VERSION: &str = "v1";
+
+/// One typed facet value of a [`ConfigKey`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FacetValue {
+    /// A boolean flag (e.g. `batched`).
+    Bool(bool),
+    /// An integer facet (e.g. `cells`, `threads`).
+    Int(i64),
+    /// A float facet (e.g. `concentration`). Must be finite.
+    Float(f64),
+    /// A string facet (e.g. `table_form`).
+    Str(String),
+}
+
+/// Why a key could not be canonicalized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonError {
+    /// A float facet was NaN or infinite.
+    NonFinite {
+        /// The offending facet key (or `scenario`).
+        key: String,
+    },
+    /// A facet key is empty or contains characters outside
+    /// `[a-z0-9_.]`.
+    BadKey {
+        /// The offending facet key.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for CanonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanonError::NonFinite { key } => {
+                write!(f, "facet `{key}` is non-finite — refusing to hash a config whose canonical form would alias (JSON renders NaN/inf as null)")
+            }
+            CanonError::BadKey { key } => {
+                write!(f, "facet key `{key}` is not lower_snake dotted ascii")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// The canonical identity of a run configuration: a scenario name plus
+/// sorted, typed facets.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfigKey {
+    /// Scenario name (e.g. `mdstep`, `kmcstep`, `causal_smoke`).
+    pub scenario: String,
+    /// Comparability facets, keyed by lower_snake name.
+    pub facets: BTreeMap<String, FacetValue>,
+}
+
+impl ConfigKey {
+    /// Starts a key for `scenario` with no facets.
+    pub fn new(scenario: &str) -> Self {
+        ConfigKey {
+            scenario: scenario.to_string(),
+            facets: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a boolean facet.
+    pub fn with_bool(mut self, key: &str, v: bool) -> Self {
+        self.facets.insert(key.to_string(), FacetValue::Bool(v));
+        self
+    }
+
+    /// Adds an integer facet.
+    pub fn with_int(mut self, key: &str, v: i64) -> Self {
+        self.facets.insert(key.to_string(), FacetValue::Int(v));
+        self
+    }
+
+    /// Adds a float facet (validated finite at canonicalization).
+    pub fn with_float(mut self, key: &str, v: f64) -> Self {
+        self.facets.insert(key.to_string(), FacetValue::Float(v));
+        self
+    }
+
+    /// Adds a string facet.
+    pub fn with_str(mut self, key: &str, v: &str) -> Self {
+        self.facets
+            .insert(key.to_string(), FacetValue::Str(v.to_string()));
+        self
+    }
+
+    /// Renders the canonical serialization:
+    ///
+    /// ```text
+    /// v1;scenario=s:6:mdstep;batched=b:true;cells=i:8;…
+    /// ```
+    ///
+    /// Facets come out sorted by key (the `BTreeMap` guarantees it),
+    /// every value is type-tagged, strings are length-prefixed (so a
+    /// string containing `;` or `=` cannot alias a neighbouring facet),
+    /// and floats use `{:?}` — Rust's shortest representation that
+    /// parses back to the same bits. Errors on non-finite floats and
+    /// malformed keys instead of producing an aliasing rendering.
+    pub fn canonical(&self) -> Result<String, CanonError> {
+        let mut out = String::from(CANON_VERSION);
+        out.push_str(";scenario=");
+        out.push_str(&render_str(&self.scenario));
+        for (key, value) in &self.facets {
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+            {
+                return Err(CanonError::BadKey { key: key.clone() });
+            }
+            out.push(';');
+            out.push_str(key);
+            out.push('=');
+            match value {
+                FacetValue::Bool(b) => out.push_str(if *b { "b:true" } else { "b:false" }),
+                FacetValue::Int(i) => {
+                    out.push_str("i:");
+                    out.push_str(&i.to_string());
+                }
+                FacetValue::Float(x) => {
+                    if !x.is_finite() {
+                        return Err(CanonError::NonFinite { key: key.clone() });
+                    }
+                    out.push_str(&format!("f:{x:?}"));
+                }
+                FacetValue::Str(s) => out.push_str(&render_str(s)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The 64-bit FNV-1a digest of the canonical serialization, as 16
+    /// lowercase hex digits — the archive's config id.
+    pub fn hash(&self) -> Result<String, CanonError> {
+        Ok(format!("{:016x}", fnv1a64(self.canonical()?.as_bytes())))
+    }
+}
+
+fn render_str(s: &str) -> String {
+    format!("s:{}:{s}", s.len())
+}
+
+/// 64-bit FNV-1a over a byte string. Small, dependency-free, and
+/// stable across platforms — exactly what a checked-in golden hash
+/// needs. Not cryptographic; the archive is a cache, not a ledger.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden() -> ConfigKey {
+        ConfigKey::new("mdstep")
+            .with_int("cells", 8)
+            .with_int("steps", 20)
+            .with_int("threads", 1)
+            .with_str("table_form", "Compacted")
+            .with_bool("batched", true)
+    }
+
+    #[test]
+    fn canonical_is_sorted_and_tagged() {
+        let c = golden().canonical().unwrap();
+        assert_eq!(
+            c,
+            "v1;scenario=s:6:mdstep;batched=b:true;cells=i:8;steps=i:20;\
+             table_form=s:9:Compacted;threads=i:1"
+        );
+    }
+
+    #[test]
+    fn golden_hash_is_pinned() {
+        // Pins the full canonicalization pipeline: renaming a field,
+        // reordering facets, or changing a type tag breaks this test
+        // loudly instead of silently orphaning every archived run.
+        assert_eq!(golden().hash().unwrap(), "aef8180a3751d5b9");
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let a = ConfigKey::new("x").with_int("p", 1).with_int("q", 2);
+        let b = ConfigKey::new("x").with_int("q", 2).with_int("p", 1);
+        assert_eq!(a.hash().unwrap(), b.hash().unwrap());
+    }
+
+    #[test]
+    fn every_facet_perturbs_the_hash() {
+        let base = golden().hash().unwrap();
+        for perturbed in [
+            golden().with_int("threads", 2),
+            golden().with_str("table_form", "Traditional"),
+            golden().with_bool("batched", false),
+            golden().with_int("cells", 10),
+            ConfigKey::new("kmcstep")
+                .with_int("cells", 8)
+                .with_int("steps", 20)
+                .with_int("threads", 1)
+                .with_str("table_form", "Compacted")
+                .with_bool("batched", true),
+        ] {
+            assert_ne!(perturbed.hash().unwrap(), base, "{perturbed:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let key = ConfigKey::new("x").with_float("conc", bad);
+            match key.hash() {
+                Err(CanonError::NonFinite { key }) => assert_eq!(key, "conc"),
+                other => panic!("expected NonFinite error, got {other:?}"),
+            }
+        }
+        // Finite floats are fine and round-trip shortest.
+        let ok = ConfigKey::new("x").with_float("conc", 2.0e-3);
+        assert!(ok.canonical().unwrap().contains("conc=f:0.002"));
+    }
+
+    #[test]
+    fn bad_keys_are_rejected_and_strings_cannot_alias() {
+        assert!(matches!(
+            ConfigKey::new("x").with_int("Bad Key", 1).canonical(),
+            Err(CanonError::BadKey { .. })
+        ));
+        // A string value containing `;key=` must not collide with an
+        // actual facet — the length prefix disambiguates.
+        let tricky = ConfigKey::new("x").with_str("a", "1;b=i:2");
+        let plain = ConfigKey::new("x").with_str("a", "1").with_int("b", 2);
+        assert_ne!(tricky.hash().unwrap(), plain.hash().unwrap());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn config_key_round_trips_through_json() {
+        let key = golden().with_float("conc", 0.003);
+        let json = serde_json::to_string(&key).unwrap();
+        let back: ConfigKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, key);
+        assert_eq!(back.hash().unwrap(), key.hash().unwrap());
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod event;
 pub mod monitor;
 pub mod perfetto;
@@ -55,6 +56,7 @@ pub mod span;
 
 use std::sync::{Arc, OnceLock};
 
+pub use canon::{CanonError, ConfigKey, FacetValue};
 pub use event::{
     AlertRecord, AlertSeverity, CommRecord, Event, EventSink, FileSink, HeartbeatSample,
     KmcCycleSample, MdStepSample, MemorySink, Record, SeriesSample,
